@@ -1,0 +1,298 @@
+// Package benches holds the top-level benchmark harness: one benchmark
+// family per table and figure of the paper's evaluation (§7), each
+// delegating to the same internal/exp drivers that cmd/experiments uses.
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// Dataset stand-ins are generated once per size and cached; sizes are
+// laptop-scale (see EXPERIMENTS.md for reference output and for the
+// larger -scalediv runs).
+package benches
+
+import (
+	"sync"
+	"testing"
+
+	"pll/internal/baseline"
+	"pll/internal/core"
+	"pll/internal/datasets"
+	"pll/internal/exp"
+	"pll/internal/gen"
+	"pll/internal/graph"
+	"pll/internal/hhl"
+	"pll/internal/order"
+	"pll/internal/rng"
+	"pll/internal/stats"
+	"pll/internal/treedec"
+)
+
+// benchScaleDiv keeps per-iteration work in the tens of milliseconds.
+const benchScaleDiv = 256
+
+var (
+	graphCacheMu sync.Mutex
+	graphCache   = map[string]*graph.Graph{}
+)
+
+func standIn(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	graphCacheMu.Lock()
+	defer graphCacheMu.Unlock()
+	if g, ok := graphCache[name]; ok {
+		return g
+	}
+	rec, err := datasets.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rec.Generate(benchScaleDiv, 7)
+	graphCache[name] = g
+	return g
+}
+
+func benchPairs(n int, k int) [][2]int32 {
+	r := rng.New(99)
+	pairs := make([][2]int32, k)
+	for i := range pairs {
+		pairs[i] = [2]int32{r.Int31n(int32(n)), r.Int31n(int32(n))}
+	}
+	return pairs
+}
+
+// ---- Table 3: indexing time and query time per method per dataset ----
+
+func benchTable3Construct(b *testing.B, name string, bp int) {
+	g := standIn(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Options{Ordering: order.Degree, Seed: 7, NumBitParallel: bp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_PLL_Construct_Gnutella(b *testing.B)  { benchTable3Construct(b, "Gnutella", 16) }
+func BenchmarkTable3_PLL_Construct_Epinions(b *testing.B)  { benchTable3Construct(b, "Epinions", 16) }
+func BenchmarkTable3_PLL_Construct_Slashdot(b *testing.B)  { benchTable3Construct(b, "Slashdot", 16) }
+func BenchmarkTable3_PLL_Construct_NotreDame(b *testing.B) { benchTable3Construct(b, "NotreDame", 16) }
+func BenchmarkTable3_PLL_Construct_WikiTalk(b *testing.B)  { benchTable3Construct(b, "WikiTalk", 16) }
+func BenchmarkTable3_PLL_Construct_Skitter(b *testing.B)   { benchTable3Construct(b, "Skitter", 64) }
+func BenchmarkTable3_PLL_Construct_Flickr(b *testing.B)    { benchTable3Construct(b, "Flickr", 64) }
+
+func benchTable3Query(b *testing.B, name string, bp int) {
+	g := standIn(b, name)
+	ix, err := core.Build(g, core.Options{Ordering: order.Degree, Seed: 7, NumBitParallel: bp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := benchPairs(g.NumVertices(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		ix.Query(p[0], p[1])
+	}
+}
+
+func BenchmarkTable3_PLL_Query_Gnutella(b *testing.B) { benchTable3Query(b, "Gnutella", 16) }
+func BenchmarkTable3_PLL_Query_Epinions(b *testing.B) { benchTable3Query(b, "Epinions", 16) }
+func BenchmarkTable3_PLL_Query_Slashdot(b *testing.B) { benchTable3Query(b, "Slashdot", 16) }
+func BenchmarkTable3_PLL_Query_WikiTalk(b *testing.B) { benchTable3Query(b, "WikiTalk", 16) }
+func BenchmarkTable3_PLL_Query_Skitter(b *testing.B)  { benchTable3Query(b, "Skitter", 64) }
+
+func BenchmarkTable3_HHL_Construct_Gnutella(b *testing.B) {
+	g := standIn(b, "Gnutella")
+	perm := order.ByDegree(g, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hhl.Build(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_HHL_Construct_Epinions(b *testing.B) {
+	g := standIn(b, "Epinions")
+	perm := order.ByDegree(g, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hhl.Build(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_TD_Construct_Gnutella(b *testing.B) {
+	g := standIn(b, "Gnutella")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treedec.Build(g, treedec.Options{MaxBag: 16, MaxCore: 4000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_BFS_Query_Slashdot(b *testing.B) {
+	g := standIn(b, "Slashdot")
+	oracle := baseline.NewOracle(g)
+	pairs := benchPairs(g.NumVertices(), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		oracle.Query(p[0], p[1])
+	}
+}
+
+// ---- Table 1 is the summary view of Table 3; bench the driver once ----
+
+func BenchmarkTable1_SummaryDriver(b *testing.B) {
+	cfg := exp.Config{ScaleDiv: 1024, Seed: 7, QueryPairs: 512, HHLMaxN: 2000, TDMaxCore: 1000}
+	recipes := datasets.Small()[:2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(cfg, recipes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.Table1(rows)
+	}
+}
+
+// ---- Table 5: ordering-strategy ablation ----
+
+func benchTable5(b *testing.B, s order.Strategy) {
+	g := standIn(b, "Epinions")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Options{Ordering: s, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5_Ordering_Degree(b *testing.B)    { benchTable5(b, order.Degree) }
+func BenchmarkTable5_Ordering_Random(b *testing.B)    { benchTable5(b, order.Random) }
+func BenchmarkTable5_Ordering_Closeness(b *testing.B) { benchTable5(b, order.Closeness) }
+
+// Betweenness is this repository's ablation beyond the paper's three
+// strategies (§4.4 motivates it; Degree/Closeness are its proxies).
+func BenchmarkTable5_Ordering_Betweenness(b *testing.B) { benchTable5(b, order.Betweenness) }
+
+// ---- Figure 1: the pruned-BFS walkthrough ----
+
+func BenchmarkFig1_Walkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 2: dataset statistics ----
+
+func BenchmarkFig2_DegreeCCDF(b *testing.B) {
+	g := standIn(b, "WikiTalk")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.DegreeCCDF(g)
+	}
+}
+
+func BenchmarkFig2_DistanceDistribution(b *testing.B) {
+	g := standIn(b, "WikiTalk")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.DistanceDistribution(g, 2000, uint64(i))
+	}
+}
+
+// ---- Figure 3: construction traces ----
+
+func BenchmarkFig3_ConstructionTrace_Skitter(b *testing.B) {
+	g := standIn(b, "Skitter")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bs core.BuildStats
+		if _, err := core.Build(g, core.Options{Ordering: order.Degree, Seed: 7, CollectStats: &bs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 4: pair coverage sweep ----
+
+func BenchmarkFig4_CoverageSweep_Gnutella(b *testing.B) {
+	g := standIn(b, "Gnutella")
+	perm := order.ByDegree(g, 7)
+	lm := baseline.BuildLandmarks(g, perm, 256)
+	ps := stats.SamplePairs(g, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range stats.LogSpacedIndexes(257) {
+			stats.Coverage(ps, stats.QuerierFunc(func(s, t int32) int {
+				return lm.EstimateWithPrefix(s, t, k)
+			}))
+		}
+	}
+}
+
+// ---- Figure 5: bit-parallel sweep ----
+
+func benchFig5(b *testing.B, t int) {
+	g := standIn(b, "Skitter")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Options{Ordering: order.Degree, Seed: 7, NumBitParallel: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_BitParallel_1(b *testing.B)   { benchFig5(b, 1) }
+func BenchmarkFig5_BitParallel_16(b *testing.B)  { benchFig5(b, 16) }
+func BenchmarkFig5_BitParallel_64(b *testing.B)  { benchFig5(b, 64) }
+func BenchmarkFig5_BitParallel_256(b *testing.B) { benchFig5(b, 256) }
+
+// ---- Ablations beyond the paper's figures (DESIGN.md §7) ----
+
+// Pruning on/off: the naive §4.1 labeling vs pruned labeling.
+func BenchmarkAblation_NaiveLabeling(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 7)
+	perm := order.ByDegree(g, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.BuildNaive(g, perm)
+	}
+}
+
+func BenchmarkAblation_PrunedLabeling(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 7)
+	perm := order.ByDegree(g, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Options{CustomOrder: perm}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Theorem 4.4's regime: low tree-width inputs.
+func BenchmarkAblation_TreeWidth_PLL_Grid(b *testing.B) {
+	g := gen.Grid(30, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Options{Ordering: order.Degree, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_TreeWidth_TD_Grid(b *testing.B) {
+	g := gen.Grid(30, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treedec.Build(g, treedec.Options{MaxBag: 34, MaxCore: 4000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

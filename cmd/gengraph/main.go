@@ -1,0 +1,101 @@
+// Command gengraph generates synthetic network files: either one of the
+// paper's dataset stand-ins (see internal/datasets) or a raw generator.
+//
+// Usage:
+//
+//	gengraph -dataset Epinions -scalediv 64 -seed 7 -out epinions.txt
+//	gengraph -model ba -n 10000 -m 5 -seed 1 -out social.txt
+//	gengraph -model rmat -n 16384 -deg 8 -out web.txt
+//	gengraph -model er -n 10000 -edges 50000 -out random.txt
+//	gengraph -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pll/internal/datasets"
+	"pll/internal/gen"
+	"pll/internal/graph"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "paper dataset stand-in to generate (see -list)")
+		scaleDiv = flag.Int64("scalediv", 64, "divide the paper's |V| by this factor")
+		model    = flag.String("model", "", "raw generator: ba, er, ws, rmat, tree, grid, corefringe")
+		n        = flag.Int("n", 10000, "number of vertices (raw generators)")
+		m        = flag.Int("m", 3, "attachment edges per vertex (ba) / k (ws)")
+		edges    = flag.Int64("edges", 30000, "edge count (er, corefringe core)")
+		deg      = flag.Int("deg", 8, "average degree (rmat)")
+		beta     = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		rows     = flag.Int("rows", 100, "grid rows")
+		cols     = flag.Int("cols", 100, "grid cols")
+		fringe   = flag.Int("fringe", 10000, "fringe vertices (corefringe)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output edge-list path (default stdout)")
+		list     = flag.Bool("list", false, "list dataset stand-ins and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Dataset stand-ins (paper Table 4):")
+		for _, r := range datasets.All() {
+			fmt.Printf("  %-11s %-9s |V|=%-9d |E|=%-11d t=%d\n", r.Name, r.Kind, r.PaperV, r.PaperE, r.BitParallel)
+		}
+		return
+	}
+
+	g, err := buildGraph(*dataset, *scaleDiv, *model, *n, *m, *edges, *deg, *beta, *rows, *cols, *fringe, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := graph.SaveGraphFile(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+}
+
+func buildGraph(dataset string, scaleDiv int64, model string, n, m int, edges int64, deg int, beta float64, rows, cols, fringe int, seed uint64) (*graph.Graph, error) {
+	if dataset != "" {
+		rec, err := datasets.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Generate(scaleDiv, seed), nil
+	}
+	switch model {
+	case "ba":
+		return gen.BarabasiAlbert(n, m, seed), nil
+	case "er":
+		return gen.ErdosRenyi(n, edges, seed), nil
+	case "ws":
+		return gen.WattsStrogatz(n, m, beta, seed), nil
+	case "rmat":
+		scale := 1
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(scale, deg, 0.57, 0.19, 0.19, seed), nil
+	case "tree":
+		return gen.RandomTree(n, seed), nil
+	case "grid":
+		return gen.Grid(rows, cols), nil
+	case "corefringe":
+		return gen.CoreFringe(n, edges, fringe, seed), nil
+	case "":
+		return nil, fmt.Errorf("need -dataset or -model (try -list)")
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func TestBuildGraphDataset(t *testing.T) {
+	g, err := buildGraph("Gnutella", 512, "", 0, 0, 0, 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty dataset graph")
+	}
+}
+
+func TestBuildGraphModels(t *testing.T) {
+	cases := []struct {
+		model string
+		n     int
+	}{
+		{"ba", 100},
+		{"er", 100},
+		{"ws", 100},
+		{"rmat", 128},
+		{"tree", 100},
+		{"corefringe", 50},
+	}
+	for _, c := range cases {
+		g, err := buildGraph("", 64, c.model, c.n, 4, 200, 4, 0.1, 10, 10, 100, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", c.model, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", c.model)
+		}
+	}
+}
+
+func TestBuildGraphGrid(t *testing.T) {
+	g, err := buildGraph("", 64, "grid", 0, 0, 0, 0, 0, 5, 7, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 35 {
+		t.Fatalf("grid n = %d, want 35", g.NumVertices())
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := buildGraph("", 64, "", 10, 2, 10, 2, 0, 2, 2, 2, 1); err == nil {
+		t.Fatal("expected error with no dataset or model")
+	}
+	if _, err := buildGraph("", 64, "nope", 10, 2, 10, 2, 0, 2, 2, 2, 1); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if _, err := buildGraph("NoSuchDataset", 64, "", 0, 0, 0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}

@@ -1,0 +1,321 @@
+// Command pll builds, inspects and queries pruned-landmark-labeling
+// indexes from the command line.
+//
+// Usage:
+//
+//	pll construct -graph g.txt -index g.pll [-bp 16] [-order Degree] [-paths]
+//	pll query     -index g.pll 0 42 17 99        # pairs of vertices
+//	pll query     -index g.pll -disk 0 42        # disk-resident querying
+//	pll stats     -index g.pll
+//	pll bench     -index g.pll -pairs 100000     # random-query latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"pll/internal/rng"
+	"pll/pll"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "construct":
+		err = construct(os.Args[2:])
+	case "query":
+		err = query(os.Args[2:])
+	case "stats":
+		err = statsCmd(os.Args[2:])
+	case "bench":
+		err = bench(os.Args[2:])
+	case "path":
+		err = pathCmd(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	case "compress":
+		err = compress(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pll:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pll construct -graph g.txt -index g.pll [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths]
+  pll query     -index g.pll [-disk] s t [s t ...]
+  pll path      -index g.pll s t          # index must be built with -paths
+  pll stats     -index g.pll
+  pll bench     -index g.pll [-pairs N] [-seed N]
+  pll verify    -index g.pll -graph g.txt [-pairs N]
+  pll compress  -index g.pll -out g.pllc`)
+}
+
+func construct(args []string) error {
+	fs := flag.NewFlagSet("construct", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "input edge-list file")
+	indexPath := fs.String("index", "", "output index file")
+	bp := fs.Int("bp", 16, "number of bit-parallel BFSs")
+	ord := fs.String("order", "Degree", "vertex ordering strategy")
+	seed := fs.Uint64("seed", 1, "ordering seed")
+	paths := fs.Bool("paths", false, "store parent pointers for path queries")
+	fs.Parse(args)
+	if *graphPath == "" || *indexPath == "" {
+		return fmt.Errorf("construct needs -graph and -index")
+	}
+	g, err := pll.LoadGraphFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d vertices, %d edges\n", *graphPath, g.NumVertices(), g.NumEdges())
+	opts := []pll.Option{pll.WithSeed(*seed), pll.WithBitParallel(*bp)}
+	switch *ord {
+	case "Degree", "degree":
+		opts = append(opts, pll.WithOrdering(pll.OrderDegree))
+	case "Random", "random":
+		opts = append(opts, pll.WithOrdering(pll.OrderRandom))
+	case "Closeness", "closeness":
+		opts = append(opts, pll.WithOrdering(pll.OrderCloseness))
+	default:
+		return fmt.Errorf("unknown ordering %q", *ord)
+	}
+	if *paths {
+		opts = append(opts, pll.WithPaths())
+	}
+	start := time.Now()
+	ix, err := pll.Build(g, opts...)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := ix.SaveFile(*indexPath); err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("indexed in %v: avg label %.1f (+%d bit-parallel), %d bytes -> %s\n",
+		elapsed, st.AvgLabelSize, st.NumBitParallel, st.IndexBytes, *indexPath)
+	return nil
+}
+
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	disk := fs.Bool("disk", false, "answer from disk without loading labels")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("query needs -index")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 || len(rest)%2 != 0 {
+		return fmt.Errorf("query needs an even number of vertex arguments")
+	}
+	pairs := make([][2]int32, 0, len(rest)/2)
+	for i := 0; i < len(rest); i += 2 {
+		s, err := strconv.ParseInt(rest[i], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad vertex %q: %v", rest[i], err)
+		}
+		t, err := strconv.ParseInt(rest[i+1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad vertex %q: %v", rest[i+1], err)
+		}
+		pairs = append(pairs, [2]int32{int32(s), int32(t)})
+	}
+	if *disk {
+		di, err := pll.OpenDiskIndex(*indexPath)
+		if err != nil {
+			return err
+		}
+		defer di.Close()
+		for _, p := range pairs {
+			d, err := di.Distance(p[0], p[1])
+			if err != nil {
+				return err
+			}
+			printDistance(p[0], p[1], d)
+		}
+		return nil
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if err := ix.Validate(p[0], p[1]); err != nil {
+			return err
+		}
+		printDistance(p[0], p[1], ix.Distance(p[0], p[1]))
+	}
+	return nil
+}
+
+func pathCmd(args []string) error {
+	fs := flag.NewFlagSet("path", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file (built with -paths)")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("path needs -index")
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("path needs exactly two vertices")
+	}
+	s, err := strconv.ParseInt(rest[0], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad vertex %q: %v", rest[0], err)
+	}
+	t, err := strconv.ParseInt(rest[1], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad vertex %q: %v", rest[1], err)
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	if err := ix.Validate(int32(s), int32(t)); err != nil {
+		return err
+	}
+	p, err := ix.Path(int32(s), int32(t))
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		fmt.Printf("no path: %d and %d are disconnected\n", s, t)
+		return nil
+	}
+	fmt.Printf("path (%d hops): %v\n", len(p)-1, p)
+	return nil
+}
+
+func printDistance(s, t int32, d int) {
+	if d == pll.Unreachable {
+		fmt.Printf("d(%d,%d) = unreachable\n", s, t)
+		return
+	}
+	fmt.Printf("d(%d,%d) = %d\n", s, t, d)
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("stats needs -index")
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("vertices:            %d\n", st.NumVertices)
+	fmt.Printf("bit-parallel roots:  %d\n", st.NumBitParallel)
+	fmt.Printf("label entries:       %d\n", st.TotalLabelEntries)
+	fmt.Printf("avg label size:      %.2f\n", st.AvgLabelSize)
+	fmt.Printf("max label size:      %d\n", st.MaxLabelSize)
+	fmt.Printf("label quantiles:     min=%d p25=%d p50=%d p75=%d max=%d\n",
+		st.LabelSizeQuantiles[0], st.LabelSizeQuantiles[1], st.LabelSizeQuantiles[2],
+		st.LabelSizeQuantiles[3], st.LabelSizeQuantiles[4])
+	fmt.Printf("index bytes:         %d (labels %d, bit-parallel %d)\n",
+		st.IndexBytes, st.NormalLabelBytes, st.BitParallelBytes)
+	fmt.Printf("path reconstruction: %v\n", st.HasParentPointers)
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	graphPath := fs.String("graph", "", "edge-list file the index was built from")
+	pairs := fs.Int("pairs", 1000, "random pairs cross-checked against BFS")
+	seed := fs.Uint64("seed", 1, "pair sampling seed")
+	fs.Parse(args)
+	if *indexPath == "" || *graphPath == "" {
+		return fmt.Errorf("verify needs -index and -graph")
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	g, err := pll.LoadGraphFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	if err := ix.Verify(g, *pairs, *seed); err != nil {
+		return err
+	}
+	fmt.Printf("index OK: structure valid, %d sampled queries exact\n", *pairs)
+	return nil
+}
+
+func compress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	indexPath := fs.String("index", "", "input index file (plain format)")
+	out := fs.String("out", "", "output compressed index file")
+	fs.Parse(args)
+	if *indexPath == "" || *out == "" {
+		return fmt.Errorf("compress needs -index and -out")
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	if err := ix.SaveCompressedFile(*out); err != nil {
+		return err
+	}
+	before, err := os.Stat(*indexPath)
+	if err != nil {
+		return err
+	}
+	after, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d -> %d bytes (%.1f%%)\n",
+		before.Size(), after.Size(), 100*float64(after.Size())/float64(before.Size()))
+	return nil
+}
+
+func bench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	pairs := fs.Int("pairs", 100000, "number of random query pairs")
+	seed := fs.Uint64("seed", 1, "query sampling seed")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("bench needs -index")
+	}
+	ix, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	n := int32(ix.NumVertices())
+	if n == 0 {
+		return fmt.Errorf("empty index")
+	}
+	r := rng.New(*seed)
+	qs := make([][2]int32, *pairs)
+	for i := range qs {
+		qs[i] = [2]int32{r.Int31n(n), r.Int31n(n)}
+	}
+	start := time.Now()
+	sink := 0
+	for _, q := range qs {
+		sink += ix.Distance(q[0], q[1])
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	fmt.Printf("%d queries in %v (%.2f us/query)\n",
+		*pairs, elapsed, float64(elapsed.Nanoseconds())/float64(*pairs)/1e3)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Pathway discovery (paper §1): in metabolic networks, distance queries
+// find optimal pathways between compounds. Unlike the ranking examples,
+// this application needs the actual shortest *path*, not just its
+// length — exercising the paper's §6 shortest-path extension (labels
+// with parent pointers) and the weighted variant (reaction costs).
+//
+// Run with:
+//
+//	go run ./examples/pathways
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pll/internal/gen"
+	"pll/pll"
+)
+
+func main() {
+	// A core–fringe network: a dense hub of central metabolites with
+	// tree-like peripheral pathways — the core–fringe structure the
+	// paper highlights (§1, Theorem 4.4).
+	raw := gen.CoreFringe(400, 4_000, 20_000, 13)
+	g, err := pll.NewGraph(raw.NumVertices(), raw.Edges())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Path-reconstructing index: labels carry parent pointers.
+	start := time.Now()
+	ix, err := pll.Build(g, pll.WithPaths(), pll.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compound graph: %d compounds, %d reactions; path index built in %v\n",
+		g.NumVertices(), g.NumEdges(), time.Since(start))
+
+	// Find optimal pathways between peripheral compounds.
+	pairs := [][2]int32{{5_000, 18_000}, {401, 20_399}, {12_345, 6_789}}
+	for _, p := range pairs {
+		begin := time.Now()
+		path, err := ix.Path(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pathway %d -> %d (%d steps, %v): %v\n",
+			p[0], p[1], len(path)-1, time.Since(begin), abbreviate(path))
+	}
+
+	// Weighted variant: reactions have energetic costs; the pruned
+	// Dijkstra index answers minimum-cost distances exactly.
+	wraw := gen.RandomWeights(raw, 1, 20, 17)
+	var wedges []pll.WeightedEdge
+	for v := int32(0); int(v) < raw.NumVertices(); v++ {
+		ws := wraw.Weights(v)
+		for i, u := range wraw.Neighbors(v) {
+			if v < u {
+				wedges = append(wedges, pll.WeightedEdge{U: v, V: u, Weight: ws[i]})
+			}
+		}
+	}
+	wg, err := pll.NewWeightedGraph(raw.NumVertices(), wedges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	wix, err := pll.BuildWeighted(wg, pll.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted index built in %v (avg label %.1f)\n", time.Since(start), wix.AvgLabelSize())
+	for _, p := range pairs {
+		fmt.Printf("min reaction cost %d -> %d = %d\n", p[0], p[1], wix.Distance(p[0], p[1]))
+	}
+}
+
+// abbreviate shortens long paths for display.
+func abbreviate(path []int32) string {
+	if len(path) <= 8 {
+		return fmt.Sprint(path)
+	}
+	return fmt.Sprintf("%v ... %v", path[:4], path[len(path)-3:])
+}

@@ -1,0 +1,203 @@
+// Package baseline implements the comparison methods the paper measures
+// PLL against or builds on:
+//
+//   - Oracle: online BFS per query (Table 3's "BFS" column);
+//   - NaiveLabeling: the unpruned labeling of §4.1 — a full BFS from
+//     every vertex, Θ(n²) labels — used to cross-check the pruned method
+//     and to quantify how much pruning saves;
+//   - Landmarks: the standard landmark-based *approximate* method of
+//     §2.2 / §4.1, which underlies the pair-coverage analysis of Figure 4
+//     and the Theorem 4.3 experiment.
+package baseline
+
+import (
+	"pll/internal/bfs"
+	"pll/internal/graph"
+	"pll/internal/order"
+)
+
+// Unreachable mirrors bfs.Unreachable for this package's return values.
+const Unreachable = bfs.Unreachable
+
+// Oracle answers every query with a fresh bidirectional BFS. Zero
+// preprocessing, slow queries — one end of the design space.
+type Oracle struct {
+	g *graph.Graph
+}
+
+// NewOracle wraps g in an online-BFS distance oracle.
+func NewOracle(g *graph.Graph) *Oracle { return &Oracle{g: g} }
+
+// Query returns the exact s-t distance or Unreachable.
+func (o *Oracle) Query(s, t int32) int {
+	return int(bfs.BidirectionalDistance(o.g, s, t))
+}
+
+// NaiveLabeling is the §4.1 index: label L_k(u) accumulates the distance
+// from every BFS root v_1..v_k that reaches u, with no pruning. Exact but
+// quadratic; only usable on small graphs.
+type NaiveLabeling struct {
+	n     int
+	rank  []int32
+	off   []int64
+	hubs  []int32 // hub ranks, ascending (roots are processed in rank order)
+	dists []uint8
+}
+
+// BuildNaive runs a full BFS from every vertex in the given order
+// (perm[rank] = vertex) and stores all finite distances.
+func BuildNaive(g *graph.Graph, perm []int32) *NaiveLabeling {
+	n := g.NumVertices()
+	labH := make([][]int32, n)
+	labD := make([][]uint8, n)
+	h, err := g.Relabel(perm)
+	if err != nil {
+		panic(err)
+	}
+	for vk := int32(0); int(vk) < n; vk++ {
+		for u, d := range bfs.AllDistances(h, vk) {
+			if d != bfs.Unreachable {
+				labH[u] = append(labH[u], vk)
+				labD[u] = append(labD[u], uint8(min(int(d), 254)))
+			}
+		}
+	}
+	nl := &NaiveLabeling{n: n, rank: order.RankOf(perm)}
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(len(labH[v])) + 1
+	}
+	nl.off = make([]int64, n+1)
+	nl.hubs = make([]int32, total)
+	nl.dists = make([]uint8, total)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		nl.off[v] = w
+		copy(nl.hubs[w:], labH[v])
+		copy(nl.dists[w:], labD[v])
+		w += int64(len(labH[v]))
+		nl.hubs[w] = int32(n)
+		nl.dists[w] = 255
+		w++
+	}
+	nl.off[n] = w
+	return nl
+}
+
+// Query returns the exact s-t distance via the merge join, or Unreachable.
+func (nl *NaiveLabeling) Query(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	rs, rt := nl.rank[s], nl.rank[t]
+	best := 1 << 20
+	i, j := nl.off[rs], nl.off[rt]
+	for {
+		vs, vt := nl.hubs[i], nl.hubs[j]
+		switch {
+		case vs == vt:
+			if int(vs) == nl.n {
+				if best >= 1<<20 {
+					return Unreachable
+				}
+				return best
+			}
+			if d := int(nl.dists[i]) + int(nl.dists[j]); d < best {
+				best = d
+			}
+			i++
+			j++
+		case vs < vt:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// TotalLabelEntries returns the total number of stored (hub, distance)
+// pairs, the quantity pruning is designed to shrink.
+func (nl *NaiveLabeling) TotalLabelEntries() int64 {
+	return nl.off[nl.n] - int64(nl.n) // subtract sentinels
+}
+
+// Landmarks is the standard landmark-based approximate oracle: distances
+// from k landmark vertices to everything; Estimate is the minimum
+// landmark detour, an upper bound on the true distance.
+type Landmarks struct {
+	n         int
+	landmarks []int32
+	dist      [][]int32 // dist[i][v] = d(landmarks[i], v)
+}
+
+// BuildLandmarks computes distances from the first k vertices of the
+// given order (use order.ByDegree for the paper's central-landmark
+// selection).
+func BuildLandmarks(g *graph.Graph, perm []int32, k int) *Landmarks {
+	if k > len(perm) {
+		k = len(perm)
+	}
+	lm := &Landmarks{n: g.NumVertices(), landmarks: append([]int32(nil), perm[:k]...)}
+	lm.dist = make([][]int32, k)
+	for i, l := range lm.landmarks {
+		lm.dist[i] = bfs.AllDistances(g, l)
+	}
+	return lm
+}
+
+// NumLandmarks returns how many landmarks the oracle stores.
+func (lm *Landmarks) NumLandmarks() int { return len(lm.landmarks) }
+
+// Estimate returns the landmark upper bound min_l d(s,l)+d(l,t), or
+// Unreachable if no landmark reaches both endpoints.
+func (lm *Landmarks) Estimate(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	best := 1 << 20
+	for _, d := range lm.dist {
+		ds, dt := d[s], d[t]
+		if ds == bfs.Unreachable || dt == bfs.Unreachable {
+			continue
+		}
+		if v := int(ds) + int(dt); v < best {
+			best = v
+		}
+	}
+	if best >= 1<<20 {
+		return Unreachable
+	}
+	return best
+}
+
+// EstimateWithPrefix is Estimate restricted to the first k landmarks,
+// letting coverage curves (Figure 4) be swept without rebuilding.
+func (lm *Landmarks) EstimateWithPrefix(s, t int32, k int) int {
+	if s == t {
+		return 0
+	}
+	if k > len(lm.dist) {
+		k = len(lm.dist)
+	}
+	best := 1 << 20
+	for _, d := range lm.dist[:k] {
+		ds, dt := d[s], d[t]
+		if ds == bfs.Unreachable || dt == bfs.Unreachable {
+			continue
+		}
+		if v := int(ds) + int(dt); v < best {
+			best = v
+		}
+	}
+	if best >= 1<<20 {
+		return Unreachable
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

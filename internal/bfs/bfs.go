@@ -1,0 +1,209 @@
+// Package bfs provides the plain shortest-path primitives (breadth-first
+// search, bidirectional BFS, Dijkstra) that the paper uses both as the
+// online-query baseline (Table 3's "BFS" column) and as the ground truth
+// that every index in this repository is tested against.
+package bfs
+
+import (
+	"pll/internal/graph"
+)
+
+// Unreachable is the distance reported for disconnected pairs.
+const Unreachable = -1
+
+// AllDistances runs a BFS from s and returns the distance from s to every
+// vertex (Unreachable for vertices in other components).
+func AllDistances(g *graph.Graph, s int32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	queue := make([]int32, 0, 1024)
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == Unreachable {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the s-t distance by a single BFS, or Unreachable.
+func Distance(g *graph.Graph, s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	queue := []int32{s}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == Unreachable {
+				if u == t {
+					return dv + 1
+				}
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return Unreachable
+}
+
+// BidirectionalDistance returns the s-t distance by alternating BFS
+// frontiers from both endpoints, expanding the smaller frontier first.
+// It is the fast online baseline for small-world graphs.
+func BidirectionalDistance(g *graph.Graph, s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	n := g.NumVertices()
+	distS := make([]int32, n)
+	distT := make([]int32, n)
+	for i := range distS {
+		distS[i] = Unreachable
+		distT[i] = Unreachable
+	}
+	distS[s] = 0
+	distT[t] = 0
+	frontS := []int32{s}
+	frontT := []int32{t}
+	total := int32(0)
+	for len(frontS) > 0 && len(frontT) > 0 {
+		// Expand the smaller frontier.
+		if len(frontS) <= len(frontT) {
+			next := frontS[:0:0]
+			for _, v := range frontS {
+				for _, u := range g.Neighbors(v) {
+					if distT[u] != Unreachable {
+						return distS[v] + 1 + distT[u]
+					}
+					if distS[u] == Unreachable {
+						distS[u] = distS[v] + 1
+						next = append(next, u)
+					}
+				}
+			}
+			frontS = next
+		} else {
+			next := frontT[:0:0]
+			for _, v := range frontT {
+				for _, u := range g.Neighbors(v) {
+					if distS[u] != Unreachable {
+						return distT[v] + 1 + distS[u]
+					}
+					if distT[u] == Unreachable {
+						distT[u] = distT[v] + 1
+						next = append(next, u)
+					}
+				}
+			}
+			frontT = next
+		}
+		total++
+		if int(total) > n {
+			break // defensive; cannot happen on a finite simple graph
+		}
+	}
+	return Unreachable
+}
+
+// Path returns one shortest s-t path (inclusive of both endpoints) or nil
+// if t is unreachable from s.
+func Path(g *graph.Graph, s, t int32) []int32 {
+	if s == t {
+		return []int32{s}
+	}
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[s] = -1
+	queue := []int32{s}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -2 {
+				parent[u] = v
+				if u == t {
+					return buildPath(parent, t)
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return nil
+}
+
+func buildPath(parent []int32, t int32) []int32 {
+	var rev []int32
+	for v := t; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Eccentricity returns the greatest finite distance from s (0 if s is
+// isolated).
+func Eccentricity(g *graph.Graph, s int32) int32 {
+	var ecc int32
+	for _, d := range AllDistances(g, s) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// DirectedAllDistances runs a BFS from s over out-arcs (forward=true) or
+// in-arcs (forward=false) of a digraph.
+func DirectedAllDistances(g *graph.Digraph, s int32, forward bool) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	queue := []int32{s}
+	neighbors := g.OutNeighbors
+	if !forward {
+		neighbors = g.InNeighbors
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range neighbors(v) {
+			if dist[u] == Unreachable {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// DirectedDistance returns the s->t distance in a digraph.
+func DirectedDistance(g *graph.Digraph, s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	dist := DirectedAllDistances(g, s, true)
+	return dist[t]
+}

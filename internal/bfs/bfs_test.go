@@ -1,0 +1,218 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func path(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	return mustGraph(t, n, edges)
+}
+
+func randomGraph(seed uint64, maxN int) *graph.Graph {
+	r := rng.New(seed)
+	n := r.Intn(maxN) + 2
+	m := r.Intn(3 * n)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestAllDistancesOnPath(t *testing.T) {
+	g := path(t, 10)
+	dist := AllDistances(g, 0)
+	for i, d := range dist {
+		if d != int32(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestDistanceSelf(t *testing.T) {
+	g := path(t, 3)
+	if d := Distance(g, 1, 1); d != 0 {
+		t.Fatalf("Distance(1,1) = %d, want 0", d)
+	}
+}
+
+func TestDistanceDisconnected(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if d := Distance(g, 0, 3); d != Unreachable {
+		t.Fatalf("Distance across components = %d, want Unreachable", d)
+	}
+	if d := BidirectionalDistance(g, 0, 3); d != Unreachable {
+		t.Fatalf("BidirectionalDistance across components = %d, want Unreachable", d)
+	}
+}
+
+func TestBidirectionalMatchesBFSRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 50)
+		n := int32(g.NumVertices())
+		r := rng.New(seed ^ 0xabcdef)
+		for i := 0; i < 20; i++ {
+			s, u := r.Int31n(n), r.Int31n(n)
+			if Distance(g, s, u) != BidirectionalDistance(g, s, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathValidity(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 40)
+		n := int32(g.NumVertices())
+		r := rng.New(seed + 1)
+		for i := 0; i < 10; i++ {
+			s, u := r.Int31n(n), r.Int31n(n)
+			d := Distance(g, s, u)
+			p := Path(g, s, u)
+			if d == Unreachable {
+				if p != nil {
+					return false
+				}
+				continue
+			}
+			if len(p) != int(d)+1 || p[0] != s || p[len(p)-1] != u {
+				return false
+			}
+			for j := 1; j < len(p); j++ {
+				if !g.HasEdge(p[j-1], p[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(t, 5)
+	if e := Eccentricity(g, 0); e != 4 {
+		t.Fatalf("Eccentricity(0) = %d, want 4", e)
+	}
+	if e := Eccentricity(g, 2); e != 2 {
+		t.Fatalf("Eccentricity(2) = %d, want 2", e)
+	}
+}
+
+func TestDirectedDistances(t *testing.T) {
+	g, err := graph.NewDigraph(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DirectedDistance(g, 0, 2); d != 2 {
+		t.Fatalf("0->2 = %d, want 2", d)
+	}
+	if d := DirectedDistance(g, 2, 0); d != Unreachable {
+		t.Fatalf("2->0 = %d, want Unreachable", d)
+	}
+	back := DirectedAllDistances(g, 2, false)
+	if back[0] != 2 || back[1] != 1 {
+		t.Fatalf("reverse distances = %v", back)
+	}
+}
+
+func TestDijkstraMatchesBFSOnUniformWeights(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 40)
+		wg := graph.UniformWeighted(g, 1)
+		n := int32(g.NumVertices())
+		r := rng.New(seed * 3)
+		for i := 0; i < 10; i++ {
+			s, u := r.Int31n(n), r.Int31n(n)
+			bd := Distance(g, s, u)
+			dd := DijkstraDistance(wg, s, u)
+			if bd == Unreachable {
+				if dd != InfWeight {
+					return false
+				}
+			} else if dd != uint64(bd) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle where going around is cheaper than the direct edge.
+	g, err := graph.NewWeighted(3, []graph.WeightedEdge{
+		{U: 0, V: 1, Weight: 10},
+		{U: 0, V: 2, Weight: 1},
+		{U: 2, V: 1, Weight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DijkstraDistance(g, 0, 1); d != 3 {
+		t.Fatalf("Dijkstra(0,1) = %d, want 3", d)
+	}
+}
+
+func TestDijkstraZeroWeightEdges(t *testing.T) {
+	g, err := graph.NewWeighted(3, []graph.WeightedEdge{
+		{U: 0, V: 1, Weight: 0},
+		{U: 1, V: 2, Weight: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DijkstraDistance(g, 0, 2); d != 5 {
+		t.Fatalf("Dijkstra with zero-weight edge = %d, want 5", d)
+	}
+}
+
+func BenchmarkBFSDistance(b *testing.B) {
+	g := randomGraph(7, 5000)
+	r := rng.New(1)
+	n := int32(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(g, r.Int31n(n), r.Int31n(n))
+	}
+}
+
+func BenchmarkBidirectionalDistance(b *testing.B) {
+	g := randomGraph(7, 5000)
+	r := rng.New(1)
+	n := int32(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BidirectionalDistance(g, r.Int31n(n), r.Int31n(n))
+	}
+}

@@ -1,0 +1,95 @@
+package bfs
+
+import (
+	"math"
+
+	"pll/internal/graph"
+)
+
+// InfWeight is the weighted-distance value meaning "unreachable".
+const InfWeight = uint64(math.MaxUint64)
+
+// heap is a minimal binary min-heap of (vertex, distance) pairs keyed by
+// distance. A lazy-deletion strategy is used: stale entries are skipped
+// when popped, which keeps the implementation small and allocation-free
+// across repeated pushes of the same vertex.
+type heapItem struct {
+	dist uint64
+	v    int32
+}
+
+type minHeap []heapItem
+
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l].dist < (*h)[small].dist {
+			small = l
+		}
+		if r < last && (*h)[r].dist < (*h)[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// DijkstraAll returns the weighted distance from s to every vertex of g
+// (InfWeight for unreachable vertices).
+func DijkstraAll(g *graph.Weighted, s int32) []uint64 {
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = InfWeight
+	}
+	dist[s] = 0
+	h := make(minHeap, 0, 1024)
+	h.push(heapItem{0, s})
+	for len(h) > 0 {
+		it := h.pop()
+		if it.dist != dist[it.v] {
+			continue // stale
+		}
+		ws := g.Weights(it.v)
+		for i, u := range g.Neighbors(it.v) {
+			nd := it.dist + uint64(ws[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				h.push(heapItem{nd, u})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraDistance returns the weighted s-t distance, or InfWeight.
+func DijkstraDistance(g *graph.Weighted, s, t int32) uint64 {
+	if s == t {
+		return 0
+	}
+	return DijkstraAll(g, s)[t]
+}

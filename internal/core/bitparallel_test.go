@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/bfs"
+	"pll/internal/gen"
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// runBPBFS exposes the bit-parallel BFS (Algorithm 3) for white-box
+// validation against the set definitions of §5.1.
+func runBPBFS(t *testing.T, g *graph.Graph, r int32, sr []int32) (dist []uint8, s1, s0 []uint64) {
+	t.Helper()
+	n := g.NumVertices()
+	dist = make([]uint8, n)
+	s1 = make([]uint64, n)
+	s0 = make([]uint64, n)
+	if _, err := bitParallelBFS(g, r, sr, dist, s1, s0, nil); err != nil {
+		t.Fatal(err)
+	}
+	return dist, s1, s0
+}
+
+func TestBitParallelSetsMatchDefinition(t *testing.T) {
+	// S^i_r(v) = {u in S_r | d(u,v) - d(r,v) = i} (§5.1). Verify the
+	// computed bit masks against per-neighbor BFS ground truth.
+	check := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := rr.Intn(40) + 3
+		m := rr.Intn(4*n) + n
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: rr.Int31n(int32(n)), V: rr.Int31n(int32(n))})
+		}
+		g, err := graph.NewGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		r := rr.Int31n(int32(n))
+		nbrs := g.Neighbors(r)
+		if len(nbrs) == 0 {
+			return true // nothing to verify
+		}
+		srLen := rr.Intn(len(nbrs)) + 1
+		if srLen > 64 {
+			srLen = 64
+		}
+		sr := append([]int32(nil), nbrs[:srLen]...)
+
+		dist, s1, s0 := runBPBFS(t, g, r, sr)
+		truthR := bfs.AllDistances(g, r)
+		truthS := make([][]int32, len(sr))
+		for i, s := range sr {
+			truthS[i] = bfs.AllDistances(g, s)
+		}
+		for v := 0; v < n; v++ {
+			wantD := truthR[v]
+			if wantD == bfs.Unreachable {
+				// v may still be reachable from an S_r member? No: S_r
+				// members are neighbors of r, same component.
+				if dist[v] != InfDist {
+					return false
+				}
+				continue
+			}
+			if int32(dist[v]) != wantD {
+				return false
+			}
+			for i := range sr {
+				du := truthS[i][v]
+				inS1 := s1[v]&(1<<uint(i)) != 0
+				inS0 := s0[v]&(1<<uint(i)) != 0
+				wantS1 := du != bfs.Unreachable && du == wantD-1
+				wantS0 := du != bfs.Unreachable && du == wantD
+				if inS1 != wantS1 || inS0 != wantS0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitParallelDistanceAdjustment(t *testing.T) {
+	// §5.3: the distance through {r} ∪ S_r is d(s,r)+d(r,t) adjusted by
+	// -2 / -1 / 0 according to the set intersections. Verify the full
+	// query path on a graph engineered so that the true distance goes
+	// through an S_r member, not through r itself.
+	//
+	//	0 (root r) — 1, 2 (S_r); 3—1, 4—2, 3—4 shortcut.
+	g, err := graph.NewGraph(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2},
+		{U: 1, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d(3,4) via root 0 would be 2+2=4; via S_r adjustment it must be
+	// computed as the exact 1? No: true d(3,4)=1 via the direct edge, and
+	// {r}∪S_r detour gives 3 (3-1-0-2-4 minus adjustments: S1(3)={1},
+	// S1(4)={2}, no overlap; S0 sets empty) — the BP estimate through
+	// this root set is d=4-? ... the exact answer needs the direct edge,
+	// so PLL must still answer 1 via normal labels.
+	ix, err := Build(g, Options{NumBitParallel: 1, CustomOrder: []int32{0, 1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(0); s < 5; s++ {
+		for u := int32(0); u < 5; u++ {
+			want := bfs.Distance(g, s, u)
+			if got := ix.Query(s, u); got != int(want) {
+				t.Fatalf("Query(%d,%d) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+}
+
+func TestBitParallelSiblingAdjustment(t *testing.T) {
+	// Triangle root: r=0 with S_r={1,2} and edge (1,2). d(1,2) computed
+	// through the BP label must be 1 (S^0 adjustment), not 2.
+	g, err := graph.NewGraph(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, Options{NumBitParallel: 1, CustomOrder: []int32{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.Query(1, 2); d != 1 {
+		t.Fatalf("Query(1,2) = %d, want 1 (S^0 sibling adjustment)", d)
+	}
+}
+
+func TestBitParallelConsumesRootsAndNeighbors(t *testing.T) {
+	// On a star, one BP BFS consumes the hub and all leaves: the pruned
+	// phase then has nothing to do and normal labels stay empty.
+	g := gen.Star(40)
+	var bs BuildStats
+	ix, err := Build(g, Options{NumBitParallel: 4, CollectStats: &bs, CustomOrder: starOrder(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumBitParallelRoots() == 0 {
+		t.Fatal("expected BP roots")
+	}
+	// Exactness regardless.
+	for v := int32(1); v < 40; v++ {
+		if ix.Query(0, v) != 1 {
+			t.Fatalf("center-leaf distance wrong for %d", v)
+		}
+	}
+	if ix.Query(5, 6) != 2 {
+		t.Fatal("leaf-leaf distance wrong")
+	}
+}
+
+func starOrder(n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm
+}
+
+func TestBitParallelMoreRootsThanVertices(t *testing.T) {
+	g := gen.Path(6)
+	ix, err := Build(g, Options{NumBitParallel: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumBitParallelRoots() > 6 {
+		t.Fatalf("BP roots %d exceed n", ix.NumBitParallelRoots())
+	}
+	assertMatchesBFS(t, g, ix, 30, 2)
+}
+
+func BenchmarkBitParallelBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 5, 1)
+	n := g.NumVertices()
+	dist := make([]uint8, n)
+	s1 := make([]uint64, n)
+	s0 := make([]uint64, n)
+	sr := g.Neighbors(0)
+	if len(sr) > 64 {
+		sr = sr[:64]
+	}
+	var que []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if que, err = bitParallelBFS(g, 0, sr, dist, s1, s0, que); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Compressed index format, version 1 ("PLLIDXC1"). The paper's §8 lists
+// index-size reduction as future work; this format applies the two
+// standard tricks for hub labels:
+//
+//   - hub ranks are stored as varint *deltas* within each (sorted)
+//     per-vertex label, which shrinks them dramatically because early
+//     ranks dominate labels;
+//   - distances are stored as raw bytes (they are tiny already).
+//
+// Compressed files answer the same queries after LoadCompressed; the
+// DiskIndex fast path requires the fixed-stride uncompressed format.
+var compressedMagic = [8]byte{'P', 'L', 'L', 'I', 'D', 'X', 'C', '1'}
+
+// SaveCompressed writes the index with delta-varint label encoding.
+// Parent pointers (StorePaths) are not supported in the compressed
+// format; use Save for path-reconstructing indexes.
+func (ix *Index) SaveCompressed(w io.Writer) error {
+	if ix.labelParent != nil {
+		return fmt.Errorf("core: compressed format does not support parent pointers")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(compressedMagic[:]); err != nil {
+		return err
+	}
+	writeU64(bw, uint64(ix.n))
+	writeU64(bw, uint64(ix.numBP))
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	for _, v := range ix.perm {
+		if err := putUvarint(uint64(v)); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < ix.n; r++ {
+		lo, hi := ix.labelOff[r], ix.labelOff[r+1]-1
+		if err := putUvarint(uint64(hi - lo)); err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for i := lo; i < hi; i++ {
+			hub := int64(ix.labelVertex[i])
+			if err := putUvarint(uint64(hub - prev - 1)); err != nil {
+				return err
+			}
+			prev = hub
+			if err := bw.WriteByte(ix.labelDist[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.Write(ix.bpDist); err != nil {
+		return err
+	}
+	for _, v := range ix.bpS1 {
+		writeU64(bw, v)
+	}
+	for _, v := range ix.bpS0 {
+		writeU64(bw, v)
+	}
+	return bw.Flush()
+}
+
+// SaveCompressedFile writes the compressed index to a path.
+func (ix *Index) SaveCompressedFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.SaveCompressed(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCompressed reads an index written by SaveCompressed.
+func LoadCompressed(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	if magic != compressedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadIndexFile, magic[:])
+	}
+	var fixed [16]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadIndexFile, err)
+	}
+	n64 := binary.LittleEndian.Uint64(fixed[0:])
+	bp64 := binary.LittleEndian.Uint64(fixed[8:])
+	if n64 > 1<<31-1 || bp64 > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d numBP=%d", ErrBadIndexFile, n64, bp64)
+	}
+	n := int(n64)
+	ix := &Index{n: n, numBP: int(bp64)}
+	ix.perm = make([]int32, n)
+	seen := make([]bool, n)
+	ix.rank = make([]int32, n)
+	for i := range ix.perm {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
+		}
+		if v >= uint64(n) || seen[v] {
+			return nil, fmt.Errorf("%w: invalid permutation entry %d", ErrBadIndexFile, v)
+		}
+		seen[v] = true
+		ix.perm[i] = int32(v)
+		ix.rank[v] = int32(i)
+	}
+	ix.labelOff = make([]int64, n+1)
+	// Two passes are avoided by growing slices; labels are modest.
+	ix.labelVertex = make([]int32, 0, n*2)
+	ix.labelDist = make([]uint8, 0, n*2)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		ix.labelOff[v] = w
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated label count at %d: %v", ErrBadIndexFile, v, err)
+		}
+		if count > uint64(n) {
+			return nil, fmt.Errorf("%w: label count %d exceeds n at %d", ErrBadIndexFile, count, v)
+		}
+		prev := int64(-1)
+		for k := uint64(0); k < count; k++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated label delta at %d: %v", ErrBadIndexFile, v, err)
+			}
+			hub := prev + 1 + int64(delta)
+			if hub >= int64(n) {
+				return nil, fmt.Errorf("%w: hub rank %d out of range at %d", ErrBadIndexFile, hub, v)
+			}
+			prev = hub
+			d, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated label distance at %d: %v", ErrBadIndexFile, v, err)
+			}
+			ix.labelVertex = append(ix.labelVertex, int32(hub))
+			ix.labelDist = append(ix.labelDist, d)
+			w++
+		}
+		ix.labelVertex = append(ix.labelVertex, int32(n))
+		ix.labelDist = append(ix.labelDist, InfDist)
+		w++
+	}
+	ix.labelOff[n] = w
+	ix.bpDist = make([]uint8, ix.numBP*n)
+	if _, err := io.ReadFull(br, ix.bpDist); err != nil {
+		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+	}
+	ix.bpS1 = make([]uint64, ix.numBP*n)
+	ix.bpS0 = make([]uint64, ix.numBP*n)
+	var buf [8]byte
+	for i := range ix.bpS1 {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated S-1 sets: %v", ErrBadIndexFile, err)
+		}
+		ix.bpS1[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	for i := range ix.bpS0 {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated S0 sets: %v", ErrBadIndexFile, err)
+		}
+		ix.bpS0[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return ix, nil
+}
+
+// LoadCompressedFile reads a compressed index from a path.
+func LoadCompressedFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCompressed(f)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pll/internal/gen"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 11)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 4, Seed: 2})
+	var buf bytes.Buffer
+	if err := ix.SaveCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randPairs(200, 500, 3) {
+		if ix.Query(p[0], p[1]) != loaded.Query(p[0], p[1]) {
+			t.Fatalf("query mismatch after compressed round trip at (%d,%d)", p[0], p[1])
+		}
+	}
+	if loaded.ComputeStats() != ix.ComputeStats() {
+		t.Fatal("stats changed through compressed round trip")
+	}
+}
+
+func TestCompressedSmallerThanPlain(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 4, 7)
+	ix := buildOrFail(t, g, Options{Seed: 1})
+	var plain, compressed bytes.Buffer
+	if err := ix.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveCompressed(&compressed); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len() {
+		t.Fatalf("compressed %d >= plain %d bytes", compressed.Len(), plain.Len())
+	}
+	// Delta-varint hubs should cut the label region roughly in half.
+	if float64(compressed.Len()) > 0.8*float64(plain.Len()) {
+		t.Fatalf("compression too weak: %d vs %d", compressed.Len(), plain.Len())
+	}
+}
+
+func TestCompressedRejectsParents(t *testing.T) {
+	g := gen.Path(10)
+	ix := buildOrFail(t, g, Options{StorePaths: true})
+	var buf bytes.Buffer
+	if err := ix.SaveCompressed(&buf); err == nil {
+		t.Fatal("expected error for parent-pointer index")
+	}
+}
+
+func TestCompressedFileRoundTrip(t *testing.T) {
+	g := gen.Path(30)
+	ix := buildOrFail(t, g, Options{})
+	path := filepath.Join(t.TempDir(), "c.pllc")
+	if err := ix.SaveCompressedFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompressedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Query(0, 29) != 29 {
+		t.Fatal("compressed file index answers wrong")
+	}
+}
+
+func TestCompressedRejectsCorruption(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, 3)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 1})
+	var buf bytes.Buffer
+	if err := ix.SaveCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Wrong magic.
+	bad := append([]byte{}, full...)
+	bad[0] = 'X'
+	if _, err := LoadCompressed(bytes.NewReader(bad)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("magic: err = %v", err)
+	}
+	// Truncations at many offsets.
+	for cut := 0; cut < len(full)-1; cut += 53 {
+		if _, err := LoadCompressed(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadIndexFile) {
+			t.Fatalf("truncation at %d: err = %v", cut, err)
+		}
+	}
+	// Missing file.
+	if _, err := LoadCompressedFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestConcurrentQueriesAreSafe(t *testing.T) {
+	// The index is immutable after Build; concurrent readers must agree
+	// with sequential answers. Run with -race to verify.
+	g := gen.BarabasiAlbert(300, 3, 7)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 4})
+	pairs := randPairs(300, 256, 3)
+	want := make([]int, len(pairs))
+	for i, p := range pairs {
+		want[i] = ix.Query(p[0], p[1])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, p := range pairs {
+				if got := ix.Query(p[0], p[1]); got != want[i] {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errors.New("concurrent query mismatch")

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+
+	"pll/internal/graph"
+	"pll/internal/order"
+)
+
+// DirectedIndex is the §6 "Directed Graphs" variant: every vertex v
+// carries two labels, L_OUT(v) of pairs (w, d(v,w)) and L_IN(v) of pairs
+// (w, d(w,v)); the distance from s to t is the merge-join minimum over
+// L_OUT(s) and L_IN(t). Labels are produced by a forward and a backward
+// pruned BFS from each vertex in rank order.
+type DirectedIndex struct {
+	n    int
+	perm []int32
+	rank []int32
+
+	outOff    []int64
+	outVertex []int32
+	outDist   []uint8
+	outParent []int32 // successor toward the hub (ranks); nil unless StorePaths
+
+	inOff    []int64
+	inVertex []int32
+	inDist   []uint8
+	inParent []int32 // predecessor from the hub (ranks); nil unless StorePaths
+}
+
+// DirectedOptions configures BuildDirected.
+type DirectedOptions struct {
+	// Ordering ranks vertices on the underlying undirected structure
+	// (total degree); Degree is the paper's default.
+	Ordering order.Strategy
+	// Seed drives ordering tie-breaks.
+	Seed uint64
+	// CustomOrder, if non-nil, overrides Ordering.
+	CustomOrder []int32
+	// StorePaths records a parent pointer per label entry so QueryPath
+	// can reconstruct directed shortest paths (§6).
+	StorePaths bool
+}
+
+// BuildDirected constructs a directed pruned-landmark-labeling index.
+func BuildDirected(g *graph.Digraph, opt DirectedOptions) (*DirectedIndex, error) {
+	n := g.NumVertices()
+	perm := opt.CustomOrder
+	if perm == nil {
+		perm = order.Compute(g.Underlying(), opt.Ordering, opt.Seed)
+	} else if len(perm) != n {
+		return nil, fmt.Errorf("core: CustomOrder length %d != n %d", len(perm), n)
+	}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid CustomOrder: %w", err)
+	}
+
+	// outV[u] holds L_OUT(u) hubs; inV[u] holds L_IN(u) hubs.
+	outV := make([][]int32, n)
+	outD := make([][]uint8, n)
+	inV := make([][]int32, n)
+	inD := make([][]uint8, n)
+	var outP, inP [][]int32
+	var par []int32
+	if opt.StorePaths {
+		outP = make([][]int32, n)
+		inP = make([][]int32, n)
+		par = make([]int32, n)
+	}
+
+	dist := make([]uint8, n)
+	rootLab := make([]uint8, n+1)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	for i := range rootLab {
+		rootLab[i] = InfDist
+	}
+	queue := make([]int32, 0, 1024)
+
+	// directedSweep runs one pruned BFS from vk along the given arc
+	// direction. A forward sweep discovers d(vk, u) and appends to
+	// L_IN(u) while pruning against L_OUT(vk) x L_IN(u); a backward sweep
+	// is the mirror image. scanP, if non-nil, receives the BFS-tree
+	// predecessor of each labeled vertex.
+	directedSweep := func(vk int32, neighbors func(int32) []int32, rootSide [][]int32, rootSideD [][]uint8, scanV [][]int32, scanD [][]uint8, scanP [][]int32) error {
+		lv, ld := rootSide[vk], rootSideD[vk]
+		for i, w := range lv {
+			rootLab[w] = ld[i]
+		}
+		queue = queue[:0]
+		queue = append(queue, vk)
+		dist[vk] = 0
+		if par != nil {
+			par[vk] = -1
+		}
+		for qh := 0; qh < len(queue); qh++ {
+			u := queue[qh]
+			d := dist[u]
+			pruned := false
+			uv, ud := scanV[u], scanD[u]
+			for i, w := range uv {
+				if tw := rootLab[w]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
+					pruned = true
+					break
+				}
+			}
+			if !pruned {
+				scanV[u] = append(scanV[u], vk)
+				scanD[u] = append(scanD[u], d)
+				if scanP != nil {
+					scanP[u] = append(scanP[u], par[u])
+				}
+				nd := int(d) + 1
+				for _, w := range neighbors(u) {
+					if dist[w] == InfDist {
+						if nd > MaxDist {
+							for _, v := range queue {
+								dist[v] = InfDist
+							}
+							for _, w2 := range lv {
+								rootLab[w2] = InfDist
+							}
+							return ErrDiameterTooLarge
+						}
+						dist[w] = uint8(nd)
+						if par != nil {
+							par[w] = u
+						}
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		for _, v := range queue {
+			dist[v] = InfDist
+		}
+		for _, w := range lv {
+			rootLab[w] = InfDist
+		}
+		return nil
+	}
+
+	for vk := int32(0); int(vk) < n; vk++ {
+		// Forward: from vk over out-arcs; tests L_OUT(vk) against
+		// L_IN(u); labels go into L_IN(u).
+		if err := directedSweep(vk, h.OutNeighbors, outV, outD, inV, inD, inP); err != nil {
+			return nil, err
+		}
+		// Backward: from vk over in-arcs; tests L_IN(vk) against
+		// L_OUT(u); labels go into L_OUT(u).
+		if err := directedSweep(vk, h.InNeighbors, inV, inD, outV, outD, outP); err != nil {
+			return nil, err
+		}
+	}
+
+	ix := &DirectedIndex{
+		n:    n,
+		perm: append([]int32(nil), perm...),
+		rank: order.RankOf(perm),
+	}
+	ix.outOff, ix.outVertex, ix.outDist = flattenLabels(n, outV, outD)
+	ix.inOff, ix.inVertex, ix.inDist = flattenLabels(n, inV, inD)
+	if opt.StorePaths {
+		ix.outParent = flattenParents(n, ix.outOff, outP)
+		ix.inParent = flattenParents(n, ix.inOff, inP)
+	}
+	return ix, nil
+}
+
+// flattenParents lays parent slices out parallel to already-flattened
+// labels (off includes one sentinel slot per vertex).
+func flattenParents(n int, off []int64, labP [][]int32) []int32 {
+	out := make([]int32, off[n])
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		copy(out[w:], labP[v])
+		w += int64(len(labP[v]))
+		out[w] = -1 // sentinel
+		w++
+	}
+	return out
+}
+
+func flattenLabels(n int, labV [][]int32, labD [][]uint8) ([]int64, []int32, []uint8) {
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(len(labV[v])) + 1
+	}
+	off := make([]int64, n+1)
+	vs := make([]int32, total)
+	ds := make([]uint8, total)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		off[v] = w
+		copy(vs[w:], labV[v])
+		copy(ds[w:], labD[v])
+		w += int64(len(labV[v]))
+		vs[w] = int32(n)
+		ds[w] = InfDist
+		w++
+	}
+	off[n] = w
+	return off, vs, ds
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *DirectedIndex) NumVertices() int { return ix.n }
+
+// Query returns the exact directed distance from s to t, or Unreachable.
+func (ix *DirectedIndex) Query(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	best := infQuery
+	i, j := ix.outOff[rs], ix.inOff[rt]
+	for {
+		vs, vt := ix.outVertex[i], ix.inVertex[j]
+		switch {
+		case vs == vt:
+			if int(vs) == ix.n {
+				if best >= infQuery {
+					return Unreachable
+				}
+				return best
+			}
+			if d := int(ix.outDist[i]) + int(ix.inDist[j]); d < best {
+				best = d
+			}
+			i++
+			j++
+		case vs < vt:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// HasPaths reports whether the index can answer QueryPath.
+func (ix *DirectedIndex) HasPaths() bool { return ix.outParent != nil }
+
+// QueryPath returns one directed shortest s-to-t path (inclusive of both
+// endpoints), or nil if t is unreachable from s. The index must have
+// been built with StorePaths.
+func (ix *DirectedIndex) QueryPath(s, t int32) ([]int32, error) {
+	if ix.outParent == nil {
+		return nil, fmt.Errorf("core: directed index was built without StorePaths")
+	}
+	if s == t {
+		return []int32{s}, nil
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	best := infQuery
+	hub := int32(-1)
+	i, j := ix.outOff[rs], ix.inOff[rt]
+	for {
+		vs, vt := ix.outVertex[i], ix.inVertex[j]
+		if vs == vt {
+			if int(vs) == ix.n {
+				break
+			}
+			if d := int(ix.outDist[i]) + int(ix.inDist[j]); d < best {
+				best = d
+				hub = vs
+			}
+			i++
+			j++
+		} else if vs < vt {
+			i++
+		} else {
+			j++
+		}
+	}
+	if hub < 0 {
+		return nil, nil
+	}
+	// s -> hub: L_OUT(s) parents are successors toward the hub (they
+	// come from the backward BFS tree rooted at the hub).
+	fwd, err := chainDirected(ix.n, rs, hub, ix.outOff, ix.outVertex, ix.outParent)
+	if err != nil {
+		return nil, err
+	}
+	// t <- hub: L_IN(t) parents are predecessors along the hub-to-t path.
+	back, err := chainDirected(ix.n, rt, hub, ix.inOff, ix.inVertex, ix.inParent)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]int32, 0, len(fwd)+len(back)-1)
+	for _, r := range fwd {
+		path = append(path, ix.perm[r])
+	}
+	for k := len(back) - 2; k >= 0; k-- {
+		path = append(path, ix.perm[back[k]])
+	}
+	return path, nil
+}
+
+// chainDirected follows one label family's parent pointers from rank r
+// toward hub, returning [r ... hub].
+func chainDirected(n int, r, hub int32, off []int64, vs []int32, ps []int32) ([]int32, error) {
+	chain := []int32{r}
+	cur := r
+	for cur != hub {
+		lo, hi := off[cur], off[cur+1]-1
+		idx := searchLabel(vs[lo:hi], hub)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: broken directed parent chain at rank %d for hub %d", cur, hub)
+		}
+		p := ps[lo+int64(idx)]
+		if p < 0 {
+			break
+		}
+		chain = append(chain, p)
+		cur = p
+	}
+	return chain, nil
+}
+
+// AvgLabelSize returns the mean of |L_IN| + |L_OUT| over all vertices.
+func (ix *DirectedIndex) AvgLabelSize() float64 {
+	if ix.n == 0 {
+		return 0
+	}
+	total := (ix.outOff[ix.n] - int64(ix.n)) + (ix.inOff[ix.n] - int64(ix.n))
+	return float64(total) / float64(ix.n)
+}

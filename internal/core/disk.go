@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DiskIndex answers distance queries from an index file without loading
+// the label arrays into memory — §6 "Disk-based Query Answering": the
+// per-vertex label blocks are contiguous on disk, so a query costs two
+// ranged reads (one per endpoint) plus in-memory bit-parallel checks.
+//
+// The permutation, per-vertex offsets and bit-parallel arrays are kept in
+// memory; only the (dominant) normal label blocks stay on disk.
+type DiskIndex struct {
+	f          *os.File
+	n          int
+	numBP      int
+	hasParents bool
+	entrySize  int
+	rank       []int32
+	blockOff   []int64 // byte offset of each vertex's label block, len n+1
+	bpDist     []uint8
+	bpS1       []uint64
+	bpS0       []uint64
+
+	bufS, bufT []byte // per-query read buffers, reused
+}
+
+// OpenDiskIndex opens an index file written by Index.Save for
+// disk-resident querying.
+func OpenDiskIndex(path string) (*DiskIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := loadHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	di := &DiskIndex{
+		f:          f,
+		n:          hdr.n,
+		numBP:      hdr.numBP,
+		hasParents: hdr.hasParents,
+		entrySize:  hdr.entrySize,
+		rank:       hdr.rank,
+	}
+	// The header reader consumed magic(8) + fixed(20) + perm(4n) +
+	// counts(4n) bytes; label blocks start right after.
+	labelStart := int64(8 + 20 + 8*hdr.n)
+	di.blockOff = make([]int64, hdr.n+1)
+	off := labelStart
+	for v := 0; v < hdr.n; v++ {
+		di.blockOff[v] = off
+		off += int64(hdr.counts[v]) * int64(hdr.entrySize)
+	}
+	di.blockOff[hdr.n] = off
+	// Bit-parallel arrays follow the label region; load them in memory.
+	di.bpDist = make([]uint8, hdr.numBP*hdr.n)
+	if _, err := f.ReadAt(di.bpDist, off); err != nil && !(err == io.EOF && len(di.bpDist) == 0) {
+		f.Close()
+		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+	}
+	off += int64(len(di.bpDist))
+	di.bpS1 = make([]uint64, hdr.numBP*hdr.n)
+	di.bpS0 = make([]uint64, hdr.numBP*hdr.n)
+	wordBuf := make([]byte, 8*len(di.bpS1))
+	if len(wordBuf) > 0 {
+		if _, err := f.ReadAt(wordBuf, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated S-1 sets: %v", ErrBadIndexFile, err)
+		}
+		for i := range di.bpS1 {
+			di.bpS1[i] = binary.LittleEndian.Uint64(wordBuf[8*i:])
+		}
+		off += int64(len(wordBuf))
+		if _, err := f.ReadAt(wordBuf, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated S0 sets: %v", ErrBadIndexFile, err)
+		}
+		for i := range di.bpS0 {
+			di.bpS0[i] = binary.LittleEndian.Uint64(wordBuf[8*i:])
+		}
+	}
+	return di, nil
+}
+
+// Close releases the underlying file.
+func (di *DiskIndex) Close() error { return di.f.Close() }
+
+// NumVertices returns the number of vertices the index covers.
+func (di *DiskIndex) NumVertices() int { return di.n }
+
+// Query returns the exact s-t distance with two ranged file reads, or
+// Unreachable. DiskIndex is not safe for concurrent use (the read
+// buffers are shared); wrap it in a pool for concurrent workloads.
+func (di *DiskIndex) Query(s, t int32) (int, error) {
+	if s == t {
+		return 0, nil
+	}
+	rs, rt := di.rank[s], di.rank[t]
+	best := infQuery
+	// In-memory bit-parallel part (layout v*numBP+i, as written by Save).
+	os, ot := int(rs)*di.numBP, int(rt)*di.numBP
+	for i := 0; i < di.numBP; i++ {
+		ds, dt := di.bpDist[os+i], di.bpDist[ot+i]
+		if ds == InfDist || dt == InfDist {
+			continue
+		}
+		td := int(ds) + int(dt)
+		if td-2 < best {
+			s1s, s1t := di.bpS1[os+i], di.bpS1[ot+i]
+			s0s, s0t := di.bpS0[os+i], di.bpS0[ot+i]
+			if s1s&s1t != 0 {
+				td -= 2
+			} else if s1s&s0t != 0 || s0s&s1t != 0 {
+				td -= 1
+			}
+			if td < best {
+				best = td
+			}
+		}
+	}
+	// Two contiguous disk reads, one per endpoint.
+	var err error
+	di.bufS, err = di.readBlock(di.bufS, rs)
+	if err != nil {
+		return 0, err
+	}
+	di.bufT, err = di.readBlock(di.bufT, rt)
+	if err != nil {
+		return 0, err
+	}
+	best = mergeJoinBlocks(di.bufS, di.bufT, di.entrySize, best)
+	if best >= infQuery {
+		return Unreachable, nil
+	}
+	return best, nil
+}
+
+// readBlock reads the label block of rank r into buf (grown as needed).
+func (di *DiskIndex) readBlock(buf []byte, r int32) ([]byte, error) {
+	lo, hi := di.blockOff[r], di.blockOff[r+1]
+	need := int(hi - lo)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if need == 0 {
+		return buf, nil
+	}
+	if _, err := di.f.ReadAt(buf, lo); err != nil {
+		return buf, fmt.Errorf("core: reading label block of rank %d: %w", r, err)
+	}
+	return buf, nil
+}
+
+// mergeJoinBlocks merge-joins two on-disk label blocks (entries of
+// [hub int32][dist uint8][parent int32?]) and returns the improved best.
+func mergeJoinBlocks(a, b []byte, entrySize, best int) int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va := int32(binary.LittleEndian.Uint32(a[i:]))
+		vb := int32(binary.LittleEndian.Uint32(b[j:]))
+		switch {
+		case va == vb:
+			if d := int(a[i+4]) + int(b[j+4]); d < best {
+				best = d
+			}
+			i += entrySize
+			j += entrySize
+		case va < vb:
+			i += entrySize
+		default:
+			j += entrySize
+		}
+	}
+	return best
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/bfs"
+	"pll/internal/gen"
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// assertDynamicExact verifies all pairs of a small graph against BFS.
+func assertDynamicExact(t *testing.T, g *graph.Graph, di *DynamicIndex) {
+	t.Helper()
+	n := g.NumVertices()
+	for s := int32(0); int(s) < n; s++ {
+		truth := bfs.AllDistances(g, s)
+		for u := int32(0); int(u) < n; u++ {
+			want := int(truth[u])
+			if truth[u] == bfs.Unreachable {
+				want = Unreachable
+			}
+			if got := di.Query(s, u); got != want {
+				t.Fatalf("Query(%d,%d) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+}
+
+func TestDynamicMatchesStaticInitially(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 5)
+	di, err := BuildDynamic(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildOrFail(t, g, Options{Seed: 5})
+	for _, p := range randPairs(150, 300, 7) {
+		if di.Query(p[0], p[1]) != ix.Query(p[0], p[1]) {
+			t.Fatalf("dynamic/static mismatch at (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestDynamicInsertBridgesComponents(t *testing.T) {
+	// Two disjoint paths; inserting a bridge must make cross queries
+	// exact.
+	g, err := graph.NewGraph(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, {U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := BuildDynamic(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := di.Query(0, 5); d != Unreachable {
+		t.Fatalf("pre-insert Query(0,5) = %d", d)
+	}
+	if _, err := di.InsertEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := graph.NewGraph(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDynamicExact(t, after, di)
+}
+
+func TestDynamicInsertShortcut(t *testing.T) {
+	// A long cycle; inserting a chord shortens many pairs at once.
+	g := gen.Cycle(20)
+	di, err := BuildDynamic(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	edges = append(edges, graph.Edge{U: 0, V: 10})
+	after, err := graph.NewGraph(20, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := di.InsertEdge(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	assertDynamicExact(t, after, di)
+}
+
+func TestDynamicInsertExistingEdgeNoop(t *testing.T) {
+	g := gen.Path(5)
+	di, err := BuildDynamic(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := di.InsertEdge(0, 1)
+	if err != nil || n != 0 {
+		t.Fatalf("existing edge: updated=%d err=%v", n, err)
+	}
+	n, err = di.InsertEdge(2, 2)
+	if err != nil || n != 0 {
+		t.Fatalf("self loop: updated=%d err=%v", n, err)
+	}
+	if _, err := di.InsertEdge(0, 99); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDynamicRandomInsertionSequences(t *testing.T) {
+	// The heavy validation: start from a random graph, insert random
+	// edges one at a time, and after every insertion check all pairs
+	// against BFS on the updated graph.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(25) + 5
+		m := r.Intn(2 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+		}
+		g, err := graph.NewGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		di, err := BuildDynamic(g, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		cur := g.Edges()
+		for step := 0; step < 8; step++ {
+			a, b := r.Int31n(int32(n)), r.Int31n(int32(n))
+			if a == b {
+				continue
+			}
+			if _, err := di.InsertEdge(a, b); err != nil {
+				return false
+			}
+			cur = append(cur, graph.Edge{U: a, V: b})
+			updated, err := graph.NewGraph(n, cur)
+			if err != nil {
+				return false
+			}
+			for s := int32(0); int(s) < n; s++ {
+				truth := bfs.AllDistances(updated, s)
+				for u := int32(0); int(u) < n; u++ {
+					want := int(truth[u])
+					if truth[u] == bfs.Unreachable {
+						want = Unreachable
+					}
+					if di.Query(s, u) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicManyInsertionsOnLargerGraph(t *testing.T) {
+	// Spot-check (sampled pairs) on a bigger graph with many insertions.
+	g := gen.BarabasiAlbert(400, 2, 9)
+	di, err := BuildDynamic(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	cur := g.Edges()
+	for step := 0; step < 60; step++ {
+		a, b := r.Int31n(400), r.Int31n(400)
+		if a == b {
+			continue
+		}
+		if _, err := di.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		cur = append(cur, graph.Edge{U: a, V: b})
+	}
+	updated, err := graph.NewGraph(400, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randPairs(400, 400, 13) {
+		want := int(bfs.Distance(updated, p[0], p[1]))
+		if got := di.Query(p[0], p[1]); got != want {
+			t.Fatalf("Query(%d,%d) = %d, want %d", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestDynamicRejectsUnsupportedOptions(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := BuildDynamic(g, Options{NumBitParallel: 4}); err == nil {
+		t.Fatal("expected error for bit-parallel dynamic index")
+	}
+	if _, err := BuildDynamic(g, Options{StorePaths: true}); err == nil {
+		t.Fatal("expected error for path-storing dynamic index")
+	}
+}
+
+func TestDynamicAvgLabelSizeGrowsModestly(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 4)
+	di, err := BuildDynamic(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := di.AvgLabelSize()
+	r := rng.New(77)
+	for i := 0; i < 30; i++ {
+		a, b := r.Int31n(300), r.Int31n(300)
+		if a != b {
+			if _, err := di.InsertEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := di.AvgLabelSize()
+	if after < before {
+		t.Fatalf("labels shrank: %v -> %v", before, after)
+	}
+	if after > 3*before+10 {
+		t.Fatalf("labels exploded after 30 insertions: %v -> %v", before, after)
+	}
+}
+
+func BenchmarkDynamicInsertEdge(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 4, 1)
+	di, err := BuildDynamic(g, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := r.Int31n(5000), r.Int31n(5000)
+		if a == c {
+			continue
+		}
+		if _, err := di.InsertEdge(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"pll/internal/gen"
+)
+
+func TestParallelBuildEqualsSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 3)
+	seq := buildOrFail(t, g, Options{NumBitParallel: 16, Seed: 2})
+	par := buildOrFail(t, g, Options{NumBitParallel: 16, Seed: 2, Workers: 8})
+	if seq.ComputeStats() != par.ComputeStats() {
+		t.Fatalf("parallel build diverged: %+v vs %+v", seq.ComputeStats(), par.ComputeStats())
+	}
+	for _, p := range randPairs(500, 500, 5) {
+		if seq.Query(p[0], p[1]) != par.Query(p[0], p[1]) {
+			t.Fatalf("query mismatch at (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestParallelBuildWithRace(t *testing.T) {
+	// Small but multi-worker; meaningful under -race.
+	g := gen.BarabasiAlbert(200, 3, 9)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 32, Workers: 4})
+	assertMatchesBFS(t, g, ix, 200, 11)
+}
+
+func TestParallelBuildMoreWorkersThanRoots(t *testing.T) {
+	g := gen.Path(20)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 2, Workers: 16})
+	assertMatchesBFS(t, g, ix, 100, 3)
+}
+
+func TestParallelBuildDiameterError(t *testing.T) {
+	g := gen.Path(600)
+	if _, err := Build(g, Options{NumBitParallel: 8, Workers: 4}); err == nil {
+		t.Fatal("expected diameter error from parallel BP phase")
+	}
+}
+
+func BenchmarkConstructionParallelBP(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{NumBitParallel: 64, Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructionSequentialBP(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{NumBitParallel: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

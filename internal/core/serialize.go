@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Index file format (little endian), version 1:
+//
+//	magic   [8]byte  "PLLIDX01"
+//	flags   uint32   bit 0: parent pointers present
+//	n       uint64
+//	numBP   uint64
+//	perm    n * int32
+//	counts  n * uint32          label entries per vertex (no sentinels)
+//	labels  per vertex, contiguous:
+//	          hub    int32
+//	          dist   uint8
+//	          parent int32      only if flag bit 0
+//	bpDist  numBP*n * uint8
+//	bpS1    numBP*n * uint64
+//	bpS0    numBP*n * uint64
+//
+// The per-vertex label block is contiguous so that DiskIndex can answer a
+// query with exactly two ranged reads (§6 "Disk-based Query Answering").
+var indexMagic = [8]byte{'P', 'L', 'L', 'I', 'D', 'X', '0', '1'}
+
+const flagParents uint32 = 1
+
+// ErrBadIndexFile is wrapped by all load-time format errors.
+var ErrBadIndexFile = errors.New("core: malformed index file")
+
+// Save writes the index to w in the versioned binary format.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if ix.labelParent != nil {
+		flags |= flagParents
+	}
+	writeU32(bw, flags)
+	writeU64(bw, uint64(ix.n))
+	writeU64(bw, uint64(ix.numBP))
+	for _, v := range ix.perm {
+		writeU32(bw, uint32(v))
+	}
+	for r := 0; r < ix.n; r++ {
+		writeU32(bw, uint32(ix.labelOff[r+1]-ix.labelOff[r]-1))
+	}
+	for r := 0; r < ix.n; r++ {
+		lo, hi := ix.labelOff[r], ix.labelOff[r+1]-1
+		for i := lo; i < hi; i++ {
+			writeU32(bw, uint32(ix.labelVertex[i]))
+			if err := bw.WriteByte(ix.labelDist[i]); err != nil {
+				return err
+			}
+			if ix.labelParent != nil {
+				writeU32(bw, uint32(ix.labelParent[i]))
+			}
+		}
+	}
+	if _, err := bw.Write(ix.bpDist); err != nil {
+		return err
+	}
+	for _, v := range ix.bpS1 {
+		writeU64(bw, v)
+	}
+	for _, v := range ix.bpS0 {
+		writeU64(bw, v)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to a file path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index previously written by Save. Any structural problem
+// yields an error wrapping ErrBadIndexFile; Load never panics on
+// malformed input.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr, err := loadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{n: hdr.n, numBP: hdr.numBP, perm: hdr.perm, rank: hdr.rank}
+	n := hdr.n
+	total := int64(0)
+	for _, c := range hdr.counts {
+		total += int64(c) + 1
+	}
+	ix.labelOff = make([]int64, n+1)
+	ix.labelVertex = make([]int32, total)
+	ix.labelDist = make([]uint8, total)
+	if hdr.hasParents {
+		ix.labelParent = make([]int32, total)
+	}
+	w := int64(0)
+	entry := make([]byte, hdr.entrySize)
+	for v := 0; v < n; v++ {
+		ix.labelOff[v] = w
+		prev := int32(-1)
+		for k := uint32(0); k < hdr.counts[v]; k++ {
+			if _, err := io.ReadFull(br, entry); err != nil {
+				return nil, fmt.Errorf("%w: truncated labels at vertex %d: %v", ErrBadIndexFile, v, err)
+			}
+			hub := int32(binary.LittleEndian.Uint32(entry))
+			if hub < 0 || int(hub) >= n {
+				return nil, fmt.Errorf("%w: hub rank %d out of range at vertex %d", ErrBadIndexFile, hub, v)
+			}
+			if hub <= prev {
+				return nil, fmt.Errorf("%w: label of vertex %d not strictly sorted", ErrBadIndexFile, v)
+			}
+			prev = hub
+			ix.labelVertex[w] = hub
+			ix.labelDist[w] = entry[4]
+			if hdr.hasParents {
+				ix.labelParent[w] = int32(binary.LittleEndian.Uint32(entry[5:]))
+			}
+			w++
+		}
+		ix.labelVertex[w] = int32(n)
+		ix.labelDist[w] = InfDist
+		if hdr.hasParents {
+			ix.labelParent[w] = -1
+		}
+		w++
+	}
+	ix.labelOff[n] = w
+	ix.bpDist = make([]uint8, hdr.numBP*n)
+	if _, err := io.ReadFull(br, ix.bpDist); err != nil {
+		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+	}
+	ix.bpS1 = make([]uint64, hdr.numBP*n)
+	ix.bpS0 = make([]uint64, hdr.numBP*n)
+	buf := make([]byte, 8)
+	for i := range ix.bpS1 {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated bit-parallel S-1 sets: %v", ErrBadIndexFile, err)
+		}
+		ix.bpS1[i] = binary.LittleEndian.Uint64(buf)
+	}
+	for i := range ix.bpS0 {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated bit-parallel S0 sets: %v", ErrBadIndexFile, err)
+		}
+		ix.bpS0[i] = binary.LittleEndian.Uint64(buf)
+	}
+	return ix, nil
+}
+
+// LoadFile reads an index from a file path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// header is the parsed fixed-size prefix plus the perm and counts tables.
+type header struct {
+	hasParents bool
+	n          int
+	numBP      int
+	entrySize  int
+	perm       []int32
+	rank       []int32
+	counts     []uint32
+}
+
+func loadHeader(r io.Reader) (*header, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadIndexFile, magic[:])
+	}
+	var fixed [20]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadIndexFile, err)
+	}
+	flags := binary.LittleEndian.Uint32(fixed[0:])
+	if flags&^flagParents != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadIndexFile, flags)
+	}
+	n64 := binary.LittleEndian.Uint64(fixed[4:])
+	numBP64 := binary.LittleEndian.Uint64(fixed[12:])
+	const maxReasonable = math.MaxInt32 // vertex IDs are int32
+	if n64 > maxReasonable || numBP64 > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d numBP=%d", ErrBadIndexFile, n64, numBP64)
+	}
+	h := &header{
+		hasParents: flags&flagParents != 0,
+		n:          int(n64),
+		numBP:      int(numBP64),
+	}
+	h.entrySize = 5
+	if h.hasParents {
+		h.entrySize = 9
+	}
+	h.perm = make([]int32, h.n)
+	buf := make([]byte, 4)
+	for i := range h.perm {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
+		}
+		h.perm[i] = int32(binary.LittleEndian.Uint32(buf))
+		if h.perm[i] < 0 || int(h.perm[i]) >= h.n {
+			return nil, fmt.Errorf("%w: permutation entry %d out of range", ErrBadIndexFile, h.perm[i])
+		}
+	}
+	h.rank = make([]int32, h.n)
+	seen := make([]bool, h.n)
+	for rk, v := range h.perm {
+		if seen[v] {
+			return nil, fmt.Errorf("%w: duplicate permutation entry %d", ErrBadIndexFile, v)
+		}
+		seen[v] = true
+		h.rank[v] = int32(rk)
+	}
+	h.counts = make([]uint32, h.n)
+	for i := range h.counts {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated label counts: %v", ErrBadIndexFile, err)
+		}
+		h.counts[i] = binary.LittleEndian.Uint32(buf)
+		if uint64(h.counts[i]) > uint64(h.n) {
+			return nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, h.counts[i])
+		}
+	}
+	return h, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:]) //nolint:errcheck // flushed error reported by Flush
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:]) //nolint:errcheck // flushed error reported by Flush
+}

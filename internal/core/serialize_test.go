@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pll/internal/gen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 7)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 4, Seed: 2})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != 150 || loaded.NumBitParallelRoots() != 4 {
+		t.Fatalf("loaded header wrong: n=%d bp=%d", loaded.NumVertices(), loaded.NumBitParallelRoots())
+	}
+	for _, p := range randPairs(150, 400, 5) {
+		if ix.Query(p[0], p[1]) != loaded.Query(p[0], p[1]) {
+			t.Fatalf("query mismatch after round trip at (%d,%d)", p[0], p[1])
+		}
+	}
+	if loaded.ComputeStats() != ix.ComputeStats() {
+		t.Fatal("stats changed through round trip")
+	}
+}
+
+func TestSaveLoadWithParents(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 9)
+	ix := buildOrFail(t, g, Options{StorePaths: true, Seed: 1})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasPaths() {
+		t.Fatal("parent pointers lost in round trip")
+	}
+	for _, p := range randPairs(80, 60, 3) {
+		want, err1 := ix.QueryPath(p[0], p[1])
+		got, err2 := loaded.QueryPath(p[0], p[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("path errors: %v %v", err1, err2)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("path length changed: %d vs %d", len(want), len(got))
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := gen.Path(20)
+	ix := buildOrFail(t, g, Options{})
+	path := filepath.Join(t.TempDir(), "ix.pll")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Query(0, 19) != 19 {
+		t.Fatal("loaded index answers wrong")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.pll")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	data := []byte("NOTANIDX0000000000000000000000000000")
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+func TestLoadRejectsEmpty(t *testing.T) {
+	_, err := Load(bytes.NewReader(nil))
+	if !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+func TestLoadRejectsTruncationEverywhere(t *testing.T) {
+	// Chop a valid index file at many byte offsets; every prefix must be
+	// rejected with ErrBadIndexFile (and must not panic).
+	g := gen.BarabasiAlbert(40, 2, 3)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 2})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full)-1; cut += 97 {
+		_, err := Load(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+		if !errors.Is(err, ErrBadIndexFile) {
+			t.Fatalf("truncation at %d: err = %v, want ErrBadIndexFile", cut, err)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptPermutation(t *testing.T) {
+	g := gen.Path(10)
+	ix := buildOrFail(t, g, Options{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// First perm entry lives right after magic(8)+flags(4)+n(8)+numBP(8).
+	off := 28
+	copy(data[off:], []byte{0xff, 0xff, 0xff, 0x7f}) // out of range
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+func TestLoadRejectsUnknownFlags(t *testing.T) {
+	g := gen.Path(5)
+	ix := buildOrFail(t, g, Options{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] |= 0x80 // set an undefined flag bit
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+func TestLoadRejectsImplausibleSizes(t *testing.T) {
+	// Header claiming n = 2^40 vertices must be rejected before any
+	// allocation is attempted.
+	data := append([]byte{}, indexMagic[:]...)
+	hdr := make([]byte, 20)
+	// flags = 0, n = 1<<40, numBP = 0.
+	hdr[4+5] = 0x01 // byte 5 of the little-endian n field => 2^40
+	data = append(data, hdr...)
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("err = %v, want ErrBadIndexFile", err)
+	}
+	// Implausible bit-parallel root count.
+	data2 := append([]byte{}, indexMagic[:]...)
+	hdr2 := make([]byte, 20)
+	hdr2[4] = 1    // n = 1
+	hdr2[12+2] = 1 // numBP = 1<<16
+	data2 = append(data2, hdr2...)
+	if _, err := Load(bytes.NewReader(data2)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("numBP err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+func TestDiskIndexMatchesMemory(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 19)
+	ix := buildOrFail(t, g, Options{NumBitParallel: 4, Seed: 6})
+	path := filepath.Join(t.TempDir(), "disk.pll")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDiskIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	if di.NumVertices() != 200 {
+		t.Fatalf("disk index n = %d", di.NumVertices())
+	}
+	for _, p := range randPairs(200, 500, 21) {
+		got, err := di.Query(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ix.Query(p[0], p[1]); got != want {
+			t.Fatalf("disk Query(%d,%d) = %d, want %d", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestDiskIndexWithParents(t *testing.T) {
+	// Parent pointers widen on-disk entries; distance queries must still
+	// be correct.
+	g := gen.BarabasiAlbert(100, 2, 23)
+	ix := buildOrFail(t, g, Options{StorePaths: true})
+	path := filepath.Join(t.TempDir(), "diskp.pll")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDiskIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	for _, p := range randPairs(100, 200, 2) {
+		got, err := di.Query(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ix.Query(p[0], p[1]); got != want {
+			t.Fatalf("disk Query(%d,%d) = %d, want %d", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestOpenDiskIndexMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenDiskIndex(filepath.Join(dir, "missing.pll")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.pll")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskIndex(bad); err == nil {
+		t.Fatal("expected error for corrupt file")
+	}
+}
+
+func BenchmarkDiskQuery(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 4, 1)
+	ix, err := Build(g, Options{NumBitParallel: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.pll")
+	if err := ix.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	di, err := OpenDiskIndex(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer di.Close()
+	pairs := randPairs(5000, 1024, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		if _, err := di.Query(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

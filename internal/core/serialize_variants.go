@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Weighted and directed index file formats (little endian), version 1.
+// Both share the plain format's philosophy: a fixed header, the
+// permutation, per-vertex label counts, then contiguous label blocks.
+var (
+	weightedMagic = [8]byte{'P', 'L', 'L', 'I', 'D', 'X', 'W', '1'}
+	directedMagic = [8]byte{'P', 'L', 'L', 'I', 'D', 'X', 'D', '1'}
+)
+
+// Save writes the weighted index. Parent pointers (StorePaths) are not
+// serialized; save path-reconstructing weighted indexes is unsupported.
+func (ix *WeightedIndex) Save(w io.Writer) error {
+	if ix.labelParent != nil {
+		return fmt.Errorf("core: weighted format does not support parent pointers")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(weightedMagic[:]); err != nil {
+		return err
+	}
+	writeU64(bw, uint64(ix.n))
+	for _, v := range ix.perm {
+		writeU32(bw, uint32(v))
+	}
+	for r := 0; r < ix.n; r++ {
+		writeU32(bw, uint32(ix.labelOff[r+1]-ix.labelOff[r]-1))
+	}
+	for r := 0; r < ix.n; r++ {
+		lo, hi := ix.labelOff[r], ix.labelOff[r+1]-1
+		for i := lo; i < hi; i++ {
+			writeU32(bw, uint32(ix.labelVertex[i]))
+			writeU32(bw, ix.labelDist[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the weighted index to a path.
+func (ix *WeightedIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWeighted reads an index written by WeightedIndex.Save.
+func LoadWeighted(r io.Reader) (*WeightedIndex, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	if magic != weightedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadIndexFile, magic[:])
+	}
+	n, perm, rank, counts, err := loadVariantHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	ix := &WeightedIndex{n: n, perm: perm, rank: rank}
+	total := int64(0)
+	for _, c := range counts {
+		total += int64(c) + 1
+	}
+	ix.labelOff = make([]int64, n+1)
+	ix.labelVertex = make([]int32, total)
+	ix.labelDist = make([]uint32, total)
+	var buf [8]byte
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		ix.labelOff[v] = w
+		prev := int32(-1)
+		for k := uint32(0); k < counts[v]; k++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("%w: truncated labels at vertex %d: %v", ErrBadIndexFile, v, err)
+			}
+			hub := int32(binary.LittleEndian.Uint32(buf[:4]))
+			if hub <= prev || int(hub) >= n {
+				return nil, fmt.Errorf("%w: bad hub %d at vertex %d", ErrBadIndexFile, hub, v)
+			}
+			prev = hub
+			ix.labelVertex[w] = hub
+			ix.labelDist[w] = binary.LittleEndian.Uint32(buf[4:])
+			w++
+		}
+		ix.labelVertex[w] = int32(n)
+		ix.labelDist[w] = InfWeight32
+		w++
+	}
+	ix.labelOff[n] = w
+	return ix, nil
+}
+
+// LoadWeightedFile reads a weighted index from a path.
+func LoadWeightedFile(path string) (*WeightedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadWeighted(f)
+}
+
+// Save writes the directed index (both label families). Parent pointers
+// (StorePaths) are not serialized.
+func (ix *DirectedIndex) Save(w io.Writer) error {
+	if ix.outParent != nil {
+		return fmt.Errorf("core: directed format does not support parent pointers")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(directedMagic[:]); err != nil {
+		return err
+	}
+	writeU64(bw, uint64(ix.n))
+	for _, v := range ix.perm {
+		writeU32(bw, uint32(v))
+	}
+	writeSide := func(off []int64, vs []int32, ds []uint8) {
+		for r := 0; r < ix.n; r++ {
+			writeU32(bw, uint32(off[r+1]-off[r]-1))
+		}
+		for r := 0; r < ix.n; r++ {
+			lo, hi := off[r], off[r+1]-1
+			for i := lo; i < hi; i++ {
+				writeU32(bw, uint32(vs[i]))
+				bw.WriteByte(ds[i]) //nolint:errcheck // reported by Flush
+			}
+		}
+	}
+	writeSide(ix.outOff, ix.outVertex, ix.outDist)
+	writeSide(ix.inOff, ix.inVertex, ix.inDist)
+	return bw.Flush()
+}
+
+// SaveFile writes the directed index to a path.
+func (ix *DirectedIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDirected reads an index written by DirectedIndex.Save.
+func LoadDirected(r io.Reader) (*DirectedIndex, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	if magic != directedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadIndexFile, magic[:])
+	}
+	var nb [8]byte
+	if _, err := io.ReadFull(br, nb[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadIndexFile, err)
+	}
+	n64 := binary.LittleEndian.Uint64(nb[:])
+	if n64 > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible n=%d", ErrBadIndexFile, n64)
+	}
+	n := int(n64)
+	perm, rank, err := loadPerm(br, n)
+	if err != nil {
+		return nil, err
+	}
+	ix := &DirectedIndex{n: n, perm: perm, rank: rank}
+	readSide := func() ([]int64, []int32, []uint8, error) {
+		counts := make([]uint32, n)
+		var buf [5]byte
+		for i := range counts {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, nil, nil, fmt.Errorf("%w: truncated counts: %v", ErrBadIndexFile, err)
+			}
+			counts[i] = binary.LittleEndian.Uint32(buf[:4])
+			if uint64(counts[i]) > uint64(n) {
+				return nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, counts[i])
+			}
+		}
+		total := int64(0)
+		for _, c := range counts {
+			total += int64(c) + 1
+		}
+		off := make([]int64, n+1)
+		vs := make([]int32, total)
+		ds := make([]uint8, total)
+		w := int64(0)
+		for v := 0; v < n; v++ {
+			off[v] = w
+			prev := int32(-1)
+			for k := uint32(0); k < counts[v]; k++ {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, nil, nil, fmt.Errorf("%w: truncated labels at %d: %v", ErrBadIndexFile, v, err)
+				}
+				hub := int32(binary.LittleEndian.Uint32(buf[:4]))
+				if hub <= prev || int(hub) >= n {
+					return nil, nil, nil, fmt.Errorf("%w: bad hub %d at %d", ErrBadIndexFile, hub, v)
+				}
+				prev = hub
+				vs[w] = hub
+				ds[w] = buf[4]
+				w++
+			}
+			vs[w] = int32(n)
+			ds[w] = InfDist
+			w++
+		}
+		off[n] = w
+		return off, vs, ds, nil
+	}
+	if ix.outOff, ix.outVertex, ix.outDist, err = readSide(); err != nil {
+		return nil, err
+	}
+	if ix.inOff, ix.inVertex, ix.inDist, err = readSide(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// LoadDirectedFile reads a directed index from a path.
+func LoadDirectedFile(path string) (*DirectedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDirected(f)
+}
+
+// loadVariantHeader reads n, the permutation and per-vertex counts used
+// by the weighted format.
+func loadVariantHeader(br *bufio.Reader) (int, []int32, []int32, []uint32, error) {
+	var nb [8]byte
+	if _, err := io.ReadFull(br, nb[:]); err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%w: truncated header: %v", ErrBadIndexFile, err)
+	}
+	n64 := binary.LittleEndian.Uint64(nb[:])
+	if n64 > math.MaxInt32 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: implausible n=%d", ErrBadIndexFile, n64)
+	}
+	n := int(n64)
+	perm, rank, err := loadPerm(br, n)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	counts := make([]uint32, n)
+	var buf [4]byte
+	for i := range counts {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, nil, nil, nil, fmt.Errorf("%w: truncated counts: %v", ErrBadIndexFile, err)
+		}
+		counts[i] = binary.LittleEndian.Uint32(buf[:])
+		if uint64(counts[i]) > uint64(n) {
+			return 0, nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, counts[i])
+		}
+	}
+	return n, perm, rank, counts, nil
+}
+
+// loadPerm reads and validates a permutation of [0, n).
+func loadPerm(br *bufio.Reader, n int) ([]int32, []int32, error) {
+	perm := make([]int32, n)
+	rank := make([]int32, n)
+	seen := make([]bool, n)
+	var buf [4]byte
+	for i := range perm {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
+		}
+		v := int32(binary.LittleEndian.Uint32(buf[:]))
+		if v < 0 || int(v) >= n || seen[v] {
+			return nil, nil, fmt.Errorf("%w: invalid permutation entry %d", ErrBadIndexFile, v)
+		}
+		seen[v] = true
+		perm[i] = v
+		rank[v] = int32(i)
+	}
+	return perm, rank, nil
+}

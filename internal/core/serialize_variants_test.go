@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"pll/internal/gen"
+)
+
+func TestWeightedSaveLoadRoundTrip(t *testing.T) {
+	wg := randomWeightedGraph(3, 80, 15)
+	ix, err := BuildWeighted(wg, WeightedOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWeighted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := wg.NumVertices()
+	for _, p := range randPairs(n, 300, 9) {
+		if ix.Query(p[0], p[1]) != loaded.Query(p[0], p[1]) {
+			t.Fatalf("weighted round trip mismatch at (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestWeightedSaveLoadFile(t *testing.T) {
+	wg := randomWeightedGraph(5, 40, 9)
+	ix, err := BuildWeighted(wg, WeightedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.pll")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWeightedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != wg.NumVertices() {
+		t.Fatal("vertex count lost")
+	}
+}
+
+func TestWeightedLoadRejectsCorruption(t *testing.T) {
+	wg := randomWeightedGraph(7, 40, 9)
+	ix, err := BuildWeighted(wg, WeightedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	bad := append([]byte{}, full...)
+	bad[3] = 'X'
+	if _, err := LoadWeighted(bytes.NewReader(bad)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("magic err = %v", err)
+	}
+	for cut := 0; cut < len(full)-1; cut += 71 {
+		if _, err := LoadWeighted(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadIndexFile) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	if _, err := LoadWeightedFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestDirectedSaveLoadRoundTrip(t *testing.T) {
+	g := gen.RandomDigraph(70, 300, 3)
+	ix, err := BuildDirected(g, DirectedOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDirected(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randPairs(70, 300, 11) {
+		if ix.Query(p[0], p[1]) != loaded.Query(p[0], p[1]) {
+			t.Fatalf("directed round trip mismatch at (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestDirectedSaveLoadFile(t *testing.T) {
+	g := gen.RandomDigraph(30, 100, 5)
+	ix, err := BuildDirected(g, DirectedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.pll")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDirectedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != 30 {
+		t.Fatal("vertex count lost")
+	}
+}
+
+func TestDirectedLoadRejectsCorruption(t *testing.T) {
+	g := gen.RandomDigraph(40, 150, 7)
+	ix, err := BuildDirected(g, DirectedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	bad := append([]byte{}, full...)
+	bad[7] = '9'
+	if _, err := LoadDirected(bytes.NewReader(bad)); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatalf("magic err = %v", err)
+	}
+	for cut := 0; cut < len(full)-1; cut += 83 {
+		if _, err := LoadDirected(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadIndexFile) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	if _, err := LoadDirectedFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestFormatsRejectCrossLoading(t *testing.T) {
+	// A weighted file must not load as plain/directed and vice versa.
+	wg := randomWeightedGraph(9, 30, 5)
+	wix, err := BuildWeighted(wg, WeightedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wbuf bytes.Buffer
+	if err := wix.Save(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(wbuf.Bytes())); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatal("plain loader accepted weighted file")
+	}
+	if _, err := LoadDirected(bytes.NewReader(wbuf.Bytes())); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatal("directed loader accepted weighted file")
+	}
+	if _, err := LoadCompressed(bytes.NewReader(wbuf.Bytes())); !errors.Is(err, ErrBadIndexFile) {
+		t.Fatal("compressed loader accepted weighted file")
+	}
+}

@@ -1,0 +1,5 @@
+package core
+
+import "sort"
+
+func sortInts(s []int) { sort.Ints(s) }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pll/internal/baseline"
+	"pll/internal/bfs"
+	"pll/internal/gen"
+	"pll/internal/order"
+	"pll/internal/rng"
+)
+
+// TestTheorem43CoverageBoundsLabelSize checks the §4.6.2 bound: if k
+// degree-ordered landmarks answer a (1-ε) fraction of pairs exactly,
+// then the average PLL label size is O(k + εn).
+func TestTheorem43CoverageBoundsLabelSize(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 3, 17)
+	n := g.NumVertices()
+	const k = 32
+	perm := order.ByDegree(g, 1)
+	lm := baseline.BuildLandmarks(g, perm, k)
+
+	// Estimate ε by sampling.
+	r := rng.New(5)
+	const pairs = 4000
+	miss := 0
+	for i := 0; i < pairs; i++ {
+		s, u := r.Int31n(int32(n)), r.Int31n(int32(n))
+		if lm.Estimate(s, u) != int(bfs.Distance(g, s, u)) {
+			miss++
+		}
+	}
+	eps := float64(miss) / pairs
+
+	ix := buildOrFail(t, g, Options{CustomOrder: perm})
+	avg := ix.ComputeStats().AvgLabelSize
+	// Theorem: avg = O(k + εn). Allow a generous constant of 4 plus the
+	// sampling slack.
+	bound := 4 * (float64(k) + (eps+0.02)*float64(n))
+	if avg > bound {
+		t.Fatalf("avg label %.1f exceeds Theorem 4.3 bound %.1f (k=%d, eps=%.3f, n=%d)",
+			avg, bound, k, eps, n)
+	}
+}
+
+// TestTheorem44TreesLogarithmicLabels checks the §4.6.3 regime on
+// tree-width-1 inputs: with a good (centroid-like) order, label sizes
+// are O(log n). Degree order is not centroid order, but on random trees
+// it still produces labels growing far slower than n — quadrupling n
+// must grow the average label far less than 4x.
+func TestTheorem44TreesLogarithmicLabels(t *testing.T) {
+	avgFor := func(n int) float64 {
+		g := gen.RandomTree(n, 3)
+		ix := buildOrFail(t, g, Options{Ordering: order.Degree, Seed: 1})
+		return ix.ComputeStats().AvgLabelSize
+	}
+	small := avgFor(1000)
+	big := avgFor(4000)
+	if big > 2*small {
+		t.Fatalf("tree labels grew %.1f -> %.1f on 4x vertices; expected sublinear (Thm 4.4)", small, big)
+	}
+	// Absolute scale: should be within a small factor of log2(n).
+	if big > 8*math.Log2(4000) {
+		t.Fatalf("tree avg label %.1f far above O(log n) (log2(n)=%.1f)", big, math.Log2(4000))
+	}
+}
+
+// TestTheorem44CentroidOrderOnPath demonstrates the theorem's
+// constructive side: ordering a path by centroid decomposition (repeated
+// bisection) yields labels of size exactly O(log n).
+func TestTheorem44CentroidOrderOnPath(t *testing.T) {
+	const n = 256
+	g := gen.Path(n)
+	// Centroid order of a path = breadth-first midpoints: 128, 64, 192, ...
+	perm := make([]int32, 0, n)
+	type seg struct{ lo, hi int32 }
+	queue := []seg{{0, n - 1}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.lo > s.hi {
+			continue
+		}
+		mid := (s.lo + s.hi) / 2
+		perm = append(perm, mid)
+		queue = append(queue, seg{s.lo, mid - 1}, seg{mid + 1, s.hi})
+	}
+	ix := buildOrFail(t, g, Options{CustomOrder: perm})
+	st := ix.ComputeStats()
+	// Every label is bounded by the recursion depth + 1.
+	maxAllowed := int(math.Log2(n)) + 2
+	if st.MaxLabelSize > maxAllowed {
+		t.Fatalf("centroid-ordered path max label %d > %d (= log2(n)+2)", st.MaxLabelSize, maxAllowed)
+	}
+	assertMatchesBFS(t, g, ix, 200, 9)
+}
+
+// TestGridLabelsScaleWithWidth exercises the O(w log n) claim: a grid's
+// tree-width is its smaller side; widening it grows labels roughly
+// linearly in w while the vertex count is held fixed.
+func TestGridLabelsScaleWithWidth(t *testing.T) {
+	narrow := buildOrFail(t, gen.Grid(4, 256), Options{Seed: 1}) // w=4,  n=1024
+	wide := buildOrFail(t, gen.Grid(32, 32), Options{Seed: 1})   // w=32, n=1024
+	a := narrow.ComputeStats().AvgLabelSize
+	b := wide.ComputeStats().AvgLabelSize
+	if b < a {
+		t.Fatalf("wider grid should carry bigger labels: w=4 -> %.1f, w=32 -> %.1f", a, b)
+	}
+	// And both stay far below n.
+	if b > 1024/4 {
+		t.Fatalf("grid labels %.1f not sublinear in n", b)
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pll/internal/graph"
+	"pll/internal/order"
+	"pll/internal/rng"
+)
+
+// InfWeight32 is the in-label encoding of "unreachable" for weighted
+// indexes, which use 32-bit distances instead of the 8-bit distances of
+// the unweighted index.
+const InfWeight32 uint32 = math.MaxUint32
+
+// UnreachableW is returned by WeightedIndex.Query for disconnected pairs.
+const UnreachableW = uint64(math.MaxUint64)
+
+// WeightedIndex is the §6 "Weighted Graphs" variant: identical labeling
+// framework, but labels are produced by pruned Dijkstra searches and
+// store 32-bit distances. Bit-parallel labeling does not apply (§6).
+type WeightedIndex struct {
+	n    int
+	perm []int32
+	rank []int32
+
+	labelOff    []int64
+	labelVertex []int32 // hub ranks, ascending, sentinel n
+	labelDist   []uint32
+	labelParent []int32 // optional Dijkstra-tree parents (ranks); nil unless StorePaths
+}
+
+// WeightedOptions configures BuildWeighted.
+type WeightedOptions struct {
+	// Ordering selects the vertex order; Degree (on the unweighted
+	// structure) is the default, as in the unweighted case.
+	Ordering order.Strategy
+	// Seed drives ordering tie-breaks.
+	Seed uint64
+	// CustomOrder, if non-nil, overrides Ordering.
+	CustomOrder []int32
+	// StorePaths records a parent pointer per label entry so QueryPath
+	// can reconstruct minimum-weight paths (§6).
+	StorePaths bool
+}
+
+// BuildWeighted constructs a pruned-landmark-labeling index for a
+// weighted undirected graph by pruned Dijkstra searches. Distances along
+// any shortest path must fit in 32 bits.
+func BuildWeighted(g *graph.Weighted, opt WeightedOptions) (*WeightedIndex, error) {
+	n := g.NumVertices()
+	perm := opt.CustomOrder
+	if perm == nil {
+		perm = order.Compute(g.Unweighted(), opt.Ordering, opt.Seed)
+	} else if len(perm) != n {
+		return nil, fmt.Errorf("core: CustomOrder length %d != n %d", len(perm), n)
+	}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid CustomOrder: %w", err)
+	}
+
+	labV := make([][]int32, n)
+	labD := make([][]uint32, n)
+	var labP [][]int32
+	var par []int32
+	if opt.StorePaths {
+		labP = make([][]int32, n)
+		par = make([]int32, n)
+	}
+	dist := make([]uint64, n)
+	rootLab := make([]uint64, n+1)
+	const inf = uint64(math.MaxUint64)
+	for i := range dist {
+		dist[i] = inf
+	}
+	for i := range rootLab {
+		rootLab[i] = inf
+	}
+	visited := make([]int32, 0, 1024)
+	var heap wHeap
+
+	for vk := int32(0); int(vk) < n; vk++ {
+		lv, ld := labV[vk], labD[vk]
+		for i, w := range lv {
+			rootLab[w] = uint64(ld[i])
+		}
+		visited = visited[:0]
+		heap = heap[:0]
+		dist[vk] = 0
+		if par != nil {
+			par[vk] = -1
+		}
+		visited = append(visited, vk)
+		heap.push(wItem{0, vk})
+		for len(heap) > 0 {
+			it := heap.pop()
+			u, d := it.v, it.dist
+			if d != dist[u] {
+				continue // stale entry
+			}
+			// Prune test: scan L(u) against the root-label array.
+			pruned := false
+			uv, ud := labV[u], labD[u]
+			for i, w := range uv {
+				if tw := rootLab[w]; tw != inf && tw+uint64(ud[i]) <= d {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			if d > uint64(InfWeight32)-1 {
+				return nil, fmt.Errorf("core: weighted distance %d exceeds 32-bit label budget", d)
+			}
+			labV[u] = append(labV[u], vk)
+			labD[u] = append(labD[u], uint32(d))
+			if labP != nil {
+				labP[u] = append(labP[u], par[u])
+			}
+			ws := h.Weights(u)
+			for i, w := range h.Neighbors(u) {
+				nd := d + uint64(ws[i])
+				if nd < dist[w] {
+					if dist[w] == inf {
+						visited = append(visited, w)
+					}
+					dist[w] = nd
+					if par != nil {
+						par[w] = u
+					}
+					heap.push(wItem{nd, w})
+				}
+			}
+		}
+		for _, v := range visited {
+			dist[v] = inf
+		}
+		for _, w := range lv {
+			rootLab[w] = inf
+		}
+	}
+
+	ix := &WeightedIndex{
+		n:    n,
+		perm: append([]int32(nil), perm...),
+		rank: order.RankOf(perm),
+	}
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(len(labV[v])) + 1
+	}
+	ix.labelOff = make([]int64, n+1)
+	ix.labelVertex = make([]int32, total)
+	ix.labelDist = make([]uint32, total)
+	if opt.StorePaths {
+		ix.labelParent = make([]int32, total)
+	}
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		ix.labelOff[v] = w
+		copy(ix.labelVertex[w:], labV[v])
+		copy(ix.labelDist[w:], labD[v])
+		if opt.StorePaths {
+			copy(ix.labelParent[w:], labP[v])
+		}
+		w += int64(len(labV[v]))
+		ix.labelVertex[w] = int32(n)
+		ix.labelDist[w] = InfWeight32
+		if opt.StorePaths {
+			ix.labelParent[w] = -1
+		}
+		w++
+	}
+	ix.labelOff[n] = w
+	return ix, nil
+}
+
+// HasPaths reports whether the index can answer QueryPath.
+func (ix *WeightedIndex) HasPaths() bool { return ix.labelParent != nil }
+
+// QueryPath returns one minimum-weight s-t path (inclusive of both
+// endpoints) and its total weight, or (nil, UnreachableW) for
+// disconnected pairs. The index must have been built with StorePaths.
+func (ix *WeightedIndex) QueryPath(s, t int32) ([]int32, uint64, error) {
+	if ix.labelParent == nil {
+		return nil, 0, fmt.Errorf("core: weighted index was built without StorePaths")
+	}
+	if s == t {
+		return []int32{s}, 0, nil
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	best := UnreachableW
+	hub := int32(-1)
+	i, j := ix.labelOff[rs], ix.labelOff[rt]
+	for {
+		vs, vt := ix.labelVertex[i], ix.labelVertex[j]
+		if vs == vt {
+			if int(vs) == ix.n {
+				break
+			}
+			if d := uint64(ix.labelDist[i]) + uint64(ix.labelDist[j]); d < best {
+				best = d
+				hub = vs
+			}
+			i++
+			j++
+		} else if vs < vt {
+			i++
+		} else {
+			j++
+		}
+	}
+	if hub < 0 {
+		return nil, UnreachableW, nil
+	}
+	up, err := ix.chainToHub(rs, hub)
+	if err != nil {
+		return nil, 0, err
+	}
+	down, err := ix.chainToHub(rt, hub)
+	if err != nil {
+		return nil, 0, err
+	}
+	path := make([]int32, 0, len(up)+len(down)-1)
+	for _, r := range up {
+		path = append(path, ix.perm[r])
+	}
+	for k := len(down) - 2; k >= 0; k-- {
+		path = append(path, ix.perm[down[k]])
+	}
+	return path, best, nil
+}
+
+// chainToHub follows Dijkstra-tree parent pointers from rank r to hub.
+func (ix *WeightedIndex) chainToHub(r, hub int32) ([]int32, error) {
+	chain := []int32{r}
+	cur := r
+	for cur != hub {
+		lo, hi := ix.labelOff[cur], ix.labelOff[cur+1]-1
+		idx := searchLabel(ix.labelVertex[lo:hi], hub)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: broken weighted parent chain at rank %d for hub %d", cur, hub)
+		}
+		p := ix.labelParent[lo+int64(idx)]
+		if p < 0 {
+			break
+		}
+		chain = append(chain, p)
+		cur = p
+	}
+	return chain, nil
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *WeightedIndex) NumVertices() int { return ix.n }
+
+// Query returns the exact weighted s-t distance, or UnreachableW.
+func (ix *WeightedIndex) Query(s, t int32) uint64 {
+	if s == t {
+		return 0
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	best := UnreachableW
+	i, j := ix.labelOff[rs], ix.labelOff[rt]
+	for {
+		vs, vt := ix.labelVertex[i], ix.labelVertex[j]
+		switch {
+		case vs == vt:
+			if int(vs) == ix.n {
+				if best >= uint64(InfWeight32)*2 {
+					return UnreachableW
+				}
+				return best
+			}
+			if d := uint64(ix.labelDist[i]) + uint64(ix.labelDist[j]); d < best {
+				best = d
+			}
+			i++
+			j++
+		case vs < vt:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// LabelSize returns the number of entries in v's label (sentinel
+// excluded).
+func (ix *WeightedIndex) LabelSize(v int32) int {
+	r := ix.rank[v]
+	return int(ix.labelOff[r+1] - ix.labelOff[r] - 1)
+}
+
+// AvgLabelSize returns the mean label size over all vertices.
+func (ix *WeightedIndex) AvgLabelSize() float64 {
+	if ix.n == 0 {
+		return 0
+	}
+	return float64(ix.labelOff[ix.n]-int64(ix.n)) / float64(ix.n)
+}
+
+// wItem and wHeap form a lazy-deletion binary min-heap for the pruned
+// Dijkstra searches.
+type wItem struct {
+	dist uint64
+	v    int32
+}
+
+type wHeap []wItem
+
+func (h *wHeap) push(it wItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *wHeap) pop() wItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && (*h)[l].dist < (*h)[small].dist {
+			small = l
+		}
+		if r < last && (*h)[r].dist < (*h)[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// randPairs is a shared test/experiment helper that samples k vertex
+// pairs uniformly with a deterministic seed.
+func randPairs(n int, k int, seed uint64) [][2]int32 {
+	r := rng.New(seed)
+	pairs := make([][2]int32, k)
+	for i := range pairs {
+		pairs[i] = [2]int32{r.Int31n(int32(n)), r.Int31n(int32(n))}
+	}
+	return pairs
+}

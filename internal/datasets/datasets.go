@@ -1,0 +1,177 @@
+// Package datasets maps the paper's 11 real-world networks (Table 4) to
+// deterministic synthetic stand-ins with matching size and degree shape.
+// See DESIGN.md §3 for the substitution rationale: the module is built
+// offline, so the SNAP/LAW snapshots cannot be fetched; Barabási–Albert
+// reproduces the social networks' power-law + small-world behaviour and
+// R-MAT the web/computer graphs' skewed, locally dense structure — the
+// two properties PLL's evaluation depends on.
+//
+// Every recipe is generated at a Scale factor: Scale 1 targets the
+// paper's |V| (hundreds of millions of edges for the largest graphs);
+// the default experiment scale divides |V| by 64 so the full suite runs
+// on a laptop in minutes.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"pll/internal/gen"
+	"pll/internal/graph"
+)
+
+// Kind is the paper's network category (Table 4's "Network" column).
+type Kind string
+
+// Network categories from Table 4.
+const (
+	Social   Kind = "Social"
+	Web      Kind = "Web"
+	Computer Kind = "Computer"
+)
+
+// Recipe describes one dataset stand-in.
+type Recipe struct {
+	Name string
+	Kind Kind
+	// PaperV and PaperE are |V| and |E| reported in Table 4.
+	PaperV, PaperE int64
+	// Generate builds the stand-in at the given scale divisor (>= 1):
+	// the vertex count is PaperV / scaleDiv (floored, min 64).
+	Generate func(scaleDiv int64, seed uint64) *graph.Graph
+	// BitParallel is the t used for this dataset in Table 3 (16 for the
+	// smaller five, 64 for the larger six).
+	BitParallel int
+	// Small marks the five smaller datasets used for Table 5 / Figure 4.
+	Small bool
+}
+
+// scaledN returns the stand-in vertex count for a scale divisor.
+func scaledN(paperV, scaleDiv int64) int {
+	n := paperV / scaleDiv
+	if n < 64 {
+		n = 64
+	}
+	return int(n)
+}
+
+// ba builds a Barabási–Albert recipe whose attachment parameter matches
+// the paper's average degree m/n (rounded: flooring would turn WikiTalk,
+// |E|/|V| = 1.95, into a tree).
+func ba(paperV, paperE int64) func(int64, uint64) *graph.Graph {
+	m := int((paperE + paperV/2) / paperV)
+	if m < 1 {
+		m = 1
+	}
+	return func(scaleDiv int64, seed uint64) *graph.Graph {
+		return gen.BarabasiAlbert(scaledN(paperV, scaleDiv), m, seed)
+	}
+}
+
+// rmat builds an R-MAT recipe with the standard web-graph skew and an
+// average degree matching the paper's m/n.
+func rmat(paperV, paperE int64) func(int64, uint64) *graph.Graph {
+	avgDeg := int((paperE + paperV/2) / paperV)
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	return func(scaleDiv int64, seed uint64) *graph.Graph {
+		n := scaledN(paperV, scaleDiv)
+		scale := 1
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(scale, avgDeg, 0.57, 0.19, 0.19, seed)
+	}
+}
+
+// p2p builds a Gnutella-like recipe: preferential attachment with low m
+// blended with uniform random edges (P2P overlays have a milder tail
+// than social networks).
+func p2p(paperV, paperE int64) func(int64, uint64) *graph.Graph {
+	return func(scaleDiv int64, seed uint64) *graph.Graph {
+		n := scaledN(paperV, scaleDiv)
+		m := int64(n) * paperE / paperV
+		base := gen.BarabasiAlbert(n, 1, seed)
+		edges := base.Edges()
+		extra := gen.ErdosRenyi(n, m-base.NumEdges(), seed^0xabc)
+		edges = append(edges, extra.Edges()...)
+		g, err := graph.NewGraph(n, edges)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+}
+
+// All returns the 11 dataset recipes in the paper's Table 4 order.
+func All() []Recipe {
+	return []Recipe{
+		{Name: "Gnutella", Kind: Computer, PaperV: 63_000, PaperE: 148_000, Generate: p2p(63_000, 148_000), BitParallel: 16, Small: true},
+		{Name: "Epinions", Kind: Social, PaperV: 76_000, PaperE: 509_000, Generate: ba(76_000, 509_000), BitParallel: 16, Small: true},
+		{Name: "Slashdot", Kind: Social, PaperV: 82_000, PaperE: 948_000, Generate: ba(82_000, 948_000), BitParallel: 16, Small: true},
+		{Name: "NotreDame", Kind: Web, PaperV: 326_000, PaperE: 1_500_000, Generate: rmat(326_000, 1_500_000), BitParallel: 16, Small: true},
+		{Name: "WikiTalk", Kind: Social, PaperV: 2_400_000, PaperE: 4_700_000, Generate: ba(2_400_000, 4_700_000), BitParallel: 16, Small: true},
+		{Name: "Skitter", Kind: Computer, PaperV: 1_700_000, PaperE: 11_000_000, Generate: rmat(1_700_000, 11_000_000), BitParallel: 64},
+		{Name: "Indo", Kind: Web, PaperV: 1_400_000, PaperE: 17_000_000, Generate: rmat(1_400_000, 17_000_000), BitParallel: 64},
+		{Name: "MetroSec", Kind: Computer, PaperV: 2_300_000, PaperE: 22_000_000, Generate: rmat(2_300_000, 22_000_000), BitParallel: 64},
+		{Name: "Flickr", Kind: Social, PaperV: 1_800_000, PaperE: 23_000_000, Generate: ba(1_800_000, 23_000_000), BitParallel: 64},
+		{Name: "Hollywood", Kind: Social, PaperV: 1_100_000, PaperE: 114_000_000, Generate: ba(1_100_000, 114_000_000), BitParallel: 64},
+		{Name: "Indochina", Kind: Web, PaperV: 7_400_000, PaperE: 194_000_000, Generate: rmat(7_400_000, 194_000_000), BitParallel: 64},
+	}
+}
+
+// Small returns the paper's five smaller datasets (Table 3's top block,
+// Table 5, Figure 4).
+func Small() []Recipe {
+	var out []Recipe
+	for _, r := range All() {
+		if r.Small {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByName returns the recipe with the given (case-sensitive) name.
+func ByName(name string) (Recipe, error) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Recipe{}, fmt.Errorf("datasets: unknown dataset %q (want one of %v)", name, Names())
+}
+
+// Names lists all recipe names in Table 4 order.
+func Names() []string {
+	var out []string
+	for _, r := range All() {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// Fig3Sets returns the three datasets Figure 3 analyzes (Skitter, Indo,
+// Flickr).
+func Fig3Sets() []Recipe {
+	return pick("Skitter", "Indo", "Flickr")
+}
+
+// Fig4Sets returns the three datasets Figure 4 analyzes (Gnutella,
+// Epinions, Slashdot).
+func Fig4Sets() []Recipe {
+	return pick("Gnutella", "Epinions", "Slashdot")
+}
+
+func pick(names ...string) []Recipe {
+	sort.Strings(names)
+	var out []Recipe
+	for _, r := range All() {
+		i := sort.SearchStrings(names, r.Name)
+		if i < len(names) && names[i] == r.Name {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package datasets
+
+import (
+	"testing"
+
+	"pll/internal/graph"
+)
+
+func TestAllRecipesPresent(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("recipes = %d, want 11 (Table 4)", len(all))
+	}
+	if len(Small()) != 5 {
+		t.Fatalf("small recipes = %d, want 5", len(Small()))
+	}
+}
+
+func TestRecipesGenerateAtSmallScale(t *testing.T) {
+	for _, r := range All() {
+		g := r.Generate(1024, 7) // heavily scaled down for CI
+		if g.NumVertices() < 64 {
+			t.Fatalf("%s: n = %d too small", r.Name, g.NumVertices())
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: no edges", r.Name)
+		}
+		// Heavy-tailed stand-ins: max degree well above the mean.
+		mean := float64(2*g.NumEdges()) / float64(g.NumVertices())
+		if float64(g.MaxDegree()) < 2*mean {
+			t.Fatalf("%s: max degree %d vs mean %.1f — tail too light", r.Name, g.MaxDegree(), mean)
+		}
+	}
+}
+
+func TestRecipesDeterministic(t *testing.T) {
+	r, err := ByName("Epinions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Generate(256, 3)
+	b := r.Generate(256, 3)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must reproduce the graph")
+	}
+}
+
+func TestScaledSizesTrackPaper(t *testing.T) {
+	for _, r := range All() {
+		g := r.Generate(256, 1)
+		wantN := r.PaperV / 256
+		if wantN < 64 {
+			wantN = 64
+		}
+		n := int64(g.NumVertices())
+		// R-MAT rounds up to a power of two; allow 2x slack.
+		if n < wantN || n > 2*wantN {
+			t.Fatalf("%s: n = %d, want within [%d, %d]", r.Name, n, wantN, 2*wantN)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("NoSuchNet"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFigureSubsets(t *testing.T) {
+	f3 := Fig3Sets()
+	if len(f3) != 3 {
+		t.Fatalf("Fig3Sets = %d recipes", len(f3))
+	}
+	f4 := Fig4Sets()
+	if len(f4) != 3 {
+		t.Fatalf("Fig4Sets = %d recipes", len(f4))
+	}
+	for _, r := range f4 {
+		if !r.Small {
+			t.Fatalf("%s in Fig4Sets should be a small dataset", r.Name)
+		}
+	}
+}
+
+func TestBitParallelSettingsMatchPaper(t *testing.T) {
+	for _, r := range All() {
+		want := 64
+		if r.Small {
+			want = 16
+		}
+		if r.BitParallel != want {
+			t.Fatalf("%s: t = %d, want %d", r.Name, r.BitParallel, want)
+		}
+	}
+}
+
+func TestP2PRecipeConnectedEnough(t *testing.T) {
+	r, err := ByName("Gnutella")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Generate(64, 5)
+	lc := graph.LargestComponent(g)
+	if float64(len(lc)) < 0.9*float64(g.NumVertices()) {
+		t.Fatalf("Gnutella stand-in giant component %d/%d too small", len(lc), g.NumVertices())
+	}
+}

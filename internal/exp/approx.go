@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pll/internal/baseline"
+	"pll/internal/datasets"
+	"pll/internal/order"
+	"pll/internal/stats"
+)
+
+// ApproxErrorRow quantifies the landmark-based approximate method's
+// error at one true distance — the §2.2 phenomenon motivating the paper:
+// estimates are good on average but poor exactly where applications need
+// them, at close pairs.
+type ApproxErrorRow struct {
+	Distance     int
+	Pairs        int
+	ExactFrac    float64 // fraction answered exactly
+	MeanRelError float64 // mean (est - true) / true
+}
+
+// ApproxErrorSeries is one dataset's error profile.
+type ApproxErrorSeries struct {
+	Dataset   string
+	Landmarks int
+	Rows      []ApproxErrorRow
+}
+
+// ApproxError measures the standard landmark method (k degree-ordered
+// landmarks) against ground truth, bucketed by true distance.
+func ApproxError(cfg Config, recipes []datasets.Recipe, landmarks int) []ApproxErrorSeries {
+	cfg = cfg.Normalize()
+	if landmarks <= 0 {
+		landmarks = 64
+	}
+	var out []ApproxErrorSeries
+	for _, ds := range generate(cfg, recipes) {
+		perm := order.ByDegree(ds.g, cfg.Seed)
+		lm := baseline.BuildLandmarks(ds.g, perm, landmarks)
+		ps := stats.SamplePairs(ds.g, cfg.QueryPairs, cfg.Seed^0xae77)
+
+		type acc struct {
+			pairs, exact int
+			relSum       float64
+		}
+		buckets := map[int]*acc{}
+		for i := range ps.S {
+			truth := ps.Truth[i]
+			if truth <= 0 {
+				continue // skip self and unreachable pairs
+			}
+			est := lm.Estimate(ps.S[i], ps.T[i])
+			if est == baseline.Unreachable {
+				continue
+			}
+			b := buckets[int(truth)]
+			if b == nil {
+				b = &acc{}
+				buckets[int(truth)] = b
+			}
+			b.pairs++
+			if est == int(truth) {
+				b.exact++
+			}
+			b.relSum += float64(est-int(truth)) / float64(truth)
+		}
+		s := ApproxErrorSeries{Dataset: ds.rec.Name, Landmarks: landmarks}
+		ds2 := make([]int, 0, len(buckets))
+		for d := range buckets {
+			ds2 = append(ds2, d)
+		}
+		sort.Ints(ds2)
+		for _, d := range ds2 {
+			b := buckets[d]
+			if b.pairs < 30 {
+				continue // too noisy
+			}
+			s.Rows = append(s.Rows, ApproxErrorRow{
+				Distance:     d,
+				Pairs:        b.pairs,
+				ExactFrac:    float64(b.exact) / float64(b.pairs),
+				MeanRelError: b.relSum / float64(b.pairs),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintApproxError writes the per-distance error profile.
+func PrintApproxError(w io.Writer, series []ApproxErrorSeries) {
+	fmt.Fprintf(w, "# Landmark-based approximate method: error by true distance (§2.2 motivation)\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s (%d degree-ordered landmarks)\n", s.Dataset, s.Landmarks)
+		fmt.Fprintf(w, "%-9s %8s %10s %12s\n", "distance", "pairs", "exact", "mean-rel-err")
+		for _, r := range s.Rows {
+			fmt.Fprintf(w, "%-9d %8d %9.1f%% %12.3f\n", r.Distance, r.Pairs, 100*r.ExactFrac, r.MeanRelError)
+		}
+	}
+}

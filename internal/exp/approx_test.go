@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pll/internal/datasets"
+)
+
+func TestApproxErrorClosePairsWorse(t *testing.T) {
+	series := ApproxError(tinyCfg(), datasets.Fig4Sets()[:1], 32)
+	if len(series) != 1 {
+		t.Fatal("series count wrong")
+	}
+	s := series[0]
+	if len(s.Rows) < 2 {
+		t.Skipf("not enough distance buckets at tiny scale: %d", len(s.Rows))
+	}
+	// §2.2 / §7.3.3: close pairs are covered far worse than distant
+	// pairs. Compare the smallest and the largest distance buckets.
+	first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+	if first.ExactFrac > last.ExactFrac {
+		t.Fatalf("close pairs (d=%d, %.2f exact) should be harder than distant (d=%d, %.2f exact)",
+			first.Distance, first.ExactFrac, last.Distance, last.ExactFrac)
+	}
+	// Estimates are upper bounds: relative error can never be negative.
+	for _, r := range s.Rows {
+		if r.MeanRelError < 0 {
+			t.Fatalf("negative mean relative error at d=%d", r.Distance)
+		}
+	}
+}
+
+func TestApproxErrorPrint(t *testing.T) {
+	series := ApproxError(tinyCfg(), datasets.Fig4Sets()[:1], 16)
+	var buf bytes.Buffer
+	PrintApproxError(&buf, series)
+	if !strings.Contains(buf.String(), "mean-rel-err") {
+		t.Fatal("output incomplete")
+	}
+}

@@ -1,0 +1,352 @@
+// Package exp contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§7) on the synthetic
+// dataset stand-ins of internal/datasets. Each driver returns typed rows
+// or series (so tests can assert the paper's qualitative shape — who
+// wins, by what factor, where curves bend) and has a Print companion
+// that writes the same rows the paper reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pll/internal/baseline"
+	"pll/internal/core"
+	"pll/internal/datasets"
+	"pll/internal/graph"
+	"pll/internal/hhl"
+	"pll/internal/order"
+	"pll/internal/rng"
+	"pll/internal/treedec"
+)
+
+// Config controls the scale of every experiment. The zero value is
+// usable: Normalize fills laptop-scale defaults.
+type Config struct {
+	// ScaleDiv divides the paper's |V| for every dataset stand-in
+	// (default 64; 1 reproduces the paper's sizes and needs a big
+	// machine and hours).
+	ScaleDiv int64
+	// Seed drives generation, ordering and query sampling.
+	Seed uint64
+	// QueryPairs is the number of random query pairs per measurement
+	// (the paper uses 1,000,000; default 20,000).
+	QueryPairs int
+	// HHLMaxN skips the Θ(nm) hierarchical-hub-labeling baseline above
+	// this vertex count and reports DNF, mirroring Table 3 (default 6000).
+	HHLMaxN int
+	// TDMaxBag and TDMaxCore bound the tree-decomposition baseline; a
+	// core above TDMaxCore reports DNF as in Table 3 (defaults 16, 4000).
+	TDMaxBag  int
+	TDMaxCore int
+}
+
+// Normalize fills zero fields with defaults and returns the config.
+func (c Config) Normalize() Config {
+	if c.ScaleDiv <= 0 {
+		c.ScaleDiv = 64
+	}
+	if c.QueryPairs <= 0 {
+		c.QueryPairs = 20000
+	}
+	if c.HHLMaxN <= 0 {
+		c.HHLMaxN = 6000
+	}
+	if c.TDMaxBag <= 0 {
+		c.TDMaxBag = 16
+	}
+	if c.TDMaxCore <= 0 {
+		c.TDMaxCore = 4000
+	}
+	return c
+}
+
+// queryPairs draws uniform pairs for timing runs.
+func queryPairs(n int, k int, seed uint64) [][2]int32 {
+	r := rng.New(seed)
+	pairs := make([][2]int32, k)
+	for i := range pairs {
+		pairs[i] = [2]int32{r.Int31n(int32(n)), r.Int31n(int32(n))}
+	}
+	return pairs
+}
+
+// MethodResult is one method's measurements on one dataset (Table 3's
+// IT / IS / QT / LN cells).
+type MethodResult struct {
+	DNF        bool
+	DNFReason  string
+	Indexing   time.Duration
+	IndexBytes int64
+	QueryTime  time.Duration // average per query
+	LabelSize  float64       // average normal label entries per vertex
+}
+
+// Table3Row is one dataset's row of Table 3.
+type Table3Row struct {
+	Dataset     string
+	Kind        datasets.Kind
+	N           int
+	M           int64
+	BitParallel int
+
+	PLL MethodResult
+	HHL MethodResult
+	TD  MethodResult
+	// BFSQuery is the average online-BFS query time (Table 3's last column).
+	BFSQuery time.Duration
+}
+
+// Table3 runs the paper's main comparison on the given recipes.
+func Table3(cfg Config, recipes []datasets.Recipe) ([]Table3Row, error) {
+	cfg = cfg.Normalize()
+	rows := make([]Table3Row, 0, len(recipes))
+	for _, rec := range recipes {
+		g := rec.Generate(cfg.ScaleDiv, cfg.Seed)
+		row := Table3Row{
+			Dataset:     rec.Name,
+			Kind:        rec.Kind,
+			N:           g.NumVertices(),
+			M:           g.NumEdges(),
+			BitParallel: rec.BitParallel,
+		}
+		pairs := queryPairs(g.NumVertices(), cfg.QueryPairs, cfg.Seed^0x9a77)
+
+		// Pruned landmark labeling (this paper).
+		start := time.Now()
+		ix, err := core.Build(g, core.Options{
+			Ordering:       order.Degree,
+			Seed:           cfg.Seed,
+			NumBitParallel: rec.BitParallel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: PLL on %s: %w", rec.Name, err)
+		}
+		row.PLL.Indexing = time.Since(start)
+		st := ix.ComputeStats()
+		row.PLL.IndexBytes = st.IndexBytes
+		row.PLL.LabelSize = st.AvgLabelSize
+		row.PLL.QueryTime = timePerQuery(len(pairs), func(i int) {
+			ix.Query(pairs[i][0], pairs[i][1])
+		})
+
+		// Hierarchical hub labeling baseline: same labels, Θ(nm)
+		// construction; DNF above the budget.
+		if g.NumVertices() > cfg.HHLMaxN {
+			row.HHL = MethodResult{DNF: true, DNFReason: fmt.Sprintf("n=%d > HHLMaxN=%d", g.NumVertices(), cfg.HHLMaxN)}
+		} else {
+			start = time.Now()
+			hix, err := hhl.Build(g, order.ByDegree(g, cfg.Seed))
+			if err != nil {
+				row.HHL = MethodResult{DNF: true, DNFReason: err.Error()}
+			} else {
+				row.HHL.Indexing = time.Since(start)
+				row.HHL.LabelSize = hix.AvgLabelSize()
+				row.HHL.IndexBytes = hix.TotalLabelEntries() * 5
+				row.HHL.QueryTime = timePerQuery(len(pairs), func(i int) {
+					hix.Query(pairs[i][0], pairs[i][1])
+				})
+			}
+		}
+
+		// Tree-decomposition baseline: DNF when the residual core is
+		// too large, as on all the paper's larger networks.
+		start = time.Now()
+		tix, err := treedec.Build(g, treedec.Options{MaxBag: cfg.TDMaxBag, MaxCore: cfg.TDMaxCore})
+		if err != nil {
+			row.TD = MethodResult{DNF: true, DNFReason: err.Error()}
+		} else {
+			row.TD.Indexing = time.Since(start)
+			tst := tix.ComputeStats()
+			row.TD.IndexBytes = tst.IndexBytes
+			row.TD.QueryTime = timePerQuery(len(pairs), func(i int) {
+				tix.Query(pairs[i][0], pairs[i][1])
+			})
+		}
+
+		// Online BFS baseline, measured on fewer pairs (it is slow).
+		oracle := baseline.NewOracle(g)
+		bfsPairs := len(pairs)
+		if bfsPairs > 200 {
+			bfsPairs = 200
+		}
+		row.BFSQuery = timePerQuery(bfsPairs, func(i int) {
+			oracle.Query(pairs[i][0], pairs[i][1])
+		})
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// timePerQuery runs f for i in [0,k) and returns the mean wall time.
+func timePerQuery(k int, f func(i int)) time.Duration {
+	if k == 0 {
+		return 0
+	}
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		f(i)
+	}
+	return time.Since(start) / time.Duration(k)
+}
+
+// PrintTable3 writes rows in the layout of the paper's Table 3.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "%-11s %9s %10s | %9s %9s %9s %8s | %9s %9s %9s | %9s %9s | %10s\n",
+		"Dataset", "|V|", "|E|",
+		"PLL-IT", "PLL-IS", "PLL-QT", "PLL-LN",
+		"HHL-IT", "HHL-QT", "HHL-LN",
+		"TD-IT", "TD-QT", "BFS-QT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %9d %10d | %9s %9s %9s %5.0f+%2d | %9s %9s %9.0f | %9s %9s | %10s\n",
+			r.Dataset, r.N, r.M,
+			durShort(r.PLL.Indexing), bytesShort(r.PLL.IndexBytes), durShort(r.PLL.QueryTime), r.PLL.LabelSize, r.BitParallel,
+			dnfOr(r.HHL, durShort(r.HHL.Indexing)), dnfOr(r.HHL, durShort(r.HHL.QueryTime)), r.HHL.LabelSize,
+			dnfOr(r.TD, durShort(r.TD.Indexing)), dnfOr(r.TD, durShort(r.TD.QueryTime)),
+			durShort(r.BFSQuery))
+	}
+}
+
+func dnfOr(m MethodResult, s string) string {
+	if m.DNF {
+		return "DNF"
+	}
+	return s
+}
+
+func durShort(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+func bytesShort(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	}
+}
+
+// Table1Row is one line of the paper's Table 1 summary (our measured
+// subset: PLL plus the reimplemented baselines on the largest two
+// stand-ins we run).
+type Table1Row struct {
+	Method  string
+	Network string
+	N       int
+	M       int64
+	Index   time.Duration
+	Query   time.Duration
+	DNF     bool
+}
+
+// Table1 distills Table 3 results into the summary layout of Table 1.
+func Table1(rows []Table3Row) []Table1Row {
+	var out []Table1Row
+	for _, r := range rows {
+		out = append(out,
+			Table1Row{Method: "PLL", Network: r.Dataset, N: r.N, M: r.M, Index: r.PLL.Indexing, Query: r.PLL.QueryTime},
+			Table1Row{Method: "HHL", Network: r.Dataset, N: r.N, M: r.M, Index: r.HHL.Indexing, Query: r.HHL.QueryTime, DNF: r.HHL.DNF},
+			Table1Row{Method: "TD", Network: r.Dataset, N: r.N, M: r.M, Index: r.TD.Indexing, Query: r.TD.QueryTime, DNF: r.TD.DNF},
+		)
+	}
+	return out
+}
+
+// PrintTable1 writes the Table 1 summary.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-8s %-11s %9s %10s %10s %10s\n", "Method", "Network", "|V|", "|E|", "Indexing", "Query")
+	for _, r := range rows {
+		if r.DNF {
+			fmt.Fprintf(w, "%-8s %-11s %9d %10d %10s %10s\n", r.Method, r.Network, r.N, r.M, "DNF", "DNF")
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %-11s %9d %10d %10s %10s\n", r.Method, r.Network, r.N, r.M, durShort(r.Index), durShort(r.Query))
+	}
+}
+
+// Table5Row is one dataset's row of Table 5: average label size per
+// ordering strategy (no bit-parallel labels, as in the paper).
+type Table5Row struct {
+	Dataset string
+	// Sizes[strategy] is the average label size; a NaN-free -1 marks DNF
+	// (the paper reports DNF for Random on its larger small datasets).
+	Random, Degree, Closeness float64
+	RandomDNF                 bool
+}
+
+// Table5 measures the ordering-strategy ablation on the given recipes.
+// randomMaxN guards the Random strategy, whose labels explode: above it
+// the cell reports DNF like the paper.
+func Table5(cfg Config, recipes []datasets.Recipe, randomMaxN int) ([]Table5Row, error) {
+	cfg = cfg.Normalize()
+	var rows []Table5Row
+	for _, rec := range recipes {
+		g := rec.Generate(cfg.ScaleDiv, cfg.Seed)
+		row := Table5Row{Dataset: rec.Name}
+		avg := func(s order.Strategy) (float64, error) {
+			ix, err := core.Build(g, core.Options{Ordering: s, Seed: cfg.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return ix.ComputeStats().AvgLabelSize, nil
+		}
+		var err error
+		if row.Degree, err = avg(order.Degree); err != nil {
+			return nil, fmt.Errorf("exp: %s/Degree: %w", rec.Name, err)
+		}
+		if row.Closeness, err = avg(order.Closeness); err != nil {
+			return nil, fmt.Errorf("exp: %s/Closeness: %w", rec.Name, err)
+		}
+		if randomMaxN > 0 && g.NumVertices() > randomMaxN {
+			row.RandomDNF = true
+		} else if row.Random, err = avg(order.Random); err != nil {
+			return nil, fmt.Errorf("exp: %s/Random: %w", rec.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable5 writes rows in the layout of the paper's Table 5.
+func PrintTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintf(w, "%-11s %10s %10s %10s\n", "Dataset", "Random", "Degree", "Closeness")
+	for _, r := range rows {
+		rand := fmt.Sprintf("%10.1f", r.Random)
+		if r.RandomDNF {
+			rand = fmt.Sprintf("%10s", "DNF")
+		}
+		fmt.Fprintf(w, "%-11s %s %10.1f %10.1f\n", r.Dataset, rand, r.Degree, r.Closeness)
+	}
+}
+
+// dataset is a small helper tying a recipe to its generated stand-in.
+type dataset struct {
+	rec datasets.Recipe
+	g   *graph.Graph
+}
+
+func generate(cfg Config, recipes []datasets.Recipe) []dataset {
+	out := make([]dataset, 0, len(recipes))
+	for _, rec := range recipes {
+		out = append(out, dataset{rec: rec, g: rec.Generate(cfg.ScaleDiv, cfg.Seed)})
+	}
+	return out
+}

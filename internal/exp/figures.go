@@ -1,0 +1,337 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pll/internal/baseline"
+	"pll/internal/core"
+	"pll/internal/datasets"
+	"pll/internal/gen"
+	"pll/internal/order"
+	"pll/internal/stats"
+)
+
+// Fig1Step records what one pruned BFS of the Figure 1 walkthrough did.
+type Fig1Step struct {
+	Root    int32 // original vertex ID of the k-th root
+	Labeled int64 // vertices that received a label
+	Visited int64 // vertices visited (labeled or pruned)
+}
+
+// Fig1 reruns the paper's Figure 1 walkthrough: pruned BFSs on a small
+// 12-vertex example graph, reporting how each successive search is
+// pruned harder. (The paper's exact drawing is not recoverable from the
+// text; the stand-in graph has the same hub structure — see
+// gen.ExampleGraph12.)
+func Fig1() ([]Fig1Step, error) {
+	g := gen.ExampleGraph12()
+	var bs core.BuildStats
+	_, err := core.Build(g, core.Options{
+		Ordering:     order.Degree,
+		CollectStats: &bs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]Fig1Step, len(bs.LabelsPerBFS))
+	perm := order.ByDegree(g, 0)
+	for i := range steps {
+		steps[i] = Fig1Step{
+			Root:    perm[bs.RootRank[i]],
+			Labeled: bs.LabelsPerBFS[i],
+			Visited: bs.VisitedPerBFS[i],
+		}
+	}
+	return steps, nil
+}
+
+// PrintFig1 writes the walkthrough steps.
+func PrintFig1(w io.Writer, steps []Fig1Step) {
+	fmt.Fprintf(w, "%-6s %-8s %-8s %-8s\n", "BFS#", "root", "labeled", "pruned")
+	for i, s := range steps {
+		fmt.Fprintf(w, "%-6d %-8d %-8d %-8d\n", i+1, s.Root, s.Labeled, s.Visited-s.Labeled)
+	}
+}
+
+// Fig2Series holds one dataset's statistics for Figure 2 (degree CCDF)
+// and Table 4 (sizes).
+type Fig2Series struct {
+	Dataset        string
+	Kind           datasets.Kind
+	N              int
+	M              int64
+	Degrees        []int
+	CumFreq        []int64
+	DistanceFrac   []float64
+	UnreachablePct float64
+}
+
+// Fig2 computes degree and distance distributions for the recipes.
+func Fig2(cfg Config, recipes []datasets.Recipe) []Fig2Series {
+	cfg = cfg.Normalize()
+	var out []Fig2Series
+	for _, ds := range generate(cfg, recipes) {
+		s := Fig2Series{Dataset: ds.rec.Name, Kind: ds.rec.Kind, N: ds.g.NumVertices(), M: ds.g.NumEdges()}
+		s.Degrees, s.CumFreq = stats.DegreeCCDF(ds.g)
+		frac, unreach := stats.DistanceDistribution(ds.g, cfg.QueryPairs, cfg.Seed^0xf16)
+		s.DistanceFrac = frac
+		s.UnreachablePct = unreach * 100
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintFig2 writes both panels of Figure 2 as text series plus the Table
+// 4 dataset summary.
+func PrintFig2(w io.Writer, series []Fig2Series) {
+	fmt.Fprintf(w, "# Table 4: datasets\n%-11s %-9s %9s %10s\n", "Dataset", "Network", "|V|", "|E|")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-11s %-9s %9d %10d\n", s.Dataset, s.Kind, s.N, s.M)
+	}
+	fmt.Fprintf(w, "\n# Figure 2a/2b: degree CCDF (degree, count-with-degree>=d)\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		idx := stats.LogSpacedIndexes(len(s.Degrees))
+		for _, i := range idx {
+			fmt.Fprintf(w, "%d %d\n", s.Degrees[i], s.CumFreq[i])
+		}
+	}
+	fmt.Fprintf(w, "\n# Figure 2c/2d: distance distribution (distance, fraction)\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s (unreachable %.2f%%)\n", s.Dataset, s.UnreachablePct)
+		for d, f := range s.DistanceFrac {
+			if f > 0 {
+				fmt.Fprintf(w, "%d %.4f\n", d, f)
+			}
+		}
+	}
+}
+
+// Fig3Series holds one dataset's construction traces for Figure 3.
+type Fig3Series struct {
+	Dataset string
+	// LabelsPerBFS[k] = labels added by the k-th pruned BFS (Fig 3a).
+	LabelsPerBFS []int64
+	// Cumulative[k] = fraction of all labels stored by step k (Fig 3b).
+	Cumulative []float64
+	// LabelSizes = per-vertex label sizes ascending (Fig 3c).
+	LabelSizes []int
+}
+
+// Fig3 traces pruned-BFS construction without bit-parallel labels, as in
+// the paper's Figure 3 ("We did not use bit-parallel BFSs for these
+// experiments").
+func Fig3(cfg Config, recipes []datasets.Recipe) ([]Fig3Series, error) {
+	cfg = cfg.Normalize()
+	var out []Fig3Series
+	for _, ds := range generate(cfg, recipes) {
+		var bs core.BuildStats
+		ix, err := core.Build(ds.g, core.Options{
+			Ordering:     order.Degree,
+			Seed:         cfg.Seed,
+			CollectStats: &bs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: Fig3 %s: %w", ds.rec.Name, err)
+		}
+		out = append(out, Fig3Series{
+			Dataset:      ds.rec.Name,
+			LabelsPerBFS: bs.LabelsPerBFS,
+			Cumulative:   stats.CumulativeFractions(bs.LabelsPerBFS),
+			LabelSizes:   ix.LabelSizeDistribution(),
+		})
+	}
+	return out, nil
+}
+
+// PrintFig3 writes the three panels as log-sampled text series.
+func PrintFig3(w io.Writer, series []Fig3Series) {
+	fmt.Fprintf(w, "# Figure 3a: labels added by x-th BFS\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		for _, i := range stats.LogSpacedIndexes(len(s.LabelsPerBFS)) {
+			fmt.Fprintf(w, "%d %d\n", i+1, s.LabelsPerBFS[i])
+		}
+	}
+	fmt.Fprintf(w, "\n# Figure 3b: cumulative fraction of labels by x-th BFS\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		for _, i := range stats.LogSpacedIndexes(len(s.Cumulative)) {
+			fmt.Fprintf(w, "%d %.4f\n", i+1, s.Cumulative[i])
+		}
+	}
+	fmt.Fprintf(w, "\n# Figure 3c: label size by vertex percentile\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		n := len(s.LabelSizes)
+		for p := 0; p <= 10; p++ {
+			i := p * (n - 1) / 10
+			fmt.Fprintf(w, "%.1f %d\n", float64(p)/10, s.LabelSizes[i])
+		}
+	}
+}
+
+// Fig4Series holds one dataset's pair-coverage curves for Figure 4.
+type Fig4Series struct {
+	Dataset string
+	// Ks are the x-axis sample points (number of BFSs performed).
+	Ks []int
+	// Average[ki] = fraction of pairs answered exactly by the first
+	// Ks[ki] roots (Fig 4a).
+	Average []float64
+	// ByDistance[d][ki] = same restricted to pairs at true distance d
+	// (Fig 4b-4d); only distances with enough samples are included.
+	ByDistance map[int][]float64
+}
+
+// Fig4 measures pair coverage against the number of performed BFSs.
+// Coverage after k pruned BFSs equals the exactness of the k-landmark
+// estimate for degree-ordered landmarks (Theorem 4.1 makes the pruned
+// index answer exactly the pairs the first k roots cover), so the sweep
+// reuses one landmark table instead of rebuilding indexes.
+func Fig4(cfg Config, recipes []datasets.Recipe, maxK int) []Fig4Series {
+	cfg = cfg.Normalize()
+	if maxK <= 0 {
+		maxK = 1024
+	}
+	var out []Fig4Series
+	for _, ds := range generate(cfg, recipes) {
+		n := ds.g.NumVertices()
+		k := maxK
+		if k > n {
+			k = n
+		}
+		perm := order.ByDegree(ds.g, cfg.Seed)
+		lm := baseline.BuildLandmarks(ds.g, perm, k)
+		ps := stats.SamplePairs(ds.g, cfg.QueryPairs, cfg.Seed^0xf46)
+
+		s := Fig4Series{Dataset: ds.rec.Name, ByDistance: map[int][]float64{}}
+		for _, ki := range stats.LogSpacedIndexes(k + 1) {
+			s.Ks = append(s.Ks, ki)
+			q := stats.QuerierFunc(func(a, b int32) int { return lm.EstimateWithPrefix(a, b, ki) })
+			s.Average = append(s.Average, stats.Coverage(ps, q))
+			for d, c := range stats.CoverageByDistance(ps, q) {
+				s.ByDistance[d] = append(s.ByDistance[d], c)
+			}
+		}
+		// Drop distances with few samples (noisy curves).
+		counts := map[int]int{}
+		for _, tr := range ps.Truth {
+			if tr >= 0 {
+				counts[int(tr)]++
+			}
+		}
+		for d := range s.ByDistance {
+			if counts[d] < 50 {
+				delete(s.ByDistance, d)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintFig4 writes the average and per-distance coverage curves.
+func PrintFig4(w io.Writer, series []Fig4Series) {
+	fmt.Fprintf(w, "# Figure 4a: average pair coverage vs number of BFSs\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		for i, k := range s.Ks {
+			fmt.Fprintf(w, "%d %.4f\n", k, s.Average[i])
+		}
+	}
+	fmt.Fprintf(w, "\n# Figure 4b-4d: coverage by true distance\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Dataset)
+		ds := make([]int, 0, len(s.ByDistance))
+		for d := range s.ByDistance {
+			ds = append(ds, d)
+		}
+		sort.Ints(ds)
+		for _, d := range ds {
+			fmt.Fprintf(w, "### d=%d\n", d)
+			for i, k := range s.Ks {
+				fmt.Fprintf(w, "%d %.4f\n", k, s.ByDistance[d][i])
+			}
+		}
+	}
+}
+
+// Fig5Point is one (t, measurements) sample of Figure 5's sweep over the
+// number of bit-parallel BFSs.
+type Fig5Point struct {
+	T               int
+	Preprocess      time.Duration
+	QueryTime       time.Duration
+	NormalLabelSize float64
+	IndexBytes      int64
+}
+
+// Fig5Series is one dataset's sweep.
+type Fig5Series struct {
+	Dataset string
+	Points  []Fig5Point
+}
+
+// Fig5 sweeps the bit-parallel BFS count t over powers of four, as in
+// the paper's Figure 5 (x axis 1..1024).
+func Fig5(cfg Config, recipes []datasets.Recipe, ts []int) ([]Fig5Series, error) {
+	cfg = cfg.Normalize()
+	if len(ts) == 0 {
+		ts = []int{1, 4, 16, 64, 256, 1024}
+	}
+	var out []Fig5Series
+	for _, ds := range generate(cfg, recipes) {
+		s := Fig5Series{Dataset: ds.rec.Name}
+		pairs := queryPairs(ds.g.NumVertices(), cfg.QueryPairs, cfg.Seed^0xf56)
+		for _, t := range ts {
+			if t > ds.g.NumVertices() {
+				continue
+			}
+			start := time.Now()
+			ix, err := core.Build(ds.g, core.Options{
+				Ordering:       order.Degree,
+				Seed:           cfg.Seed,
+				NumBitParallel: t,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: Fig5 %s t=%d: %w", ds.rec.Name, t, err)
+			}
+			p := Fig5Point{T: t, Preprocess: time.Since(start)}
+			st := ix.ComputeStats()
+			p.NormalLabelSize = st.AvgLabelSize
+			p.IndexBytes = st.IndexBytes
+			p.QueryTime = timePerQuery(len(pairs), func(i int) {
+				ix.Query(pairs[i][0], pairs[i][1])
+			})
+			s.Points = append(s.Points, p)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PrintFig5 writes the four panels of Figure 5.
+func PrintFig5(w io.Writer, series []Fig5Series) {
+	for _, panel := range []struct {
+		title string
+		cell  func(p Fig5Point) string
+	}{
+		{"Figure 5a: preprocessing time vs #bit-parallel BFSs", func(p Fig5Point) string { return durShort(p.Preprocess) }},
+		{"Figure 5b: query time", func(p Fig5Point) string { return durShort(p.QueryTime) }},
+		{"Figure 5c: average normal label size", func(p Fig5Point) string { return fmt.Sprintf("%.1f", p.NormalLabelSize) }},
+		{"Figure 5d: index size", func(p Fig5Point) string { return bytesShort(p.IndexBytes) }},
+	} {
+		fmt.Fprintf(w, "# %s\n", panel.title)
+		for _, s := range series {
+			fmt.Fprintf(w, "## %s\n", s.Dataset)
+			for _, p := range s.Points {
+				fmt.Fprintf(w, "%d %s\n", p.T, panel.cell(p))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

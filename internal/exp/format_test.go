@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurShort(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5us",
+		2500 * time.Microsecond: "2.5ms",
+		1500 * time.Millisecond: "1.5s",
+	}
+	for in, want := range cases {
+		if got := durShort(in); got != want {
+			t.Fatalf("durShort(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytesShort(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+	}
+	for in, want := range cases {
+		if got := bytesShort(in); got != want {
+			t.Fatalf("bytesShort(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDnfOr(t *testing.T) {
+	if dnfOr(MethodResult{DNF: true}, "x") != "DNF" {
+		t.Fatal("DNF not reported")
+	}
+	if dnfOr(MethodResult{}, "x") != "x" {
+		t.Fatal("value not passed through")
+	}
+}
+
+func TestTimePerQuery(t *testing.T) {
+	if timePerQuery(0, func(int) {}) != 0 {
+		t.Fatal("zero queries should cost zero")
+	}
+	d := timePerQuery(10, func(int) { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond {
+		t.Fatalf("per-query time %v implausibly low", d)
+	}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"testing"
+
+	"pll/internal/datasets"
+)
+
+// TestTable3LargeRecipesAtTinyScale exercises the six large-dataset
+// recipes (Skitter..Indochina) through the full Table 3 driver at a
+// scale where everything finishes quickly, covering the DNF paths.
+func TestTable3LargeRecipesAtTinyScale(t *testing.T) {
+	cfg := Config{
+		ScaleDiv:   4096,
+		Seed:       3,
+		QueryPairs: 300,
+		HHLMaxN:    1500,
+		TDMaxBag:   8,
+		TDMaxCore:  800,
+	}
+	var large []datasets.Recipe
+	for _, r := range datasets.All() {
+		if !r.Small {
+			large = append(large, r)
+		}
+	}
+	if len(large) != 6 {
+		t.Fatalf("large recipes = %d, want 6", len(large))
+	}
+	rows, err := Table3(cfg, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PLL.QueryTime <= 0 {
+			t.Fatalf("%s: missing PLL measurement", r.Dataset)
+		}
+		if r.BitParallel != 64 {
+			t.Fatalf("%s: large datasets use t=64", r.Dataset)
+		}
+	}
+}
+
+// TestFig5RespectsVertexCount drops sweep points above n rather than
+// failing.
+func TestFig5RespectsVertexCount(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.ScaleDiv = 8192 // tiny graphs
+	series, err := Fig5(cfg, datasets.Fig3Sets()[:1], []int{1, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range series[0].Points {
+		if p.T > 1<<19 {
+			t.Fatal("oversized sweep point not dropped")
+		}
+	}
+}
+
+// TestFig2AllRecipes covers the large-dataset statistics path.
+func TestFig2AllRecipes(t *testing.T) {
+	cfg := Config{ScaleDiv: 8192, Seed: 1, QueryPairs: 200}
+	series := Fig2(cfg, datasets.All())
+	if len(series) != 11 {
+		t.Fatalf("series = %d, want 11", len(series))
+	}
+}

@@ -1,0 +1,321 @@
+// Package gen generates the synthetic networks used as stand-ins for the
+// paper's real-world datasets (see DESIGN.md §3) and the structured
+// graphs (paths, grids, trees, core–fringe) used to exercise the
+// theoretical properties of pruned landmark labeling.
+//
+// Every generator is deterministic given its seed; all randomness flows
+// through internal/rng.
+package gen
+
+import (
+	"fmt"
+
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// Path returns the path graph 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, max(0, n-1))
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: Cycle needs n >= 3")
+	}
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32((i + 1) % n)})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, max(0, n-1))
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(i)})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// Grid returns the rows x cols king-free grid (4-neighborhood). Grids
+// have tree-width min(rows, cols), exercising Theorem 4.4.
+func Grid(rows, cols int) *graph.Graph {
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	var edges []graph.Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return must(graph.NewGraph(rows*cols, edges))
+}
+
+// RandomTree returns a uniformly random recursive tree on n vertices:
+// vertex i attaches to a uniform earlier vertex. Trees have tree-width 1.
+func RandomTree(n int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, max(0, n-1))
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: r.Int31n(int32(i))})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// ErdosRenyi returns a G(n, m) random graph with exactly m distinct
+// non-loop edges (requires m <= n*(n-1)/2).
+func ErdosRenyi(n int, m int64, seed uint64) *graph.Graph {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi m=%d exceeds max %d for n=%d", m, maxEdges, n))
+	}
+	r := rng.New(seed)
+	seen := make(map[uint64]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	for int64(len(edges)) < m {
+		u := r.Int31n(int32(n))
+		v := r.Int31n(int32(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique of m+1 vertices, each new vertex attaches to m existing
+// vertices chosen proportionally to degree. The result is connected with
+// a power-law degree tail — the paper's social-network shape (Fig. 2a).
+func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
+	if m < 1 {
+		panic("gen: BarabasiAlbert needs m >= 1")
+	}
+	if n < m+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs n >= m+1 (n=%d, m=%d)", n, m))
+	}
+	r := rng.New(seed)
+	// endpoint multiset: vertex v appears deg(v) times; uniform sampling
+	// from it is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*int64(n)*int64(m))
+	edges := make([]graph.Edge, 0, int64(n)*int64(m))
+	// Seed clique on m+1 vertices.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+			endpoints = append(endpoints, int32(i), int32(j))
+		}
+	}
+	chosen := make([]int32, 0, m)
+	for v := int32(m + 1); int(v) < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			u := endpoints[r.Intn(len(endpoints))]
+			dup := false
+			for _, c := range chosen {
+				if c == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, u)
+			}
+		}
+		for _, u := range chosen {
+			edges = append(edges, graph.Edge{U: v, V: u})
+			endpoints = append(endpoints, v, u)
+		}
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// WattsStrogatz returns a small-world ring lattice on n vertices where
+// each vertex starts with k/2 neighbors on each side (k even) and each
+// edge is rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if k%2 != 0 || k < 2 || k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz needs even 2 <= k < n (n=%d, k=%d)", n, k))
+	}
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n*k/2)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u, v := int32(i), int32((i+j)%n)
+			if r.Float64() < beta {
+				// Rewire the far endpoint to a uniform non-u vertex.
+				for {
+					w := r.Int31n(int32(n))
+					if w != u {
+						v = w
+						break
+					}
+				}
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// RMAT returns a recursive-matrix (Kronecker-style) graph on 2^scale
+// vertices with avgDegree*2^scale sampled arcs, treated as undirected
+// edges (duplicates and self-loops are dropped by the builder, so the
+// final edge count is slightly below the sample count, as in the
+// reference R-MAT construction). Skew parameters (a,b,c) follow the
+// usual convention with d = 1-a-b-c; the default web-graph skew in
+// internal/datasets is (0.57, 0.19, 0.19).
+func RMAT(scale int, avgDegree int, a, b, c float64, seed uint64) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic("gen: RMAT scale out of range [1,30]")
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		panic("gen: RMAT probabilities must be a non-negative partition of 1")
+	}
+	n := 1 << scale
+	m := int64(avgDegree) * int64(n)
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int32
+		for level := 0; level < scale; level++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				v |= 1 << level
+			case p < a+b+c:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// CoreFringe returns a graph with a dense Erdős–Rényi core of coreN
+// vertices and coreM edges, plus tree-like fringes: fringeN extra
+// vertices each attached to a uniformly random earlier vertex (core or
+// fringe), giving low tree-width outside the core — the structure the
+// tree-decomposition baselines and Theorem 4.4 exploit.
+func CoreFringe(coreN int, coreM int64, fringeN int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	core := ErdosRenyi(coreN, coreM, seed^0x5eed)
+	edges := core.Edges()
+	n := coreN + fringeN
+	for v := coreN; v < n; v++ {
+		parent := r.Int31n(int32(v))
+		edges = append(edges, graph.Edge{U: int32(v), V: parent})
+	}
+	return must(graph.NewGraph(n, edges))
+}
+
+// RandomWeights lifts g to a weighted graph with uniform random integer
+// weights in [minW, maxW].
+func RandomWeights(g *graph.Graph, minW, maxW uint32, seed uint64) *graph.Weighted {
+	if minW > maxW {
+		panic("gen: RandomWeights needs minW <= maxW")
+	}
+	r := rng.New(seed)
+	span := uint64(maxW-minW) + 1
+	var wedges []graph.WeightedEdge
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				w := minW + uint32(r.Uint64n(span))
+				wedges = append(wedges, graph.WeightedEdge{U: v, V: u, Weight: w})
+			}
+		}
+	}
+	wg, err := graph.NewWeighted(g.NumVertices(), wedges)
+	if err != nil {
+		panic(err)
+	}
+	return wg
+}
+
+// RandomDigraph returns a digraph with n vertices and m arcs sampled
+// uniformly (self-loops excluded, duplicates collapsed by the builder).
+func RandomDigraph(n int, m int64, seed uint64) *graph.Digraph {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u := r.Int31n(int32(n))
+		v := r.Int31n(int32(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	dg, err := graph.NewDigraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return dg
+}
+
+// ExampleGraph12 returns the small 12-vertex illustration graph used by
+// the Figure 1 walkthrough. The paper's figure is a drawing whose exact
+// adjacency is not recoverable from the text, so this is a structurally
+// equivalent stand-in: a high-degree hub (vertex 0), a secondary hub
+// (vertex 1), and peripheral vertices, which reproduces the figure's
+// phenomenon — each successive pruned BFS labels fewer vertices.
+func ExampleGraph12() *graph.Graph {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 6}, {U: 1, V: 7}, {U: 1, V: 8},
+		{U: 2, V: 9}, {U: 3, V: 10},
+		{U: 4, V: 5}, {U: 6, V: 7},
+		{U: 9, V: 11}, {U: 10, V: 11},
+	}
+	return must(graph.NewGraph(12, edges))
+}
+
+func must(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("path(5): n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.NumEdges() != 6 {
+		t.Fatalf("cycle(6) edges = %d", g.NumEdges())
+	}
+	for v := int32(0); v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("cycle degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCyclePanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Cycle(2)")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	if g.Degree(0) != 6 {
+		t.Fatalf("star center degree = %d", g.Degree(0))
+	}
+	for v := int32(1); v < 7; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("star leaf degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d, want 10", g.NumEdges())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("grid n = %d", g.NumVertices())
+	}
+	// 3*3 horizontal + 2*4 vertical = 9+8 = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("grid should be connected")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(50, 3)
+	if g.NumEdges() != 49 {
+		t.Fatalf("tree edges = %d, want 49", g.NumEdges())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("tree should be connected")
+	}
+}
+
+func TestErdosRenyiExactEdges(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumEdges() != 300 {
+		t.Fatalf("ER edges = %d, want 300", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 100, 9)
+	b := ErdosRenyi(50, 100, 9)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestErdosRenyiPanicsOnTooManyEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ErdosRenyi(3, 4, 1)
+}
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 42)
+	if g.NumVertices() != 500 {
+		t.Fatalf("BA n = %d", g.NumVertices())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("BA graph should be connected")
+	}
+	// Every non-seed vertex attaches with m=3 edges; m is about 3n.
+	if g.NumEdges() < 3*(500-4) {
+		t.Fatalf("BA edges = %d, too few", g.NumEdges())
+	}
+	// Power-law-ish: max degree should be far above the mean.
+	mean := float64(2*g.NumEdges()) / 500
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Fatalf("BA max degree %d not heavy-tailed (mean %.1f)", g.MaxDegree(), mean)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BarabasiAlbert(2, 3, 1) },
+		func() { BarabasiAlbert(10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0.1, 5)
+	if g.NumVertices() != 100 {
+		t.Fatalf("WS n = %d", g.NumVertices())
+	}
+	// Base lattice has n*k/2 = 200 edges; rewiring can only merge a few.
+	if g.NumEdges() < 180 {
+		t.Fatalf("WS edges = %d, too few", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzZeroBeta(t *testing.T) {
+	g := WattsStrogatz(20, 4, 0, 1)
+	for v := int32(0); v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("unrewired WS degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd k")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, 1)
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("RMAT n = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*1024 {
+		t.Fatalf("RMAT edges = %d out of range", g.NumEdges())
+	}
+	// Skewed generators produce heavy-tailed degree distributions.
+	mean := float64(2*g.NumEdges()) / 1024
+	if float64(g.MaxDegree()) < 3*mean {
+		t.Fatalf("RMAT max degree %d not skewed (mean %.1f)", g.MaxDegree(), mean)
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad probabilities")
+		}
+	}()
+	RMAT(5, 4, 0.9, 0.9, 0.9, 1)
+}
+
+func TestCoreFringe(t *testing.T) {
+	g := CoreFringe(50, 400, 200, 11)
+	if g.NumVertices() != 250 {
+		t.Fatalf("core-fringe n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 600 {
+		t.Fatalf("core-fringe edges = %d, want 600", g.NumEdges())
+	}
+	if !graph.IsConnected(g) {
+		// The core itself may be disconnected; the fringe attaches to
+		// earlier vertices so extra components come only from the core.
+		_, count := graph.ConnectedComponents(g)
+		if count > 5 {
+			t.Fatalf("core-fringe highly disconnected: %d components", count)
+		}
+	}
+}
+
+func TestRandomWeights(t *testing.T) {
+	g := Path(10)
+	wg := RandomWeights(g, 2, 9, 7)
+	if wg.NumEdges() != 9 {
+		t.Fatal("weight lift changed edges")
+	}
+	for v := int32(0); v < 10; v++ {
+		for _, w := range wg.Weights(v) {
+			if w < 2 || w > 9 {
+				t.Fatalf("weight %d out of [2,9]", w)
+			}
+		}
+	}
+}
+
+func TestRandomDigraph(t *testing.T) {
+	g := RandomDigraph(50, 200, 13)
+	if g.NumVertices() != 50 {
+		t.Fatalf("digraph n = %d", g.NumVertices())
+	}
+	if g.NumArcs() == 0 || g.NumArcs() > 200 {
+		t.Fatalf("digraph arcs = %d", g.NumArcs())
+	}
+}
+
+func TestExampleGraph12(t *testing.T) {
+	g := ExampleGraph12()
+	if g.NumVertices() != 12 {
+		t.Fatalf("example n = %d", g.NumVertices())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("example graph should be connected")
+	}
+	if g.MaxDegree() < 4 {
+		t.Fatal("example graph needs a hub")
+	}
+}
+
+func TestGeneratorsDeterministicProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		a := BarabasiAlbert(60, 2, seed)
+		b := BarabasiAlbert(60, 2, seed)
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		ea, eb := a.Edges(), b.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+// ConnectedComponents labels every vertex with a component ID in
+// [0, count) and returns the labels and the number of components.
+// Component IDs are assigned in order of the smallest vertex they contain.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := int32(0); int(s) < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] == -1 {
+					labels[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertices of the largest connected
+// component of g, sorted ascending.
+func LargestComponent(g *Graph) []int32 {
+	labels, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int64, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := int32(0)
+	for i := int32(1); int(i) < count; i++ {
+		if sizes[i] > sizes[best] {
+			best = i
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, l := range labels {
+		if l == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given vertex
+// set (which must contain no duplicates), together with the mapping
+// newID -> oldID. Vertices keep the relative order of the input slice.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	inv := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		inv[v] = int32(i)
+	}
+	var edges []Edge
+	for i, v := range vertices {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := inv[u]; ok && int32(i) < j {
+				edges = append(edges, Edge{U: int32(i), V: j})
+			}
+		}
+	}
+	sub, err := NewGraph(len(vertices), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapping := make([]int32, len(vertices))
+	copy(mapping, vertices)
+	return sub, mapping, nil
+}
+
+// IsConnected reports whether g is connected (vacuously true for n <= 1).
+func IsConnected(g *Graph) bool {
+	_, count := ConnectedComponents(g)
+	return count <= 1
+}

@@ -1,0 +1,92 @@
+package graph
+
+import "testing"
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+	g, err := NewGraph(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("3,4 should share a component")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("5 should be isolated")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g, err := NewGraph(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+	if lc[0] != 0 || lc[1] != 1 || lc[2] != 2 {
+		t.Fatalf("largest component = %v, want [0 1 2]", lc)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	g, err := NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc := LargestComponent(g); lc != nil {
+		t.Fatalf("expected nil for empty graph, got %v", lc)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, err := NewGraph(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := InducedSubgraph(g, []int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("induced subgraph: n=%d m=%d, want 3,2", sub.NumVertices(), sub.NumEdges())
+	}
+	if mapping[0] != 0 || mapping[1] != 1 || mapping[2] != 2 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatal("wrong induced edges")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	conn, err := NewGraph(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(conn) {
+		t.Fatal("path should be connected")
+	}
+	disc, err := NewGraph(3, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConnected(disc) {
+		t.Fatal("graph with isolated vertex should be disconnected")
+	}
+	empty, err := NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(empty) {
+		t.Fatal("empty graph is vacuously connected")
+	}
+}

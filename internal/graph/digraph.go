@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is an immutable directed, unweighted graph in CSR form, with
+// both out-adjacency and in-adjacency stored so that forward and reverse
+// breadth-first searches are equally cheap (the directed variant of the
+// paper, §6, runs a pruned BFS in each direction from every vertex).
+type Digraph struct {
+	outOff []int64
+	outTo  []int32
+	inOff  []int64
+	inTo   []int32
+}
+
+// NewDigraph builds a directed graph with n vertices. Each Edge{U,V} is
+// the arc U -> V. Self-loops are dropped and parallel arcs collapsed.
+func NewDigraph(n int, edges []Edge) (*Digraph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	outOff, outTo := buildCSR(n, edges, false)
+	inOff, inTo := buildCSR(n, edges, true)
+	return &Digraph{outOff: outOff, outTo: outTo, inOff: inOff, inTo: inTo}, nil
+}
+
+// buildCSR builds one direction of adjacency; reverse swaps arc ends.
+func buildCSR(n int, edges []Edge, reverse bool) ([]int64, []int32) {
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		src := e.U
+		if reverse {
+			src = e.V
+		}
+		off[src+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	to := make([]int32, off[n])
+	pos := make([]int64, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		src, dst := e.U, e.V
+		if reverse {
+			src, dst = dst, src
+		}
+		to[pos[src]] = dst
+		pos[src]++
+	}
+	// Sort and dedup each list, compacting.
+	newOff := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		adj := to[off[v]:off[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		start := w
+		var prev int32 = -1
+		for _, t := range adj {
+			if t != prev {
+				to[w] = t
+				w++
+				prev = t
+			}
+		}
+		newOff[v] = start
+	}
+	newOff[n] = w
+	return newOff, to[:w]
+}
+
+// NumVertices returns the number of vertices.
+func (g *Digraph) NumVertices() int { return len(g.outOff) - 1 }
+
+// NumArcs returns the number of directed arcs.
+func (g *Digraph) NumArcs() int64 { return g.outOff[g.NumVertices()] }
+
+// OutNeighbors returns the sorted successors of v (aliases internal storage).
+func (g *Digraph) OutNeighbors(v int32) []int32 { return g.outTo[g.outOff[v]:g.outOff[v+1]] }
+
+// InNeighbors returns the sorted predecessors of v (aliases internal storage).
+func (g *Digraph) InNeighbors(v int32) []int32 { return g.inTo[g.inOff[v]:g.inOff[v+1]] }
+
+// OutDegree returns the number of successors of v.
+func (g *Digraph) OutDegree(v int32) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Digraph) InDegree(v int32) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Relabel returns a copy of g with vertex perm[i] renamed to i
+// (perm[newID] = oldID).
+func (g *Digraph) Relabel(perm []int32) (*Digraph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), n)
+	}
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	for newID, oldID := range perm {
+		if oldID < 0 || int(oldID) >= n || seen[oldID] {
+			return nil, fmt.Errorf("graph: invalid permutation entry %d", oldID)
+		}
+		seen[oldID] = true
+		inv[oldID] = int32(newID)
+	}
+	edges := make([]Edge, 0, g.NumArcs())
+	for v := int32(0); int(v) < n; v++ {
+		for _, u := range g.OutNeighbors(v) {
+			edges = append(edges, Edge{U: inv[v], V: inv[u]})
+		}
+	}
+	return NewDigraph(n, edges)
+}
+
+// Underlying returns the undirected graph obtained by forgetting arc
+// directions (used for ordering heuristics on directed inputs).
+func (g *Digraph) Underlying() *Graph {
+	edges := make([]Edge, 0, g.NumArcs())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			edges = append(edges, Edge{U: v, V: u})
+		}
+	}
+	und, err := NewGraph(g.NumVertices(), edges)
+	if err != nil {
+		// Cannot happen: arcs were validated at construction.
+		panic(err)
+	}
+	return und
+}

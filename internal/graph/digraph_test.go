@@ -1,0 +1,155 @@
+package graph
+
+import "testing"
+
+func TestDigraphBasic(t *testing.T) {
+	g, err := NewDigraph(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumArcs() != 3 {
+		t.Fatalf("got n=%d m=%d, want 3,3", g.NumVertices(), g.NumArcs())
+	}
+	if got := g.OutNeighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("OutNeighbors(0) = %v, want [1]", got)
+	}
+	if got := g.InNeighbors(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("InNeighbors(0) = %v, want [2]", got)
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(0) != 1 {
+		t.Fatal("degree mismatch")
+	}
+}
+
+func TestDigraphAsymmetry(t *testing.T) {
+	g, err := NewDigraph(2, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(1) != 0 {
+		t.Fatal("arc 0->1 should not create 1->0")
+	}
+	if g.InDegree(1) != 1 {
+		t.Fatal("arc 0->1 should appear in in-adjacency of 1")
+	}
+}
+
+func TestDigraphDropsLoopsAndDups(t *testing.T) {
+	g, err := NewDigraph(2, []Edge{{0, 1}, {0, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 1 {
+		t.Fatalf("NumArcs = %d, want 1", g.NumArcs())
+	}
+}
+
+func TestDigraphRejectsOutOfRange(t *testing.T) {
+	if _, err := NewDigraph(1, []Edge{{0, 1}}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDigraphRelabel(t *testing.T) {
+	g, err := NewDigraph(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.Relabel([]int32{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// old arc 0->1 becomes 2->1; old 1->2 becomes 1->0.
+	if got := h.OutNeighbors(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("OutNeighbors(2) = %v, want [1]", got)
+	}
+	if got := h.OutNeighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("OutNeighbors(1) = %v, want [0]", got)
+	}
+}
+
+func TestDigraphUnderlying(t *testing.T) {
+	g, err := NewDigraph(3, []Edge{{0, 1}, {1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Underlying()
+	if u.NumEdges() != 2 {
+		t.Fatalf("underlying edges = %d, want 2", u.NumEdges())
+	}
+	if !u.HasEdge(0, 1) || !u.HasEdge(1, 2) {
+		t.Fatal("underlying graph missing edges")
+	}
+}
+
+func TestWeightedBasic(t *testing.T) {
+	g, err := NewWeighted(3, []WeightedEdge{{0, 1, 5}, {1, 2, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	adj, ws := g.Neighbors(1), g.Weights(1)
+	if len(adj) != 2 || len(ws) != 2 {
+		t.Fatalf("vertex 1 adjacency %v weights %v", adj, ws)
+	}
+	for i, u := range adj {
+		want := uint32(5)
+		if u == 2 {
+			want = 7
+		}
+		if ws[i] != want {
+			t.Fatalf("weight to %d = %d, want %d", u, ws[i], want)
+		}
+	}
+}
+
+func TestWeightedKeepsMinWeightOnDup(t *testing.T) {
+	g, err := NewWeighted(2, []WeightedEdge{{0, 1, 9}, {0, 1, 3}, {1, 0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w := g.Weights(0)[0]; w != 3 {
+		t.Fatalf("kept weight %d, want min 3", w)
+	}
+}
+
+func TestWeightedRelabelAndUnweighted(t *testing.T) {
+	g, err := NewWeighted(3, []WeightedEdge{{0, 1, 2}, {1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.Relabel([]int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 {
+		t.Fatal("relabel changed edge count")
+	}
+	u := g.Unweighted()
+	if u.NumEdges() != 2 || !u.HasEdge(0, 1) {
+		t.Fatal("Unweighted lost structure")
+	}
+}
+
+func TestUniformWeighted(t *testing.T) {
+	base, err := NewGraph(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := UniformWeighted(base, 10)
+	if wg.NumEdges() != 2 {
+		t.Fatal("edge count changed")
+	}
+	for v := int32(0); v < 3; v++ {
+		for _, w := range wg.Weights(v) {
+			if w != 10 {
+				t.Fatalf("weight %d, want 10", w)
+			}
+		}
+	}
+}

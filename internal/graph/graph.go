@@ -1,0 +1,186 @@
+// Package graph provides the compressed sparse row (CSR) graph substrate
+// used by every algorithm in this repository.
+//
+// Three concrete representations are provided:
+//
+//   - Graph: simple undirected, unweighted graphs (the paper's default
+//     setting, §3.2);
+//   - Digraph: directed, unweighted graphs (paper §6 "Directed Graphs");
+//   - Weighted: undirected graphs with non-negative integer edge weights
+//     (paper §6 "Weighted Graphs").
+//
+// All three store adjacency in flat arrays (offsets + targets), which is
+// what makes the pruned breadth-first searches of the paper cache
+// friendly. Vertices are identified by dense int32 IDs in [0, N).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected or directed edge between two vertices, depending
+// on the builder it is given to.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is an immutable undirected, unweighted graph in CSR form.
+// Parallel edges and self-loops are removed at construction time.
+type Graph struct {
+	offsets []int64 // len = n+1; adjacency of v is targets[offsets[v]:offsets[v+1]]
+	targets []int32
+}
+
+// NewGraph builds an undirected graph with n vertices from the given edge
+// list. Self-loops are dropped; parallel edges are collapsed. Each kept
+// edge {u,v} appears in both adjacency lists. It returns an error if any
+// endpoint is outside [0, n).
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	targets := make([]int32, deg[n])
+	pos := make([]int64, n)
+	copy(pos, deg[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		targets[pos[e.U]] = e.V
+		pos[e.U]++
+		targets[pos[e.V]] = e.U
+		pos[e.V]++
+	}
+	g := &Graph{offsets: deg, targets: targets}
+	g.sortAndDedup()
+	return g, nil
+}
+
+// sortAndDedup sorts every adjacency list and removes duplicates,
+// compacting the CSR arrays in place.
+func (g *Graph) sortAndDedup() {
+	n := g.NumVertices()
+	newOff := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		adj := g.targets[lo:hi]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		start := w
+		var prev int32 = -1
+		for _, t := range adj {
+			if t != prev {
+				g.targets[w] = t
+				w++
+				prev = t
+			}
+		}
+		newOff[v] = start
+	}
+	newOff[n] = w
+	g.offsets = newOff
+	g.targets = g.targets[:w]
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.offsets[g.NumVertices()] / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search on the
+// shorter adjacency list.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Edges returns a copy of the edge list with U < V for every edge.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				edges = append(edges, Edge{U: v, V: u})
+			}
+		}
+	}
+	return edges
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(int32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Relabel returns a copy of g in which vertex perm[i] of the original
+// graph becomes vertex i of the new graph. perm must be a permutation of
+// [0, n): perm[newID] = oldID.
+func (g *Graph) Relabel(perm []int32) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), n)
+	}
+	inv := make([]int32, n) // oldID -> newID
+	seen := make([]bool, n)
+	for newID, oldID := range perm {
+		if oldID < 0 || int(oldID) >= n || seen[oldID] {
+			return nil, fmt.Errorf("graph: invalid permutation entry %d", oldID)
+		}
+		seen[oldID] = true
+		inv[oldID] = int32(newID)
+	}
+	offsets := make([]int64, n+1)
+	for newID := 0; newID < n; newID++ {
+		offsets[newID+1] = offsets[newID] + int64(g.Degree(perm[newID]))
+	}
+	targets := make([]int32, offsets[n])
+	for newID := 0; newID < n; newID++ {
+		w := offsets[newID]
+		for _, t := range g.Neighbors(perm[newID]) {
+			targets[w] = inv[t]
+			w++
+		}
+		adj := targets[offsets[newID]:offsets[newID+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return &Graph{offsets: offsets, targets: targets}, nil
+}

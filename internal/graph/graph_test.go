@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/rng"
+)
+
+// pathGraph returns the path 0-1-2-...-(n-1).
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{int32(i), int32(i + 1)})
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphBasic(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for v := int32(0); v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewGraphDropsSelfLoopsAndDuplicates(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (self-loops and duplicates removed)", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("Degree(2) = %d, want 0", g.Degree(2))
+	}
+}
+
+func TestNewGraphRejectsOutOfRange(t *testing.T) {
+	if _, err := NewGraph(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+	if _, err := NewGraph(2, []Edge{{-1, 0}}); err == nil {
+		t.Fatal("expected error for negative endpoint")
+	}
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g, err := NewGraph(5, []Edge{{0, 4}, {0, 2}, {0, 1}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := g.Neighbors(0)
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1] >= adj[i] {
+			t.Fatalf("adjacency not sorted: %v", adj)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := pathGraph(t, 5)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("HasEdge(1,2) should be true")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("HasEdge(0,2) should be false")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	orig := []Edge{{0, 1}, {1, 2}, {3, 4}, {0, 4}}
+	g, err := NewGraph(5, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Edges()
+	if len(got) != len(orig) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(got), len(orig))
+	}
+	g2, err := NewGraph(5, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed edge count")
+	}
+	for v := int32(0); v < 5; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g, err := NewGraph(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := pathGraph(t, 6)
+	perm := []int32{5, 4, 3, 2, 1, 0} // reverse
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("relabel changed edge count")
+	}
+	// Old edge {0,1} becomes {5,4} under reversal.
+	if !h.HasEdge(5, 4) {
+		t.Fatal("expected relabeled edge {5,4}")
+	}
+	if h.HasEdge(0, 2) {
+		t.Fatal("unexpected edge after relabel")
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := g.Relabel([]int32{0, 1}); err == nil {
+		t.Fatal("expected error for short permutation")
+	}
+	if _, err := g.Relabel([]int32{0, 0, 1}); err == nil {
+		t.Fatal("expected error for duplicate entries")
+	}
+	if _, err := g.Relabel([]int32{0, 1, 3}); err == nil {
+		t.Fatal("expected error for out-of-range entry")
+	}
+}
+
+func TestRelabelRandomizedInvariant(t *testing.T) {
+	r := rng.New(99)
+	check := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := rr.Intn(40) + 2
+		m := rr.Intn(3 * n)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, Edge{rr.Int31n(int32(n)), rr.Int31n(int32(n))})
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)
+		h, err := g.Relabel(perm)
+		if err != nil {
+			return false
+		}
+		if h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		// Every original edge must exist under the new names.
+		inv := make([]int32, n)
+		for newID, oldID := range perm {
+			inv[oldID] = int32(newID)
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(inv[e.U], inv[e.V]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph should have no vertices or edges")
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatal("empty graph MaxDegree should be 0")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g, err := NewGraph(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 0 {
+		t.Fatal("isolated vertex should have degree 0")
+	}
+}

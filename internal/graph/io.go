@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list in the SNAP text
+// format used by the paper's datasets: one "u v" pair per line, lines
+// beginning with '#' or '%' are comments, blank lines are ignored.
+// Vertex IDs may be sparse; they are compacted to a dense [0, n) range in
+// first-appearance order. It returns the dense edge list and the number
+// of distinct vertices.
+func ReadEdgeList(r io.Reader) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	idOf := make(map[int64]int32)
+	var edges []Edge
+	dense := func(raw int64) int32 {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := int32(len(idOf))
+		idOf[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		edges = append(edges, Edge{U: dense(u), V: dense(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return edges, len(idOf), nil
+}
+
+// ReadWeightedEdgeList parses lines of the form "u v w" with the same
+// comment conventions as ReadEdgeList.
+func ReadWeightedEdgeList(r io.Reader) ([]WeightedEdge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	idOf := make(map[int64]int32)
+	var edges []WeightedEdge
+	dense := func(raw int64) int32 {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := int32(len(idOf))
+		idOf[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, 0, fmt.Errorf("graph: line %d: want 3 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		w, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+		}
+		edges = append(edges, WeightedEdge{U: dense(u), V: dense(v), Weight: uint32(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return edges, len(idOf), nil
+}
+
+// WriteEdgeList writes g as a "u v" text edge list with a header comment,
+// one line per undirected edge (U < V).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadGraphFile reads an undirected graph from a text edge-list file.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	edges, n, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return NewGraph(n, edges)
+}
+
+// SaveGraphFile writes g to path as a text edge list.
+func SaveGraphFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+% another comment
+
+10 20
+20 30
+10 30
+`
+	edges, n, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3 (IDs compacted)", n)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("len(edges) = %d, want 3", len(edges))
+	}
+	// 10 -> 0, 20 -> 1, 30 -> 2 in first-appearance order.
+	if edges[0] != (Edge{0, 1}) || edges[1] != (Edge{1, 2}) || edges[2] != (Edge{0, 2}) {
+		t.Fatalf("unexpected dense edges %v", edges)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                        // too few fields
+		"a b\n",                      // non-numeric u
+		"1 b\n",                      // non-numeric v
+		"1 2\n3\n",                   // bad later line
+		"9999999999999999999999 1\n", // overflow
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestReadWeightedEdgeList(t *testing.T) {
+	in := "0 1 5\n1 2 7\n"
+	edges, n, err := ReadWeightedEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 2 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+	if edges[0].Weight != 5 || edges[1].Weight != 7 {
+		t.Fatalf("weights %v", edges)
+	}
+}
+
+func TestReadWeightedEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0 1\n", "0 1 x\n", "0 1 -3\n", "z 1 2\n", "0 z 2\n"} {
+		if _, _, err := ReadWeightedEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g, err := NewGraph(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	edges, n, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %d/%d, want %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestSaveLoadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g, err := NewGraph(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatalf("loaded %d edges, want 3", g2.NumEdges())
+	}
+}
+
+func TestLoadGraphFileMissing(t *testing.T) {
+	if _, err := LoadGraphFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadGraphFileMalformed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("not an edge list\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGraphFile(path); err == nil {
+		t.Fatal("expected error for malformed file")
+	}
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeightedEdge is an undirected edge with a non-negative integer weight.
+type WeightedEdge struct {
+	U, V   int32
+	Weight uint32
+}
+
+// Weighted is an immutable undirected graph with non-negative integer
+// edge weights, in CSR form. Parallel edges are collapsed keeping the
+// minimum weight; self-loops are dropped.
+type Weighted struct {
+	offsets []int64
+	targets []int32
+	weights []uint32
+}
+
+// NewWeighted builds a weighted undirected graph with n vertices.
+func NewWeighted(n int, edges []WeightedEdge) (*Weighted, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		off[e.U+1]++
+		off[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	targets := make([]int32, off[n])
+	weights := make([]uint32, off[n])
+	pos := make([]int64, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		targets[pos[e.U]], weights[pos[e.U]] = e.V, e.Weight
+		pos[e.U]++
+		targets[pos[e.V]], weights[pos[e.V]] = e.U, e.Weight
+		pos[e.V]++
+	}
+	g := &Weighted{offsets: off, targets: targets, weights: weights}
+	g.sortAndDedupMin()
+	return g, nil
+}
+
+type adjPair struct {
+	to int32
+	w  uint32
+}
+
+func (g *Weighted) sortAndDedupMin() {
+	n := g.NumVertices()
+	newOff := make([]int64, n+1)
+	w := int64(0)
+	scratch := make([]adjPair, 0, 64)
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		scratch = scratch[:0]
+		for i := lo; i < hi; i++ {
+			scratch = append(scratch, adjPair{g.targets[i], g.weights[i]})
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].to != scratch[j].to {
+				return scratch[i].to < scratch[j].to
+			}
+			return scratch[i].w < scratch[j].w
+		})
+		start := w
+		var prev int32 = -1
+		for _, p := range scratch {
+			if p.to != prev {
+				g.targets[w], g.weights[w] = p.to, p.w
+				w++
+				prev = p.to
+			}
+		}
+		newOff[v] = start
+	}
+	newOff[n] = w
+	g.offsets = newOff
+	g.targets = g.targets[:w]
+	g.weights = g.weights[:w]
+}
+
+// NumVertices returns the number of vertices.
+func (g *Weighted) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Weighted) NumEdges() int64 { return g.offsets[g.NumVertices()] / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Weighted) Degree(v int32) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// Neighbors returns the sorted neighbor IDs of v; Weights returns the
+// parallel weight slice. Both alias internal storage.
+func (g *Weighted) Neighbors(v int32) []int32 { return g.targets[g.offsets[v]:g.offsets[v+1]] }
+
+// Weights returns the weights parallel to Neighbors(v).
+func (g *Weighted) Weights(v int32) []uint32 { return g.weights[g.offsets[v]:g.offsets[v+1]] }
+
+// Relabel returns a copy of g with vertex perm[i] renamed to i
+// (perm[newID] = oldID).
+func (g *Weighted) Relabel(perm []int32) (*Weighted, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), n)
+	}
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	for newID, oldID := range perm {
+		if oldID < 0 || int(oldID) >= n || seen[oldID] {
+			return nil, fmt.Errorf("graph: invalid permutation entry %d", oldID)
+		}
+		seen[oldID] = true
+		inv[oldID] = int32(newID)
+	}
+	edges := make([]WeightedEdge, 0, g.NumEdges())
+	for v := int32(0); int(v) < n; v++ {
+		ws := g.Weights(v)
+		for i, u := range g.Neighbors(v) {
+			if v < u {
+				edges = append(edges, WeightedEdge{U: inv[v], V: inv[u], Weight: ws[i]})
+			}
+		}
+	}
+	return NewWeighted(n, edges)
+}
+
+// Unweighted returns the underlying unweighted undirected graph.
+func (g *Weighted) Unweighted() *Graph {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				edges = append(edges, Edge{U: v, V: u})
+			}
+		}
+	}
+	und, err := NewGraph(g.NumVertices(), edges)
+	if err != nil {
+		panic(err) // edges validated at construction
+	}
+	return und
+}
+
+// UniformWeighted lifts an unweighted graph into a Weighted with every
+// edge given weight w (useful for cross-checking the weighted oracle
+// against the unweighted one).
+func UniformWeighted(g *Graph, w uint32) *Weighted {
+	edges := make([]WeightedEdge, 0, g.NumEdges())
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				edges = append(edges, WeightedEdge{U: v, V: u, Weight: w})
+			}
+		}
+	}
+	wg, err := NewWeighted(g.NumVertices(), edges)
+	if err != nil {
+		panic(err)
+	}
+	return wg
+}

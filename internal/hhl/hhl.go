@@ -1,0 +1,154 @@
+// Package hhl is a clean-room stand-in for hierarchical hub labeling
+// (Abraham, Delling, Goldberg, Werneck, ESA 2012), the strongest
+// labeling-based competitor in the paper's Table 3.
+//
+// For a fixed vertex order, the canonical hierarchical hub labeling keeps
+// (v, d(v,u)) in L(u) exactly when no higher-ranked vertex lies on any
+// shortest v-u path — the same label set pruned landmark labeling
+// produces (PLL is precisely a fast constructor of canonical labels).
+// The defining difference is construction: HHL-style construction here
+// derives the labels from full shortest-path information, i.e. a
+// complete BFS from every vertex plus a label-containment check, which
+// costs Θ(n·m) plus Θ(n · avg-label) query tests. That reproduces the
+// comparison shape of Table 3 — essentially identical labels and query
+// times, indexing orders of magnitude slower than PLL — without
+// pretending to be the authors' exact binary (see DESIGN.md §3,
+// "Baseline substitutions").
+package hhl
+
+import (
+	"fmt"
+
+	"pll/internal/bfs"
+	"pll/internal/graph"
+	"pll/internal/order"
+)
+
+// Unreachable is returned by Query for disconnected pairs.
+const Unreachable = -1
+
+// Index is a canonical hub labeling over a fixed vertex order.
+type Index struct {
+	n    int
+	rank []int32
+
+	off   []int64
+	hubs  []int32 // hub ranks, ascending, sentinel n
+	dists []uint8
+}
+
+// Build constructs canonical hub labels for the order perm[rank]=vertex
+// by running a full (unpruned) BFS from every vertex in rank order and
+// adding (v_k, d) to L(u) whenever the current labels cannot already
+// certify d(v_k, u). Exact, deliberately Θ(nm).
+func Build(g *graph.Graph, perm []int32) (*Index, error) {
+	n := g.NumVertices()
+	h, err := g.Relabel(perm)
+	if err != nil {
+		return nil, err
+	}
+	labH := make([][]int32, n)
+	labD := make([][]uint8, n)
+	// rootLab plays the same role as PLL's T array: distances from the
+	// current root keyed by hub rank.
+	rootLab := make([]uint8, n+1)
+	for i := range rootLab {
+		rootLab[i] = 255
+	}
+	for vk := int32(0); int(vk) < n; vk++ {
+		lv, ld := labH[vk], labD[vk]
+		for i, w := range lv {
+			rootLab[w] = ld[i]
+		}
+		// Full BFS — no pruning of the search itself.
+		dist := bfs.AllDistances(h, vk)
+		for u := 0; u < n; u++ {
+			d := dist[u]
+			if d == bfs.Unreachable {
+				continue
+			}
+			if d > 254 {
+				return nil, fmt.Errorf("hhl: distance %d exceeds the 8-bit label budget", d)
+			}
+			// Containment check: can existing labels certify d(vk,u)?
+			covered := false
+			uv, ud := labH[u], labD[u]
+			for i, w := range uv {
+				if tw := rootLab[w]; tw != 255 && int(tw)+int(ud[i]) <= int(d) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				labH[u] = append(labH[u], vk)
+				labD[u] = append(labD[u], uint8(d))
+			}
+		}
+		for _, w := range lv {
+			rootLab[w] = 255
+		}
+	}
+
+	ix := &Index{n: n, rank: order.RankOf(perm)}
+	total := int64(0)
+	for v := 0; v < n; v++ {
+		total += int64(len(labH[v])) + 1
+	}
+	ix.off = make([]int64, n+1)
+	ix.hubs = make([]int32, total)
+	ix.dists = make([]uint8, total)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		ix.off[v] = w
+		copy(ix.hubs[w:], labH[v])
+		copy(ix.dists[w:], labD[v])
+		w += int64(len(labH[v]))
+		ix.hubs[w] = int32(n)
+		ix.dists[w] = 255
+		w++
+	}
+	ix.off[n] = w
+	return ix, nil
+}
+
+// Query returns the exact s-t distance via the merge join, or Unreachable.
+func (ix *Index) Query(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	best := 1 << 20
+	i, j := ix.off[rs], ix.off[rt]
+	for {
+		vs, vt := ix.hubs[i], ix.hubs[j]
+		switch {
+		case vs == vt:
+			if int(vs) == ix.n {
+				if best >= 1<<20 {
+					return Unreachable
+				}
+				return best
+			}
+			if d := int(ix.dists[i]) + int(ix.dists[j]); d < best {
+				best = d
+			}
+			i++
+			j++
+		case vs < vt:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// AvgLabelSize returns the mean label size (sentinels excluded).
+func (ix *Index) AvgLabelSize() float64 {
+	if ix.n == 0 {
+		return 0
+	}
+	return float64(ix.off[ix.n]-int64(ix.n)) / float64(ix.n)
+}
+
+// TotalLabelEntries returns the total number of label entries.
+func (ix *Index) TotalLabelEntries() int64 { return ix.off[ix.n] - int64(ix.n) }

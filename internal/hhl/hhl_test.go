@@ -1,0 +1,156 @@
+package hhl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pll/internal/bfs"
+	"pll/internal/core"
+	"pll/internal/gen"
+	"pll/internal/graph"
+	"pll/internal/order"
+	"pll/internal/rng"
+)
+
+func randomGraph(seed uint64, maxN int) *graph.Graph {
+	r := rng.New(seed)
+	n := r.Intn(maxN) + 2
+	m := r.Intn(3 * n)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestHHLExactRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 50)
+		ix, err := Build(g, order.ByDegree(g, seed))
+		if err != nil {
+			return false
+		}
+		n := int32(g.NumVertices())
+		r := rng.New(seed + 3)
+		for i := 0; i < 25; i++ {
+			s, u := r.Int31n(n), r.Int31n(n)
+			want := bfs.Distance(g, s, u)
+			got := ix.Query(s, u)
+			if want == bfs.Unreachable {
+				if got != Unreachable {
+					return false
+				}
+			} else if got != int(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHHLLabelsMatchPLLCanonicalLabels(t *testing.T) {
+	// For the same vertex order, pruned landmark labeling and this
+	// unpruned canonical construction must produce identical label sets
+	// (both compute the canonical hierarchical hub labeling).
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 40)
+		perm := order.ByDegree(g, seed)
+		hix, err := Build(g, perm)
+		if err != nil {
+			return false
+		}
+		pix, err := core.Build(g, core.Options{CustomOrder: perm})
+		if err != nil {
+			return false
+		}
+		if hix.TotalLabelEntries() != pix.ComputeStats().TotalLabelEntries {
+			return false
+		}
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			ph, pd := pix.Label(v)
+			if len(ph) != labelSize(hix, v) {
+				return false
+			}
+			// Distances must agree hub by hub (translate via Query).
+			for i, hub := range ph {
+				if hix.Query(v, hub) != int(pd[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func labelSize(ix *Index, v int32) int {
+	r := ix.rank[v]
+	return int(ix.off[r+1] - ix.off[r] - 1)
+}
+
+func TestHHLSelfAndDisconnected(t *testing.T) {
+	g, err := graph.NewGraph(4, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, order.ByDegree(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Query(2, 2) != 0 {
+		t.Fatal("self distance wrong")
+	}
+	if ix.Query(0, 3) != Unreachable {
+		t.Fatal("disconnected distance wrong")
+	}
+}
+
+func TestHHLRejectsHugeDiameter(t *testing.T) {
+	g := gen.Path(400)
+	if _, err := Build(g, order.ByDegree(g, 1)); err == nil {
+		// Only fails if some BFS exceeds 254; with a path the first
+		// degree-2 root is near-arbitrary, so force it with an endpoint
+		// order.
+		perm := make([]int32, 400)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		if _, err := Build(g, perm); err == nil {
+			t.Fatal("expected 8-bit budget error for 400-path from endpoint root")
+		}
+	}
+}
+
+func TestHHLAvgLabelSize(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 5)
+	ix, err := Build(g, order.ByDegree(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.AvgLabelSize() <= 0 {
+		t.Fatal("avg label size should be positive")
+	}
+	if ix.AvgLabelSize() > 50 {
+		t.Fatalf("avg label %.1f implausibly large for a BA graph", ix.AvgLabelSize())
+	}
+}
+
+func BenchmarkHHLConstruction(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	perm := order.ByDegree(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package order
+
+import (
+	"sort"
+
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// Betweenness orders vertices by decreasing sampled betweenness
+// centrality. §4.4.1 motivates ordering by "vertices who many shortest
+// paths pass through"; Degree and Closeness are the paper's cheap
+// proxies, and this strategy computes the quantity directly (Brandes'
+// dependency accumulation from a vertex sample). It is an ablation
+// beyond the paper's three strategies: slower to compute, occasionally
+// slightly smaller labels.
+const Betweenness Strategy = 3
+
+// BetweennessSamples is the number of sampled sources for ByBetweenness.
+const BetweennessSamples = 32
+
+// ByBetweenness orders vertices by decreasing approximate betweenness,
+// accumulated from `samples` BFS sources via Brandes' backward pass.
+func ByBetweenness(g *graph.Graph, samples int, seed uint64) []int32 {
+	n := g.NumVertices()
+	if samples > n {
+		samples = n
+	}
+	r := rng.New(seed)
+	score := make([]float64, n)
+
+	sigma := make([]float64, n) // shortest-path counts
+	delta := make([]float64, n) // dependency accumulator
+	dist := make([]int32, n)    // BFS distances
+	orderBuf := make([]int32, 0, n)
+
+	sources := r.Perm(n)[:samples]
+	for _, s := range sources {
+		for i := 0; i < n; i++ {
+			sigma[i], delta[i], dist[i] = 0, 0, -1
+		}
+		orderBuf = orderBuf[:0]
+		sigma[s] = 1
+		dist[s] = 0
+		orderBuf = append(orderBuf, s)
+		for head := 0; head < len(orderBuf); head++ {
+			v := orderBuf[head]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					orderBuf = append(orderBuf, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		// Backward pass in reverse BFS order.
+		for i := len(orderBuf) - 1; i >= 0; i-- {
+			v := orderBuf[i]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]+1 && sigma[u] > 0 {
+					delta[v] += sigma[v] / sigma[u] * (1 + delta[u])
+				}
+			}
+			if v != s {
+				score[v] += delta[v]
+			}
+		}
+	}
+	perm := rng.New(seed ^ 0xbe7cee).Perm(n)
+	sort.SliceStable(perm, func(i, j int) bool {
+		return score[perm[i]] > score[perm[j]]
+	})
+	return perm
+}

@@ -1,0 +1,85 @@
+package order
+
+import (
+	"testing"
+
+	"pll/internal/gen"
+	"pll/internal/graph"
+)
+
+func TestBetweennessIsPermutation(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 1)
+	perm := ByBetweenness(g, 16, 7)
+	if !isPermutation(perm, 200) {
+		t.Fatal("not a permutation")
+	}
+}
+
+func TestBetweennessPutsBridgeFirst(t *testing.T) {
+	// Two cliques joined by a single bridge vertex: every cross pair's
+	// shortest path passes the bridge, so it must rank first.
+	var edges []graph.Edge
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	for i := int32(7); i < 13; i++ {
+		for j := i + 1; j < 13; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	bridge := int32(6)
+	edges = append(edges, graph.Edge{U: 0, V: bridge}, graph.Edge{U: bridge, V: 7})
+	g, err := graph.NewGraph(13, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ByBetweenness(g, 13, 3) // all sources: exact betweenness
+	if perm[0] != bridge {
+		t.Fatalf("bridge should rank first, got %d (perm %v)", perm[0], perm)
+	}
+}
+
+func TestBetweennessPathCenter(t *testing.T) {
+	g := gen.Path(21)
+	perm := ByBetweenness(g, 21, 5)
+	if perm[0] != 10 {
+		t.Fatalf("path center should rank first, got %d", perm[0])
+	}
+}
+
+func TestBetweennessViaCompute(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 2, 2)
+	perm := Compute(g, Betweenness, 9)
+	if !isPermutation(perm, 100) {
+		t.Fatal("Compute(Betweenness) broken")
+	}
+}
+
+func TestBetweennessParseAndString(t *testing.T) {
+	s, err := ParseStrategy("Betweenness")
+	if err != nil || s != Betweenness {
+		t.Fatalf("parse: %v %v", s, err)
+	}
+	if Betweenness.String() != "Betweenness" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestBetweennessSampleClamp(t *testing.T) {
+	g := gen.Path(5)
+	perm := ByBetweenness(g, 100, 1)
+	if !isPermutation(perm, 5) {
+		t.Fatal("clamped sampling broken")
+	}
+}
+
+func TestBetweennessOrderingProducesExactIndex(t *testing.T) {
+	// The ordering is a quality knob, never a correctness knob.
+	g := gen.BarabasiAlbert(150, 3, 4)
+	perm := ByBetweenness(g, 16, 2)
+	if !isPermutation(perm, 150) {
+		t.Fatal("not a permutation")
+	}
+}

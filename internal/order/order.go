@@ -1,0 +1,133 @@
+// Package order implements the vertex-ordering strategies of §4.4 of the
+// paper. The order in which pruned BFSs are performed is the single most
+// important tuning knob of pruned landmark labeling (Table 5): central
+// vertices must come first so that later searches are pruned early.
+//
+// An ordering is returned as a permutation perm with perm[rank] = vertex:
+// perm[0] is the first (most central) BFS root.
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"pll/internal/bfs"
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// Strategy selects how vertices are prioritized.
+type Strategy int
+
+const (
+	// Degree orders vertices by decreasing degree (the paper's default;
+	// ties are broken by a seeded random shuffle so that distinct seeds
+	// give distinct, reproducible orders).
+	Degree Strategy = iota
+	// Random orders vertices uniformly at random (the paper's baseline
+	// demonstrating that ordering matters).
+	Random
+	// Closeness orders vertices by increasing total distance to a random
+	// sample of vertices — the sampled approximation of closeness
+	// centrality described in §4.4.2.
+	Closeness
+)
+
+// String returns the strategy name as used in the paper's Table 5.
+func (s Strategy) String() string {
+	switch s {
+	case Degree:
+		return "Degree"
+	case Random:
+		return "Random"
+	case Closeness:
+		return "Closeness"
+	case Betweenness:
+		return "Betweenness"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a case-sensitive strategy name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "Degree", "degree":
+		return Degree, nil
+	case "Random", "random":
+		return Random, nil
+	case "Closeness", "closeness":
+		return Closeness, nil
+	case "Betweenness", "betweenness":
+		return Betweenness, nil
+	}
+	return 0, fmt.Errorf("order: unknown strategy %q (want Degree, Random, Closeness or Betweenness)", name)
+}
+
+// ClosenessSamples is the number of sampled BFS sources used by the
+// Closeness strategy (the paper approximates closeness by sampling).
+const ClosenessSamples = 32
+
+// Compute returns the ordering permutation for g under the strategy.
+func Compute(g *graph.Graph, s Strategy, seed uint64) []int32 {
+	switch s {
+	case Degree:
+		return ByDegree(g, seed)
+	case Random:
+		return rng.New(seed).Perm(g.NumVertices())
+	case Closeness:
+		return ByCloseness(g, ClosenessSamples, seed)
+	case Betweenness:
+		return ByBetweenness(g, BetweennessSamples, seed)
+	default:
+		panic(fmt.Sprintf("order: unknown strategy %d", int(s)))
+	}
+}
+
+// ByDegree orders vertices by decreasing degree with seeded random
+// tie-breaking.
+func ByDegree(g *graph.Graph, seed uint64) []int32 {
+	n := g.NumVertices()
+	perm := rng.New(seed).Perm(n) // random tie-break baseline
+	sort.SliceStable(perm, func(i, j int) bool {
+		return g.Degree(perm[i]) > g.Degree(perm[j])
+	})
+	return perm
+}
+
+// ByCloseness orders vertices by increasing sum of distances to a random
+// sample of source vertices (smaller total distance = more central =
+// earlier). Unreachable pairs contribute n, so fringe components sink to
+// the end. samples is clamped to n.
+func ByCloseness(g *graph.Graph, samples int, seed uint64) []int32 {
+	n := g.NumVertices()
+	if samples > n {
+		samples = n
+	}
+	r := rng.New(seed)
+	total := make([]int64, n)
+	sources := r.Perm(n)[:samples]
+	for _, s := range sources {
+		for v, d := range bfs.AllDistances(g, s) {
+			if d == bfs.Unreachable {
+				total[v] += int64(n)
+			} else {
+				total[v] += int64(d)
+			}
+		}
+	}
+	perm := rng.New(seed ^ 0x9e3779b97f4a7c15).Perm(n) // random tie-break
+	sort.SliceStable(perm, func(i, j int) bool {
+		return total[perm[i]] < total[perm[j]]
+	})
+	return perm
+}
+
+// RankOf inverts a permutation: rankOf[vertex] = rank.
+func RankOf(perm []int32) []int32 {
+	rank := make([]int32, len(perm))
+	for r, v := range perm {
+		rank[v] = int32(r)
+	}
+	return rank
+}

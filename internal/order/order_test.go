@@ -1,0 +1,143 @@
+package order
+
+import (
+	"testing"
+
+	"pll/internal/gen"
+	"pll/internal/graph"
+)
+
+func isPermutation(p []int32, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestAllStrategiesReturnPermutations(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 1)
+	for _, s := range []Strategy{Degree, Random, Closeness} {
+		perm := Compute(g, s, 7)
+		if !isPermutation(perm, 200) {
+			t.Fatalf("%v did not return a permutation", s)
+		}
+	}
+}
+
+func TestDegreeOrderIsNonIncreasing(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, 5)
+	perm := ByDegree(g, 1)
+	for i := 1; i < len(perm); i++ {
+		if g.Degree(perm[i-1]) < g.Degree(perm[i]) {
+			t.Fatalf("degree order violated at rank %d: %d < %d",
+				i, g.Degree(perm[i-1]), g.Degree(perm[i]))
+		}
+	}
+}
+
+func TestDegreePutsHubFirstOnStar(t *testing.T) {
+	g := gen.Star(50)
+	perm := ByDegree(g, 3)
+	if perm[0] != 0 {
+		t.Fatalf("star center should rank first, got vertex %d", perm[0])
+	}
+}
+
+func TestClosenessPutsCenterFirstOnPath(t *testing.T) {
+	g := gen.Path(51)
+	perm := ByCloseness(g, 51, 2) // exact closeness: all vertices sampled
+	// The middle of the path minimizes total distance.
+	if perm[0] != 25 {
+		t.Fatalf("path center should rank first, got %d", perm[0])
+	}
+}
+
+func TestClosenessSinksDisconnectedFringe(t *testing.T) {
+	// Component A: clique of 10; component B: single edge.
+	edges := []graph.Edge{}
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 10, V: 11})
+	g, err := graph.NewGraph(12, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ByCloseness(g, 12, 4)
+	// The two isolated-pair vertices should be ranked last.
+	last2 := map[int32]bool{perm[10]: true, perm[11]: true}
+	if !last2[10] || !last2[11] {
+		t.Fatalf("fringe vertices should rank last, got tail %v", perm[10:])
+	}
+}
+
+func TestRandomOrderDeterministicPerSeed(t *testing.T) {
+	g := gen.ErdosRenyi(100, 200, 9)
+	a := Compute(g, Random, 42)
+	b := Compute(g, Random, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same random order")
+		}
+	}
+	c := Compute(g, Random, 43)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds should give different orders")
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	perm := []int32{2, 0, 1}
+	rank := RankOf(perm)
+	if rank[2] != 0 || rank[0] != 1 || rank[1] != 2 {
+		t.Fatalf("RankOf = %v", rank)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"Degree": Degree, "degree": Degree,
+		"Random": Random, "random": Random,
+		"Closeness": Closeness, "closeness": Closeness,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Degree.String() != "Degree" || Random.String() != "Random" || Closeness.String() != "Closeness" {
+		t.Fatal("String() names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still stringify")
+	}
+}
+
+func TestClosenessSampleClamp(t *testing.T) {
+	g := gen.Path(5)
+	perm := ByCloseness(g, 100, 1) // samples > n must not panic
+	if !isPermutation(perm, 5) {
+		t.Fatal("not a permutation")
+	}
+}

@@ -1,0 +1,214 @@
+// Package stats provides the measurement machinery behind the paper's
+// Figures 2–4: degree distributions, sampled distance distributions,
+// label-size distributions and pair-coverage curves.
+package stats
+
+import (
+	"pll/internal/bfs"
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+// DegreeCCDF returns the complementary cumulative degree distribution:
+// points (d, count of vertices with degree >= d) for every degree d that
+// occurs in g, ascending in d (Figure 2a/2b's log-log series).
+func DegreeCCDF(g *graph.Graph) (degrees []int, counts []int64) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	maxDeg := g.MaxDegree()
+	hist := make([]int64, maxDeg+1)
+	for v := 0; v < n; v++ {
+		hist[g.Degree(int32(v))]++
+	}
+	// Suffix sums give the CCDF.
+	suffix := int64(0)
+	ccdf := make([]int64, maxDeg+1)
+	for d := maxDeg; d >= 0; d-- {
+		suffix += hist[d]
+		ccdf[d] = suffix
+	}
+	for d := 0; d <= maxDeg; d++ {
+		if hist[d] > 0 {
+			degrees = append(degrees, d)
+			counts = append(counts, ccdf[d])
+		}
+	}
+	return degrees, counts
+}
+
+// DistanceDistribution samples pairs of vertices uniformly and returns
+// the fraction of pairs at each distance (Figure 2c/2d). Disconnected
+// pairs are counted in unreachableFrac. The sampling runs one BFS per
+// distinct source, so sources are drawn with replacement but reused.
+func DistanceDistribution(g *graph.Graph, pairs int, seed uint64) (frac []float64, unreachableFrac float64) {
+	n := g.NumVertices()
+	if n == 0 || pairs == 0 {
+		return nil, 0
+	}
+	r := rng.New(seed)
+	// Group samples by source so each BFS serves many pairs.
+	const perSource = 64
+	counts := make(map[int]int64)
+	unreachable := int64(0)
+	done := 0
+	for done < pairs {
+		s := r.Int31n(int32(n))
+		dist := bfs.AllDistances(g, s)
+		batch := perSource
+		if pairs-done < batch {
+			batch = pairs - done
+		}
+		for i := 0; i < batch; i++ {
+			t := r.Int31n(int32(n))
+			if d := dist[t]; d == bfs.Unreachable {
+				unreachable++
+			} else {
+				counts[int(d)]++
+			}
+		}
+		done += batch
+	}
+	maxD := 0
+	for d := range counts {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	frac = make([]float64, maxD+1)
+	for d, c := range counts {
+		frac[d] = float64(c) / float64(pairs)
+	}
+	unreachableFrac = float64(unreachable) / float64(pairs)
+	return frac, unreachableFrac
+}
+
+// DistanceQuerier is anything that answers exact or estimated distances
+// (PLL indexes, landmark prefixes, ...).
+type DistanceQuerier interface {
+	Query(s, t int32) int
+}
+
+// QuerierFunc adapts a function to DistanceQuerier.
+type QuerierFunc func(s, t int32) int
+
+// Query calls f.
+func (f QuerierFunc) Query(s, t int32) int { return f(s, t) }
+
+// PairSample is a fixed set of query pairs with precomputed ground-truth
+// distances, reused across coverage sweeps so curves are comparable.
+type PairSample struct {
+	S, T  []int32
+	Truth []int32 // bfs.Unreachable for disconnected pairs
+}
+
+// SamplePairs draws `pairs` uniform vertex pairs and computes their true
+// distances, batching BFSs by source.
+func SamplePairs(g *graph.Graph, pairs int, seed uint64) *PairSample {
+	n := g.NumVertices()
+	ps := &PairSample{
+		S:     make([]int32, 0, pairs),
+		T:     make([]int32, 0, pairs),
+		Truth: make([]int32, 0, pairs),
+	}
+	if n == 0 {
+		return ps
+	}
+	r := rng.New(seed)
+	const perSource = 64
+	for len(ps.S) < pairs {
+		s := r.Int31n(int32(n))
+		dist := bfs.AllDistances(g, s)
+		batch := perSource
+		if pairs-len(ps.S) < batch {
+			batch = pairs - len(ps.S)
+		}
+		for i := 0; i < batch; i++ {
+			t := r.Int31n(int32(n))
+			ps.S = append(ps.S, s)
+			ps.T = append(ps.T, t)
+			ps.Truth = append(ps.Truth, dist[t])
+		}
+	}
+	return ps
+}
+
+// Coverage returns the fraction of the sample's connected pairs answered
+// exactly by q (Figure 4a's y-axis).
+func Coverage(ps *PairSample, q DistanceQuerier) float64 {
+	connected, exact := 0, 0
+	for i := range ps.S {
+		if ps.Truth[i] == bfs.Unreachable {
+			continue
+		}
+		connected++
+		if q.Query(ps.S[i], ps.T[i]) == int(ps.Truth[i]) {
+			exact++
+		}
+	}
+	if connected == 0 {
+		return 1
+	}
+	return float64(exact) / float64(connected)
+}
+
+// CoverageByDistance returns, for each true distance d present in the
+// sample, the fraction of distance-d pairs answered exactly (Figure
+// 4b–4d's per-distance curves). The map keys are distances.
+func CoverageByDistance(ps *PairSample, q DistanceQuerier) map[int]float64 {
+	total := map[int]int{}
+	exact := map[int]int{}
+	for i := range ps.S {
+		if ps.Truth[i] == bfs.Unreachable {
+			continue
+		}
+		d := int(ps.Truth[i])
+		total[d]++
+		if q.Query(ps.S[i], ps.T[i]) == d {
+			exact[d]++
+		}
+	}
+	out := make(map[int]float64, len(total))
+	for d, c := range total {
+		out[d] = float64(exact[d]) / float64(c)
+	}
+	return out
+}
+
+// CumulativeFractions turns per-step counts into a cumulative fraction
+// series (Figure 3b): out[i] = sum(counts[0..i]) / sum(counts).
+func CumulativeFractions(counts []int64) []float64 {
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	run := int64(0)
+	for i, c := range counts {
+		run += c
+		out[i] = float64(run) / float64(total)
+	}
+	return out
+}
+
+// LogSpacedIndexes returns deduplicated indexes 1, 2, 4, ..., capped at
+// limit-1, used to thin log-x plots (Figures 3 and 4 sample the x axis
+// logarithmically).
+func LogSpacedIndexes(limit int) []int {
+	var out []int
+	prev := -1
+	for x := 1; x < limit; x *= 2 {
+		if x != prev {
+			out = append(out, x)
+			prev = x
+		}
+	}
+	if limit > 0 && (len(out) == 0 || out[len(out)-1] != limit-1) {
+		out = append(out, limit-1)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pll/internal/bfs"
+	"pll/internal/gen"
+	"pll/internal/graph"
+)
+
+func TestDegreeCCDFStar(t *testing.T) {
+	g := gen.Star(11) // center degree 10, ten leaves degree 1
+	degrees, counts := DegreeCCDF(g)
+	if len(degrees) != 2 {
+		t.Fatalf("distinct degrees = %v", degrees)
+	}
+	if degrees[0] != 1 || counts[0] != 11 {
+		t.Fatalf("CCDF at degree 1 = %d, want 11", counts[0])
+	}
+	if degrees[1] != 10 || counts[1] != 1 {
+		t.Fatalf("CCDF at degree 10 = %d, want 1", counts[1])
+	}
+}
+
+func TestDegreeCCDFMonotone(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 7)
+	degrees, counts := DegreeCCDF(g)
+	for i := 1; i < len(counts); i++ {
+		if degrees[i-1] >= degrees[i] {
+			t.Fatal("degrees not ascending")
+		}
+		if counts[i-1] < counts[i] {
+			t.Fatal("CCDF not non-increasing")
+		}
+	}
+	if counts[0] != 500 {
+		t.Fatalf("CCDF at min degree = %d, want n", counts[0])
+	}
+}
+
+func TestDegreeCCDFEmpty(t *testing.T) {
+	g, err := graph.NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, c := DegreeCCDF(g); d != nil || c != nil {
+		t.Fatal("empty graph should return nil series")
+	}
+}
+
+func TestDistanceDistributionSumsToOne(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 3)
+	frac, unreach := DistanceDistribution(g, 5000, 1)
+	sum := unreach
+	for _, f := range frac {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v, want 1", sum)
+	}
+	if unreach != 0 {
+		t.Fatalf("BA graph is connected; unreachable frac %v", unreach)
+	}
+	// Small world: almost all mass within distance 8.
+	mass := 0.0
+	for d := 0; d < len(frac) && d <= 8; d++ {
+		mass += frac[d]
+	}
+	if mass < 0.95 {
+		t.Fatalf("distance mass within 8 hops = %v, want small-world", mass)
+	}
+}
+
+func TestDistanceDistributionDisconnected(t *testing.T) {
+	g, err := graph.NewGraph(10, []graph.Edge{{U: 0, V: 1}}) // mostly isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, unreach := DistanceDistribution(g, 2000, 2)
+	if unreach < 0.5 {
+		t.Fatalf("unreachable fraction %v too low for a shattered graph", unreach)
+	}
+}
+
+func TestSamplePairsTruth(t *testing.T) {
+	g := gen.Path(30)
+	ps := SamplePairs(g, 500, 3)
+	if len(ps.S) != 500 || len(ps.T) != 500 || len(ps.Truth) != 500 {
+		t.Fatal("sample size wrong")
+	}
+	for i := range ps.S {
+		want := bfs.Distance(g, ps.S[i], ps.T[i])
+		if ps.Truth[i] != want {
+			t.Fatalf("truth[%d] = %d, want %d", i, ps.Truth[i], want)
+		}
+	}
+}
+
+func TestCoveragePerfectOracle(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 2, 5)
+	ps := SamplePairs(g, 1000, 7)
+	exact := QuerierFunc(func(s, t int32) int { return int(bfs.Distance(g, s, t)) })
+	if c := Coverage(ps, exact); c != 1 {
+		t.Fatalf("perfect oracle coverage = %v, want 1", c)
+	}
+	wrong := QuerierFunc(func(s, t int32) int { return 1 << 20 })
+	if c := Coverage(ps, wrong); c >= 0.05 {
+		t.Fatalf("broken oracle coverage = %v, want ~0", c)
+	}
+}
+
+func TestCoverageByDistance(t *testing.T) {
+	g := gen.Path(20)
+	ps := SamplePairs(g, 2000, 9)
+	// An oracle that is right only for distances <= 2.
+	q := QuerierFunc(func(s, t int32) int {
+		d := int(bfs.Distance(g, s, t))
+		if d <= 2 {
+			return d
+		}
+		return d + 1
+	})
+	cov := CoverageByDistance(ps, q)
+	for d, c := range cov {
+		if d <= 2 && c != 1 {
+			t.Fatalf("coverage at distance %d = %v, want 1", d, c)
+		}
+		if d > 2 && c != 0 {
+			t.Fatalf("coverage at distance %d = %v, want 0", d, c)
+		}
+	}
+}
+
+func TestCumulativeFractions(t *testing.T) {
+	out := CumulativeFractions([]int64{2, 2, 4, 2})
+	want := []float64{0.2, 0.4, 0.8, 1.0}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("cum[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if got := CumulativeFractions(nil); len(got) != 0 {
+		t.Fatal("nil input should give empty output")
+	}
+	zero := CumulativeFractions([]int64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("all-zero counts should give zero fractions")
+	}
+}
+
+func TestLogSpacedIndexes(t *testing.T) {
+	idx := LogSpacedIndexes(100)
+	if idx[0] != 1 {
+		t.Fatal("should start at 1")
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i-1] >= idx[i] {
+			t.Fatalf("not strictly increasing: %v", idx)
+		}
+	}
+	if idx[len(idx)-1] != 99 {
+		t.Fatalf("should end at limit-1, got %v", idx)
+	}
+}

@@ -1,0 +1,220 @@
+package treedec
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pll/internal/bfs"
+	"pll/internal/gen"
+	"pll/internal/graph"
+	"pll/internal/rng"
+)
+
+func randomGraph(seed uint64, maxN int) *graph.Graph {
+	r := rng.New(seed)
+	n := r.Intn(maxN) + 2
+	m := r.Intn(3 * n)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func assertExact(t *testing.T, g *graph.Graph, ix *Index, pairs int, seed uint64) {
+	t.Helper()
+	n := int32(g.NumVertices())
+	r := rng.New(seed)
+	for i := 0; i < pairs; i++ {
+		s, u := r.Int31n(n), r.Int31n(n)
+		want := bfs.Distance(g, s, u)
+		got := ix.Query(s, u)
+		if want == bfs.Unreachable {
+			if got != Unreachable {
+				t.Fatalf("Query(%d,%d) = %d, want Unreachable", s, u, got)
+			}
+		} else if got != int64(want) {
+			t.Fatalf("Query(%d,%d) = %d, want %d", s, u, got, want)
+		}
+	}
+}
+
+func TestTreeFullyEliminated(t *testing.T) {
+	// A tree has tree-width 1: everything eliminates, the core is empty.
+	g := gen.RandomTree(200, 3)
+	ix, err := Build(g, Options{MaxBag: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.ComputeStats()
+	if st.CoreSize != 0 {
+		t.Fatalf("tree left core of %d, want 0", st.CoreSize)
+	}
+	assertExact(t, g, ix, 300, 1)
+}
+
+func TestPathExact(t *testing.T) {
+	g := gen.Path(150)
+	ix, err := Build(g, Options{MaxBag: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(0); s < 150; s += 13 {
+		for u := int32(0); u < 150; u += 7 {
+			want := s - u
+			if want < 0 {
+				want = -want
+			}
+			if got := ix.Query(s, u); got != int64(want) {
+				t.Fatalf("Query(%d,%d) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+}
+
+func TestGridExact(t *testing.T) {
+	// Grids have tree-width min(rows, cols); MaxBag above that
+	// eliminates a lot but leaves a core; below it leaves almost all as core.
+	g := gen.Grid(6, 30)
+	ix, err := Build(g, Options{MaxBag: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, g, ix, 400, 5)
+}
+
+func TestCoreFringeExact(t *testing.T) {
+	g := gen.CoreFringe(60, 500, 400, 7)
+	ix, err := Build(g, Options{MaxBag: 8, MaxCore: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.ComputeStats()
+	if st.CoreSize == 0 {
+		t.Fatal("dense core should survive elimination")
+	}
+	assertExact(t, g, ix, 400, 9)
+}
+
+func TestRandomGraphsExact(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(seed, 60)
+		ix, err := Build(g, Options{MaxBag: 6, MaxCore: 100})
+		if err != nil {
+			return errors.Is(err, ErrCoreTooLarge) // allowed outcome
+		}
+		n := int32(g.NumVertices())
+		r := rng.New(seed ^ 0xaa)
+		for i := 0; i < 30; i++ {
+			s, u := r.Int31n(n), r.Int31n(n)
+			want := bfs.Distance(g, s, u)
+			got := ix.Query(s, u)
+			if want == bfs.Unreachable {
+				if got != Unreachable {
+					return false
+				}
+			} else if got != int64(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g, err := graph.NewGraph(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, Options{MaxBag: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.Query(0, 4); d != Unreachable {
+		t.Fatalf("cross-component = %d", d)
+	}
+	if d := ix.Query(0, 2); d != 2 {
+		t.Fatalf("within component = %d, want 2", d)
+	}
+	if d := ix.Query(5, 5); d != 0 {
+		t.Fatalf("isolated self = %d, want 0", d)
+	}
+}
+
+func TestCoreTooLargeSurfacesDNF(t *testing.T) {
+	// A dense random graph has no low-degree fringe: the elimination
+	// stalls immediately and the core exceeds any modest budget — the
+	// DNF regime the paper reports for tree-decomposition methods on
+	// complex networks.
+	g := gen.ErdosRenyi(300, 8000, 3)
+	_, err := Build(g, Options{MaxBag: 8, MaxCore: 50})
+	if !errors.Is(err, ErrCoreTooLarge) {
+		t.Fatalf("err = %v, want ErrCoreTooLarge", err)
+	}
+}
+
+func TestCliqueCoreOnly(t *testing.T) {
+	g := gen.Complete(20)
+	ix, err := Build(g, Options{MaxBag: 5, MaxCore: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.ComputeStats()
+	if st.CoreSize != 20 {
+		t.Fatalf("clique core = %d, want all 20", st.CoreSize)
+	}
+	assertExact(t, g, ix, 100, 2)
+}
+
+func TestStatsSane(t *testing.T) {
+	g := gen.CoreFringe(40, 200, 200, 3)
+	ix, err := Build(g, Options{MaxBag: 8, MaxCore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.ComputeStats()
+	if st.NumBags < 2 || st.MaxBagSize < 1 || st.IndexBytes <= 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := gen.RandomTree(50, 1)
+	ix, err := Build(g, Options{}) // zero options must pick sane defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, g, ix, 100, 4)
+}
+
+func BenchmarkTreedecConstruction(b *testing.B) {
+	g := gen.CoreFringe(100, 800, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{MaxBag: 8, MaxCore: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreedecQuery(b *testing.B) {
+	g := gen.CoreFringe(100, 800, 5000, 1)
+	ix, err := Build(g, Options{MaxBag: 8, MaxCore: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	n := int32(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(r.Int31n(n), r.Int31n(n))
+	}
+}

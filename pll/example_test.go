@@ -1,0 +1,81 @@
+package pll_test
+
+import (
+	"fmt"
+
+	"pll/pll"
+)
+
+// Build an index over a small graph and answer exact distance queries.
+func Example() {
+	g, _ := pll.NewGraph(5, []pll.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 4},
+	})
+	ix, _ := pll.Build(g)
+	fmt.Println(ix.Distance(0, 2))
+	fmt.Println(ix.Distance(0, 3)) // around the short side of the ring
+	// Output:
+	// 2
+	// 2
+}
+
+// Reconstruct a shortest path, not just its length (§6 of the paper).
+func ExampleIndex_Path() {
+	g, _ := pll.NewGraph(4, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	ix, _ := pll.Build(g, pll.WithPaths())
+	p, _ := ix.Path(0, 3)
+	fmt.Println(p)
+	// Output:
+	// [0 1 2 3]
+}
+
+// Directed graphs keep two labels per vertex; distances are asymmetric.
+func ExampleBuildDirected() {
+	g, _ := pll.NewDigraph(3, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	ix, _ := pll.BuildDirected(g)
+	fmt.Println(ix.Distance(0, 2))
+	fmt.Println(ix.Distance(2, 0))
+	// Output:
+	// 2
+	// -1
+}
+
+// Weighted graphs use pruned Dijkstra with 32-bit distances.
+func ExampleBuildWeighted() {
+	g, _ := pll.NewWeightedGraph(3, []pll.WeightedEdge{
+		{U: 0, V: 1, Weight: 4},
+		{U: 1, V: 2, Weight: 5},
+		{U: 0, V: 2, Weight: 20},
+	})
+	ix, _ := pll.BuildWeighted(g)
+	fmt.Println(ix.Distance(0, 2))
+	// Output:
+	// 9
+}
+
+// Dynamic indexes accept edge insertions and stay exact.
+func ExampleDynamicIndex() {
+	g, _ := pll.NewGraph(4, []pll.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	di, _ := pll.BuildDynamic(g)
+	fmt.Println(di.Distance(0, 3))
+	di.InsertEdge(1, 2)
+	fmt.Println(di.Distance(0, 3))
+	// Output:
+	// -1
+	// 3
+}
+
+// BatchSource accelerates one-to-many query patterns (search ranking).
+func ExampleBatchSource() {
+	g, _ := pll.NewGraph(5, []pll.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+	ix, _ := pll.Build(g)
+	bs := ix.NewBatchSource(0)
+	for _, t := range []int32{1, 2, 3, 4} {
+		fmt.Print(bs.Distance(t), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 1 2 3 4
+}

@@ -1,0 +1,89 @@
+package pll
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicCompressedRoundTrip(t *testing.T) {
+	g := square()
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Distance(0, 2) != 2 {
+		t.Fatal("compressed round trip broke queries")
+	}
+}
+
+func TestPublicCompressedFile(t *testing.T) {
+	g := square()
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/c.pllc"
+	if err := ix.SaveCompressedFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompressedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Distance(1, 3) != 2 {
+		t.Fatal("compressed file index wrong")
+	}
+}
+
+func TestPublicWorkers(t *testing.T) {
+	g := square()
+	ix, err := Build(g, WithWorkers(4), WithBitParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Distance(0, 2) != 2 {
+		t.Fatal("parallel build wrong")
+	}
+}
+
+func TestPublicDynamic(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := BuildDynamic(g, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.Distance(0, 3) != Unreachable {
+		t.Fatal("pre-insert distance wrong")
+	}
+	if _, err := di.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d := di.Distance(0, 3); d != 3 {
+		t.Fatalf("post-insert distance = %d, want 3", d)
+	}
+	if di.NumVertices() != 4 || di.AvgLabelSize() <= 0 {
+		t.Fatal("dynamic accessors wrong")
+	}
+}
+
+func TestPublicGraphHelpers(t *testing.T) {
+	g := square()
+	if len(g.Edges()) != 4 {
+		t.Fatal("Edges() wrong")
+	}
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatalf("components = %d, want 1", count)
+	}
+}

@@ -1,0 +1,223 @@
+// Package pll is the public API of this repository: an exact
+// shortest-path distance oracle for large networks, implementing
+// "Fast Exact Shortest-Path Distance Queries on Large Networks by Pruned
+// Landmark Labeling" (Akiba, Iwata, Yoshida; SIGMOD 2013).
+//
+// Basic use:
+//
+//	g, _ := pll.NewGraph(4, []pll.Edge{{0, 1}, {1, 2}, {2, 3}})
+//	ix, _ := pll.Build(g, pll.WithBitParallel(16))
+//	d := ix.Distance(0, 3) // 3, in ~microseconds regardless of graph size
+//
+// The index construction runs a pruned breadth-first search from every
+// vertex in degree order (optionally preceded by bit-parallel BFSs), and
+// queries merge-join two small sorted label arrays. Directed and
+// weighted variants, shortest-path reconstruction, serialization and
+// disk-resident querying are provided; see the type documentation below.
+package pll
+
+import (
+	"fmt"
+	"io"
+
+	"pll/internal/core"
+	"pll/internal/graph"
+	"pll/internal/order"
+)
+
+// Edge is an undirected edge (or a directed arc U -> V for digraphs).
+type Edge = graph.Edge
+
+// WeightedEdge is an undirected edge with a non-negative integer weight.
+type WeightedEdge = graph.WeightedEdge
+
+// Unreachable is returned by distance queries for disconnected pairs.
+const Unreachable = core.Unreachable
+
+// Graph is an immutable undirected, unweighted graph.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph builds an undirected graph with n vertices. Self-loops are
+// dropped and parallel edges collapsed.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadGraph reads a whitespace-separated edge list ("u v" per line,
+// '#'/'%' comments) from r, compacting sparse vertex IDs.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	edges, n, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraph(n, edges)
+}
+
+// LoadGraphFile reads an edge-list file.
+func LoadGraphFile(path string) (*Graph, error) {
+	g, err := graph.LoadGraphFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.g.NumEdges() }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return g.g.Degree(v) }
+
+// Neighbors returns the sorted adjacency list of v. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.g.Neighbors(v) }
+
+// Ordering selects the vertex-ordering strategy used during construction
+// (paper §4.4). The default, OrderDegree, is almost always right.
+type Ordering = order.Strategy
+
+// Ordering strategies. Degree, Random and Closeness are the paper's
+// §4.4.2 strategies; Betweenness (sampled Brandes) computes the paper's
+// motivating quantity — how many shortest paths pass through a vertex —
+// directly, as an ablation.
+const (
+	OrderDegree      = order.Degree
+	OrderRandom      = order.Random
+	OrderCloseness   = order.Closeness
+	OrderBetweenness = order.Betweenness
+)
+
+// Option configures Build.
+type Option func(*core.Options)
+
+// WithOrdering selects the vertex-ordering strategy.
+func WithOrdering(o Ordering) Option {
+	return func(opt *core.Options) { opt.Ordering = o }
+}
+
+// WithSeed fixes the randomness seed; identical seeds give identical
+// indexes.
+func WithSeed(seed uint64) Option {
+	return func(opt *core.Options) { opt.Seed = seed }
+}
+
+// WithBitParallel sets t, the number of bit-parallel BFSs performed
+// before pruned labeling (paper §5.4; 16-64 is a good range for large
+// networks, 0 disables).
+func WithBitParallel(t int) Option {
+	return func(opt *core.Options) { opt.NumBitParallel = t }
+}
+
+// WithPaths stores per-label parent pointers so Path can reconstruct
+// shortest paths. Implies bit-parallel labeling off.
+func WithPaths() Option {
+	return func(opt *core.Options) { opt.StorePaths = true }
+}
+
+// WithCustomOrder overrides the ordering strategy with an explicit
+// permutation perm[rank] = vertex.
+func WithCustomOrder(perm []int32) Option {
+	return func(opt *core.Options) { opt.CustomOrder = perm }
+}
+
+// Index is an exact distance oracle over an undirected, unweighted graph.
+type Index struct {
+	ix *core.Index
+}
+
+// Build constructs the pruned-landmark-labeling index.
+func Build(g *Graph, opts ...Option) (*Index, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	ix, err := core.Build(g.g, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Distance returns the exact shortest-path distance between s and t, or
+// Unreachable (-1) if they are in different components.
+func (ix *Index) Distance(s, t int32) int { return ix.ix.Query(s, t) }
+
+// Path returns one exact shortest path including both endpoints, or nil
+// for disconnected pairs. The index must have been built WithPaths.
+func (ix *Index) Path(s, t int32) ([]int32, error) { return ix.ix.QueryPath(s, t) }
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *Index) NumVertices() int { return ix.ix.NumVertices() }
+
+// Stats describes the index (average label size, byte footprint, ...).
+type Stats = core.Stats
+
+// Stats summarizes the index.
+func (ix *Index) Stats() Stats { return ix.ix.ComputeStats() }
+
+// Save writes the index in a versioned binary format.
+func (ix *Index) Save(w io.Writer) error { return ix.ix.Save(w) }
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error { return ix.ix.SaveFile(path) }
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	ix, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// LoadFile reads an index file.
+func LoadFile(path string) (*Index, error) {
+	ix, err := core.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// DiskIndex answers queries directly from an index file with two ranged
+// reads per query (paper §6, disk-based query answering). Not safe for
+// concurrent use.
+type DiskIndex struct {
+	di *core.DiskIndex
+}
+
+// OpenDiskIndex opens an index file for disk-resident querying.
+func OpenDiskIndex(path string) (*DiskIndex, error) {
+	di, err := core.OpenDiskIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{di: di}, nil
+}
+
+// Distance returns the exact s-t distance or Unreachable.
+func (d *DiskIndex) Distance(s, t int32) (int, error) { return d.di.Query(s, t) }
+
+// Close releases the underlying file.
+func (d *DiskIndex) Close() error { return d.di.Close() }
+
+// Validate sanity-checks vertex IDs against an index's range, returning
+// a descriptive error rather than letting a query panic.
+func (ix *Index) Validate(vertices ...int32) error {
+	n := int32(ix.NumVertices())
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("pll: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	return nil
+}

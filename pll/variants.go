@@ -1,0 +1,203 @@
+package pll
+
+import (
+	"io"
+
+	"pll/internal/core"
+	"pll/internal/graph"
+)
+
+// UnreachableW is returned by weighted distance queries for disconnected
+// pairs.
+const UnreachableW = core.UnreachableW
+
+// WeightedGraph is an immutable undirected graph with non-negative
+// integer edge weights.
+type WeightedGraph struct {
+	g *graph.Weighted
+}
+
+// NewWeightedGraph builds a weighted undirected graph with n vertices.
+// Parallel edges keep the minimum weight; self-loops are dropped.
+func NewWeightedGraph(n int, edges []WeightedEdge) (*WeightedGraph, error) {
+	g, err := graph.NewWeighted(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedGraph{g: g}, nil
+}
+
+// LoadWeightedGraph reads "u v w" lines from r.
+func LoadWeightedGraph(r io.Reader) (*WeightedGraph, error) {
+	edges, n, err := graph.ReadWeightedEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewWeightedGraph(n, edges)
+}
+
+// NumVertices returns the number of vertices.
+func (g *WeightedGraph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns the number of undirected edges.
+func (g *WeightedGraph) NumEdges() int64 { return g.g.NumEdges() }
+
+// WeightedIndex is the exact distance oracle for weighted graphs (paper
+// §6): identical labeling framework with pruned Dijkstra searches.
+type WeightedIndex struct {
+	ix *core.WeightedIndex
+}
+
+// BuildWeighted constructs a weighted pruned-landmark-labeling index.
+// Ordering, seed, custom-order and WithPaths options apply; bit-parallel
+// labeling does not exist for the weighted variant (§6).
+func BuildWeighted(g *WeightedGraph, opts ...Option) (*WeightedIndex, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	ix, err := core.BuildWeighted(g.g, core.WeightedOptions{
+		Ordering:    o.Ordering,
+		Seed:        o.Seed,
+		CustomOrder: o.CustomOrder,
+		StorePaths:  o.StorePaths,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{ix: ix}, nil
+}
+
+// Path returns one minimum-weight path and its total weight, or
+// (nil, UnreachableW) for disconnected pairs. Requires WithPaths.
+func (ix *WeightedIndex) Path(s, t int32) ([]int32, uint64, error) {
+	return ix.ix.QueryPath(s, t)
+}
+
+// Distance returns the exact weighted s-t distance, or UnreachableW.
+func (ix *WeightedIndex) Distance(s, t int32) uint64 { return ix.ix.Query(s, t) }
+
+// Save writes the weighted index in a versioned binary format.
+func (ix *WeightedIndex) Save(w io.Writer) error { return ix.ix.Save(w) }
+
+// SaveFile writes the weighted index to a file.
+func (ix *WeightedIndex) SaveFile(path string) error { return ix.ix.SaveFile(path) }
+
+// LoadWeighted reads an index written by WeightedIndex.Save.
+func LoadWeighted(r io.Reader) (*WeightedIndex, error) {
+	ix, err := core.LoadWeighted(r)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{ix: ix}, nil
+}
+
+// LoadWeightedFile reads a weighted index file.
+func LoadWeightedFile(path string) (*WeightedIndex, error) {
+	ix, err := core.LoadWeightedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{ix: ix}, nil
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *WeightedIndex) NumVertices() int { return ix.ix.NumVertices() }
+
+// AvgLabelSize returns the mean label size per vertex.
+func (ix *WeightedIndex) AvgLabelSize() float64 { return ix.ix.AvgLabelSize() }
+
+// Digraph is an immutable directed, unweighted graph.
+type Digraph struct {
+	g *graph.Digraph
+}
+
+// NewDigraph builds a directed graph with n vertices; each Edge{U,V} is
+// the arc U -> V.
+func NewDigraph(n int, arcs []Edge) (*Digraph, error) {
+	g, err := graph.NewDigraph(n, arcs)
+	if err != nil {
+		return nil, err
+	}
+	return &Digraph{g: g}, nil
+}
+
+// LoadDigraph reads "u v" arc lines from r.
+func LoadDigraph(r io.Reader) (*Digraph, error) {
+	edges, n, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewDigraph(n, edges)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Digraph) NumVertices() int { return g.g.NumVertices() }
+
+// NumArcs returns the number of directed arcs.
+func (g *Digraph) NumArcs() int64 { return g.g.NumArcs() }
+
+// DirectedIndex is the exact distance oracle for digraphs (paper §6):
+// two labels per vertex, built by forward and backward pruned BFSs.
+type DirectedIndex struct {
+	ix *core.DirectedIndex
+}
+
+// BuildDirected constructs a directed pruned-landmark-labeling index.
+// Ordering, seed, custom-order and WithPaths options apply.
+func BuildDirected(g *Digraph, opts ...Option) (*DirectedIndex, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	ix, err := core.BuildDirected(g.g, core.DirectedOptions{
+		Ordering:    o.Ordering,
+		Seed:        o.Seed,
+		CustomOrder: o.CustomOrder,
+		StorePaths:  o.StorePaths,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{ix: ix}, nil
+}
+
+// Path returns one directed shortest s-to-t path, or nil if t is
+// unreachable from s. Requires WithPaths.
+func (ix *DirectedIndex) Path(s, t int32) ([]int32, error) {
+	return ix.ix.QueryPath(s, t)
+}
+
+// Distance returns the exact directed distance from s to t, or
+// Unreachable.
+func (ix *DirectedIndex) Distance(s, t int32) int { return ix.ix.Query(s, t) }
+
+// Save writes the directed index in a versioned binary format.
+func (ix *DirectedIndex) Save(w io.Writer) error { return ix.ix.Save(w) }
+
+// SaveFile writes the directed index to a file.
+func (ix *DirectedIndex) SaveFile(path string) error { return ix.ix.SaveFile(path) }
+
+// LoadDirected reads an index written by DirectedIndex.Save.
+func LoadDirected(r io.Reader) (*DirectedIndex, error) {
+	ix, err := core.LoadDirected(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{ix: ix}, nil
+}
+
+// LoadDirectedFile reads a directed index file.
+func LoadDirectedFile(path string) (*DirectedIndex, error) {
+	ix, err := core.LoadDirectedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{ix: ix}, nil
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *DirectedIndex) NumVertices() int { return ix.ix.NumVertices() }
+
+// AvgLabelSize returns the mean of |L_IN|+|L_OUT| per vertex.
+func (ix *DirectedIndex) AvgLabelSize() float64 { return ix.ix.AvgLabelSize() }
