@@ -1,11 +1,15 @@
 // Command pll builds, inspects and queries pruned-landmark-labeling
-// indexes from the command line.
+// indexes from the command line. All subcommands speak the unified
+// container format: an index file carries its own variant tag, so
+// query/path/stats/bench work on any index without being told what
+// flavor it is.
 //
 // Usage:
 //
-//	pll construct -graph g.txt -index g.pll [-bp 16] [-order Degree] [-paths]
+//	pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp 16] [-order Degree] [-paths]
 //	pll query     -index g.pll 0 42 17 99        # pairs of vertices
 //	pll query     -index g.pll -disk 0 42        # disk-resident querying
+//	pll path      -index g.pll 0 42              # index must be built with -paths
 //	pll stats     -index g.pll
 //	pll bench     -index g.pll -pairs 100000     # random-query latency
 package main
@@ -54,20 +58,21 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pll construct -graph g.txt -index g.pll [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths]
+  pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths]
   pll query     -index g.pll [-disk] s t [s t ...]
   pll path      -index g.pll s t          # index must be built with -paths
   pll stats     -index g.pll
   pll bench     -index g.pll [-pairs N] [-seed N]
-  pll verify    -index g.pll -graph g.txt [-pairs N]
-  pll compress  -index g.pll -out g.pllc`)
+  pll verify    -index g.pll -graph g.txt [-pairs N]   # undirected indexes
+  pll compress  -index g.pll -out g.pllc               # undirected indexes`)
 }
 
 func construct(args []string) error {
 	fs := flag.NewFlagSet("construct", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "input edge-list file")
 	indexPath := fs.String("index", "", "output index file")
-	bp := fs.Int("bp", 16, "number of bit-parallel BFSs")
+	kind := fs.String("kind", "undirected", "graph kind: undirected, directed or weighted")
+	bp := fs.Int("bp", 16, "number of bit-parallel BFSs (undirected only)")
 	ord := fs.String("order", "Degree", "vertex ordering strategy")
 	seed := fs.Uint64("seed", 1, "ordering seed")
 	paths := fs.Bool("paths", false, "store parent pointers for path queries")
@@ -75,12 +80,12 @@ func construct(args []string) error {
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("construct needs -graph and -index")
 	}
-	g, err := pll.LoadGraphFile(*graphPath)
-	if err != nil {
-		return err
+	switch *kind {
+	case "undirected", "directed", "weighted":
+	default:
+		return fmt.Errorf("unknown graph kind %q", *kind)
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: %d vertices, %d edges\n", *graphPath, g.NumVertices(), g.NumEdges())
-	opts := []pll.Option{pll.WithSeed(*seed), pll.WithBitParallel(*bp)}
+	opts := []pll.Option{pll.WithSeed(*seed)}
 	switch *ord {
 	case "Degree", "degree":
 		opts = append(opts, pll.WithOrdering(pll.OrderDegree))
@@ -92,21 +97,62 @@ func construct(args []string) error {
 		return fmt.Errorf("unknown ordering %q", *ord)
 	}
 	if *paths {
+		if *kind != "undirected" {
+			// Directed/weighted indexes can hold parent pointers in
+			// memory but not serialize them; fail before the build, not
+			// after it.
+			return fmt.Errorf("-paths indexes of kind %q cannot be written to a file; use kind undirected", *kind)
+		}
 		opts = append(opts, pll.WithPaths())
 	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	var g pll.BuildableGraph
+	switch *kind {
+	case "undirected":
+		opts = append(opts, pll.WithBitParallel(*bp))
+		g, err = pll.LoadGraph(f)
+	case "directed":
+		g, err = pll.LoadDigraph(f)
+	case "weighted":
+		g, err = pll.LoadWeightedGraph(f)
+	}
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d vertices, %d edges (%s)\n",
+		*graphPath, g.NumVertices(), numEdges(g), *kind)
+
 	start := time.Now()
-	ix, err := pll.Build(g, opts...)
+	o, err := pll.Build(g, opts...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	if err := ix.SaveFile(*indexPath); err != nil {
+	if err := pll.WriteFile(*indexPath, o); err != nil {
 		return err
 	}
-	st := ix.Stats()
-	fmt.Printf("indexed in %v: avg label %.1f (+%d bit-parallel), %d bytes -> %s\n",
-		elapsed, st.AvgLabelSize, st.NumBitParallel, st.IndexBytes, *indexPath)
+	st := o.Stats()
+	fmt.Printf("indexed in %v: %s variant, avg label %.1f (+%d bit-parallel), %d bytes -> %s\n",
+		elapsed, st.Variant, st.AvgLabelSize, st.NumBitParallel, st.IndexBytes, *indexPath)
 	return nil
+}
+
+// numEdges reports the edge (or arc) count of any buildable graph.
+func numEdges(g pll.BuildableGraph) int64 {
+	switch g := g.(type) {
+	case *pll.Graph:
+		return g.NumEdges()
+	case *pll.Digraph:
+		return g.NumArcs()
+	case *pll.WeightedGraph:
+		return g.NumEdges()
+	}
+	return 0
 }
 
 func query(args []string) error {
@@ -148,15 +194,15 @@ func query(args []string) error {
 		}
 		return nil
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	o, err := pll.LoadFile(*indexPath)
 	if err != nil {
 		return err
 	}
 	for _, p := range pairs {
-		if err := ix.Validate(p[0], p[1]); err != nil {
+		if err := pll.Validate(o, p[0], p[1]); err != nil {
 			return err
 		}
-		printDistance(p[0], p[1], ix.Distance(p[0], p[1]))
+		printDistance(p[0], p[1], o.Distance(p[0], p[1]))
 	}
 	return nil
 }
@@ -180,14 +226,14 @@ func pathCmd(args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad vertex %q: %v", rest[1], err)
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	o, err := pll.LoadFile(*indexPath)
 	if err != nil {
 		return err
 	}
-	if err := ix.Validate(int32(s), int32(t)); err != nil {
+	if err := pll.Validate(o, int32(s), int32(t)); err != nil {
 		return err
 	}
-	p, err := ix.Path(int32(s), int32(t))
+	p, err := o.Path(int32(s), int32(t))
 	if err != nil {
 		return err
 	}
@@ -199,7 +245,7 @@ func pathCmd(args []string) error {
 	return nil
 }
 
-func printDistance(s, t int32, d int) {
+func printDistance(s, t int32, d int64) {
 	if d == pll.Unreachable {
 		fmt.Printf("d(%d,%d) = unreachable\n", s, t)
 		return
@@ -214,11 +260,12 @@ func statsCmd(args []string) error {
 	if *indexPath == "" {
 		return fmt.Errorf("stats needs -index")
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	o, err := pll.LoadFile(*indexPath)
 	if err != nil {
 		return err
 	}
-	st := ix.Stats()
+	st := o.Stats()
+	fmt.Printf("variant:             %s\n", st.Variant)
 	fmt.Printf("vertices:            %d\n", st.NumVertices)
 	fmt.Printf("bit-parallel roots:  %d\n", st.NumBitParallel)
 	fmt.Printf("label entries:       %d\n", st.TotalLabelEntries)
@@ -243,7 +290,7 @@ func verify(args []string) error {
 	if *indexPath == "" || *graphPath == "" {
 		return fmt.Errorf("verify needs -index and -graph")
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	ix, err := pll.LoadIndexFile(*indexPath)
 	if err != nil {
 		return err
 	}
@@ -260,13 +307,13 @@ func verify(args []string) error {
 
 func compress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	indexPath := fs.String("index", "", "input index file (plain format)")
+	indexPath := fs.String("index", "", "input index file (undirected, uncompressed)")
 	out := fs.String("out", "", "output compressed index file")
 	fs.Parse(args)
 	if *indexPath == "" || *out == "" {
 		return fmt.Errorf("compress needs -index and -out")
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	ix, err := pll.LoadIndexFile(*indexPath)
 	if err != nil {
 		return err
 	}
@@ -295,11 +342,11 @@ func bench(args []string) error {
 	if *indexPath == "" {
 		return fmt.Errorf("bench needs -index")
 	}
-	ix, err := pll.LoadFile(*indexPath)
+	o, err := pll.LoadFile(*indexPath)
 	if err != nil {
 		return err
 	}
-	n := int32(ix.NumVertices())
+	n := int32(o.NumVertices())
 	if n == 0 {
 		return fmt.Errorf("empty index")
 	}
@@ -309,9 +356,9 @@ func bench(args []string) error {
 		qs[i] = [2]int32{r.Int31n(n), r.Int31n(n)}
 	}
 	start := time.Now()
-	sink := 0
+	sink := int64(0)
 	for _, q := range qs {
-		sink += ix.Distance(q[0], q[1])
+		sink += o.Distance(q[0], q[1])
 	}
 	elapsed := time.Since(start)
 	_ = sink

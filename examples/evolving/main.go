@@ -12,6 +12,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"pll/internal/bfs"
@@ -83,9 +85,9 @@ func main() {
 	for i := 0; i < 500; i++ {
 		s := r.Int31n(int32(g.NumVertices()))
 		t := r.Int31n(int32(g.NumVertices()))
-		want := int(bfs.Distance(final, s, t))
+		want := int64(bfs.Distance(final, s, t))
 		got := di.Distance(s, t)
-		if want == int(bfs.Unreachable) {
+		if want == int64(bfs.Unreachable) {
 			want = pll.Unreachable
 		}
 		if got != want {
@@ -93,4 +95,20 @@ func main() {
 		}
 	}
 	fmt.Printf("verification: 500 sampled queries, %d mismatches\n", mismatches)
+
+	// Nightly snapshot: freeze the evolving oracle and ship it in the
+	// self-describing container format; any serving process loads it
+	// back with pll.LoadFile, no variant knowledge needed.
+	snap := filepath.Join(os.TempDir(), "evolving-snapshot.pllbox")
+	if err := pll.WriteFile(snap, di); err != nil {
+		log.Fatal(err)
+	}
+	o, err := pll.LoadFile(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := o.Stats()
+	fmt.Printf("snapshot: %s -> %s variant, %d label entries; d(0,1)=%d\n",
+		snap, st.Variant, st.TotalLabelEntries, o.Distance(0, 1))
+	os.Remove(snap)
 }

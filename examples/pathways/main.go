@@ -65,12 +65,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The generic Build dispatches on the graph kind: handing it the
+	// *WeightedGraph yields the pruned-Dijkstra variant.
 	start = time.Now()
-	wix, err := pll.BuildWeighted(wg, pll.WithSeed(4))
+	wix, err := pll.Build(wg, pll.WithSeed(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("weighted index built in %v (avg label %.1f)\n", time.Since(start), wix.AvgLabelSize())
+	fmt.Printf("weighted index built in %v (avg label %.1f)\n", time.Since(start), wix.Stats().AvgLabelSize)
 	for _, p := range pairs {
 		fmt.Printf("min reaction cost %d -> %d = %d\n", p[0], p[1], wix.Distance(p[0], p[1]))
 	}

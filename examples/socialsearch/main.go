@@ -58,7 +58,7 @@ func main() {
 	user := int32(4242)
 	type scored struct {
 		result
-		dist  int
+		dist  int64
 		score float64
 	}
 	begin := time.Now()

@@ -38,13 +38,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The generic Build sees a *Digraph and constructs the directed
+	// variant; the returned Oracle surface is the same for every kind.
 	start := time.Now()
-	ix, err := pll.BuildDirected(g, pll.WithSeed(2))
+	ix, err := pll.Build(g, pll.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("web graph: %d pages, %d links; directed index built in %v (avg label %.1f)\n",
-		g.NumVertices(), g.NumArcs(), time.Since(start), ix.AvgLabelSize())
+	st := ix.Stats()
+	fmt.Printf("web graph: %d pages, %d links; %s index built in %v (avg label %.1f)\n",
+		g.NumVertices(), g.NumArcs(), st.Variant, time.Since(start), st.AvgLabelSize)
 
 	// The user is reading page `context`; a keyword search produced
 	// candidate pages. Boost candidates reachable in few clicks.

@@ -1,0 +1,3 @@
+module pll
+
+go 1.24

@@ -89,7 +89,12 @@ func (ix *Index) SaveCompressedFile(path string) error {
 
 // LoadCompressed reads an index written by SaveCompressed.
 func LoadCompressed(r io.Reader) (*Index, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return loadCompressedPayload(bufio.NewReaderSize(r, 1<<20))
+}
+
+// loadCompressedPayload reads the compressed payload format from an
+// established reader (shared with the container dispatcher).
+func loadCompressedPayload(br *bufio.Reader) (*Index, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)

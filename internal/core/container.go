@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Self-describing container format (little endian), version 1.
+//
+// Every index variant serializes to one uniform envelope so that a
+// server can load an index file blind — LoadAny inspects the header and
+// returns the right in-memory oracle:
+//
+//	magic    [8]byte  "PLLBOX" + two zero bytes
+//	version  uint16   container format version (currently 1)
+//	variant  uint8    VariantUndirected | VariantDirected |
+//	                  VariantWeighted | VariantDynamic
+//	flags    uint8    bit 0: compressed payload (delta-varint labels)
+//	                  bit 1: payload carries parent pointers (paths)
+//	bp       uint32   bit-parallel width (number of BP roots, 0 if none)
+//	payload  []byte   the variant's own format, including its magic
+//
+// The payload keeps its legacy per-variant magic ("PLLIDX01" etc.), so
+// a container is also recoverable by tools that only understand the
+// inner formats, and LoadAny accepts bare legacy files (no container
+// header) by sniffing the first eight bytes.
+var containerMagic = [8]byte{'P', 'L', 'L', 'B', 'O', 'X', 0, 0}
+
+// ContainerVersion is the current container format version.
+const ContainerVersion uint16 = 1
+
+// Variant tags index flavors inside the container header.
+type Variant uint8
+
+const (
+	// VariantUndirected is the plain unweighted Index (bit-parallel
+	// labels and parent pointers optional).
+	VariantUndirected Variant = 1
+	// VariantDirected is the DirectedIndex (two label families).
+	VariantDirected Variant = 2
+	// VariantWeighted is the WeightedIndex (32-bit distances).
+	VariantWeighted Variant = 3
+	// VariantDynamic tags a snapshot frozen from a DynamicIndex; the
+	// payload is the undirected format (plain or compressed) and loads
+	// as an Index whose Stats keep the dynamic provenance.
+	VariantDynamic Variant = 4
+)
+
+// String names the variant for stats output and error messages.
+func (v Variant) String() string {
+	switch v {
+	case VariantUndirected:
+		return "undirected"
+	case VariantDirected:
+		return "directed"
+	case VariantWeighted:
+		return "weighted"
+	case VariantDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("variant(%d)", uint8(v))
+}
+
+// Container flag bits.
+const (
+	// ContainerFlagCompressed marks a delta-varint compressed payload.
+	ContainerFlagCompressed uint8 = 1 << 0
+	// ContainerFlagPaths marks a payload with per-label parent pointers.
+	ContainerFlagPaths uint8 = 1 << 1
+
+	containerKnownFlags = ContainerFlagCompressed | ContainerFlagPaths
+)
+
+// containerHeaderSize is the fixed byte length of the container header.
+const containerHeaderSize = 16
+
+// ContainerHeader is the parsed fixed-size container prefix.
+type ContainerHeader struct {
+	Version     uint16
+	Variant     Variant
+	Flags       uint8
+	BitParallel uint32
+}
+
+func (h ContainerHeader) encode() [containerHeaderSize]byte {
+	var b [containerHeaderSize]byte
+	copy(b[:8], containerMagic[:])
+	binary.LittleEndian.PutUint16(b[8:10], h.Version)
+	b[10] = uint8(h.Variant)
+	b[11] = h.Flags
+	binary.LittleEndian.PutUint32(b[12:16], h.BitParallel)
+	return b
+}
+
+// parseContainerHeader validates a fixed-size header buffer. The magic
+// must already have been matched by the caller.
+func parseContainerHeader(b []byte) (ContainerHeader, error) {
+	h := ContainerHeader{
+		Version:     binary.LittleEndian.Uint16(b[8:10]),
+		Variant:     Variant(b[10]),
+		Flags:       b[11],
+		BitParallel: binary.LittleEndian.Uint32(b[12:16]),
+	}
+	if h.Version != ContainerVersion {
+		return h, fmt.Errorf("%w: unsupported container version %d (this build reads version %d)",
+			ErrBadIndexFile, h.Version, ContainerVersion)
+	}
+	switch h.Variant {
+	case VariantUndirected, VariantDirected, VariantWeighted, VariantDynamic:
+	default:
+		return h, fmt.Errorf("%w: unknown variant tag %d", ErrBadIndexFile, uint8(h.Variant))
+	}
+	if h.Flags&^containerKnownFlags != 0 {
+		return h, fmt.Errorf("%w: unknown container flags %#x", ErrBadIndexFile, h.Flags)
+	}
+	if h.Flags&ContainerFlagCompressed != 0 &&
+		h.Variant != VariantUndirected && h.Variant != VariantDynamic {
+		return h, fmt.Errorf("%w: compressed flag is not valid for the %s variant", ErrBadIndexFile, h.Variant)
+	}
+	return h, nil
+}
+
+// countWriter counts bytes for the io.WriterTo contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// writeContainer emits the header and then the payload, returning the
+// total bytes written.
+func writeContainer(w io.Writer, h ContainerHeader, payload func(io.Writer) error) (int64, error) {
+	cw := &countWriter{w: w}
+	hdr := h.encode()
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	if err := payload(cw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WriteTo writes the index as a self-describing container (plain
+// payload). It implements io.WriterTo. Indexes frozen from a
+// DynamicIndex keep the dynamic variant tag so the provenance survives
+// round trips.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	h := ContainerHeader{
+		Version:     ContainerVersion,
+		Variant:     ix.Variant(),
+		BitParallel: uint32(ix.numBP),
+	}
+	if ix.labelParent != nil {
+		h.Flags |= ContainerFlagPaths
+	}
+	return writeContainer(w, h, ix.Save)
+}
+
+// WriteToCompressed writes the index as a container with a delta-varint
+// compressed payload. Parent pointers are not supported.
+func (ix *Index) WriteToCompressed(w io.Writer) (int64, error) {
+	if ix.labelParent != nil {
+		// Checked before the header goes out so a failed call writes no
+		// bytes (a partial header would corrupt the destination).
+		return 0, fmt.Errorf("core: compressed format does not support parent pointers")
+	}
+	h := ContainerHeader{
+		Version:     ContainerVersion,
+		Variant:     ix.Variant(),
+		Flags:       ContainerFlagCompressed,
+		BitParallel: uint32(ix.numBP),
+	}
+	return writeContainer(w, h, ix.SaveCompressed)
+}
+
+// WriteTo writes the directed index as a self-describing container.
+func (ix *DirectedIndex) WriteTo(w io.Writer) (int64, error) {
+	if ix.outParent != nil {
+		return 0, fmt.Errorf("core: directed format does not support parent pointers")
+	}
+	h := ContainerHeader{Version: ContainerVersion, Variant: VariantDirected}
+	return writeContainer(w, h, ix.Save)
+}
+
+// WriteTo writes the weighted index as a self-describing container.
+func (ix *WeightedIndex) WriteTo(w io.Writer) (int64, error) {
+	if ix.labelParent != nil {
+		return 0, fmt.Errorf("core: weighted format does not support parent pointers")
+	}
+	h := ContainerHeader{Version: ContainerVersion, Variant: VariantWeighted}
+	return writeContainer(w, h, ix.Save)
+}
+
+// WriteTo freezes the dynamic index and writes the snapshot as a
+// container tagged VariantDynamic. Loading it yields a static Index
+// whose Stats keep the dynamic provenance (edge insertion does not
+// survive serialization).
+func (di *DynamicIndex) WriteTo(w io.Writer) (int64, error) {
+	return di.Freeze().WriteTo(w)
+}
+
+// LoadAny reads any index file — a version-1 container or a bare legacy
+// payload ("PLLIDX01" / "PLLIDXC1" / "PLLIDXW1" / "PLLIDXD1") — and
+// returns the matching oracle: *Index, *DirectedIndex or
+// *WeightedIndex. VariantDynamic containers load as a static *Index
+// snapshot. Malformed input yields an error wrapping ErrBadIndexFile.
+func LoadAny(r io.Reader) (any, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	if [8]byte(magic) != containerMagic {
+		// Bare legacy payload; each loader re-checks its own magic.
+		switch [8]byte(magic) {
+		case indexMagic:
+			return loadPlain(br)
+		case compressedMagic:
+			return loadCompressedPayload(br)
+		case weightedMagic:
+			return loadWeightedPayload(br)
+		case directedMagic:
+			return loadDirectedPayload(br)
+		}
+		return nil, fmt.Errorf("%w: unrecognized magic %q", ErrBadIndexFile, magic)
+	}
+	var hdr [containerHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated container header: %v", ErrBadIndexFile, err)
+	}
+	h, err := parseContainerHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	switch h.Variant {
+	case VariantUndirected, VariantDynamic:
+		var ix *Index
+		if h.Flags&ContainerFlagCompressed != 0 {
+			ix, err = loadCompressedPayload(br)
+		} else {
+			ix, err = loadPlain(br)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if h.Variant == VariantDynamic {
+			ix.origin = VariantDynamic
+		}
+		return ix, nil
+	case VariantDirected:
+		return loadDirectedPayload(br)
+	case VariantWeighted:
+		return loadWeightedPayload(br)
+	}
+	return nil, fmt.Errorf("%w: unknown variant tag %d", ErrBadIndexFile, uint8(h.Variant))
+}
+
+// LoadAnyFile reads any index file from a path.
+func LoadAnyFile(path string) (any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAny(f)
+}

@@ -327,3 +327,34 @@ func (ix *DirectedIndex) AvgLabelSize() float64 {
 	total := (ix.outOff[ix.n] - int64(ix.n)) + (ix.inOff[ix.n] - int64(ix.n))
 	return float64(total) / float64(ix.n)
 }
+
+// ComputeStats scans the directed index and returns summary statistics.
+// Per-vertex label sizes are |L_OUT(v)| + |L_IN(v)|.
+func (ix *DirectedIndex) ComputeStats() Stats {
+	st := Stats{
+		Variant:           VariantDirected,
+		NumVertices:       ix.n,
+		HasParentPointers: ix.outParent != nil,
+	}
+	sizes := make([]int, ix.n)
+	for r := 0; r < ix.n; r++ {
+		sz := int(ix.outOff[r+1]-ix.outOff[r]-1) + int(ix.inOff[r+1]-ix.inOff[r]-1)
+		sizes[r] = sz
+		st.TotalLabelEntries += int64(sz)
+		if sz > st.MaxLabelSize {
+			st.MaxLabelSize = sz
+		}
+	}
+	if ix.n > 0 {
+		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(ix.n)
+	}
+	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	st.NormalLabelBytes = int64(len(ix.outVertex))*4 + int64(len(ix.outDist)) +
+		int64(len(ix.inVertex))*4 + int64(len(ix.inDist))
+	if ix.outParent != nil {
+		st.NormalLabelBytes += int64(len(ix.outParent))*4 + int64(len(ix.inParent))*4
+	}
+	st.IndexBytes = st.NormalLabelBytes +
+		int64(len(ix.outOff))*8 + int64(len(ix.inOff))*8 + int64(len(ix.perm))*8
+	return st
+}

@@ -29,11 +29,45 @@ type DiskIndex struct {
 	bufS, bufT []byte // per-query read buffers, reused
 }
 
-// OpenDiskIndex opens an index file written by Index.Save for
-// disk-resident querying.
+// OpenDiskIndex opens an index file for disk-resident querying. Both
+// self-describing containers (undirected or frozen-dynamic variants
+// with a plain payload) and bare legacy payloads are accepted;
+// compressed payloads are rejected because ranged reads need the
+// fixed-stride layout.
 func OpenDiskIndex(path string) (*DiskIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
+	}
+	base := int64(0)
+	if magic == containerMagic {
+		var rest [containerHeaderSize - 8]byte
+		if _, err := io.ReadFull(f, rest[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: truncated container header: %v", ErrBadIndexFile, err)
+		}
+		h, err := parseContainerHeader(append(magic[:], rest[:]...))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if h.Variant != VariantUndirected && h.Variant != VariantDynamic {
+			f.Close()
+			return nil, fmt.Errorf("%w: disk querying requires an undirected index, got %s",
+				ErrBadIndexFile, h.Variant)
+		}
+		if h.Flags&ContainerFlagCompressed != 0 {
+			f.Close()
+			return nil, fmt.Errorf("%w: disk querying requires the uncompressed payload", ErrBadIndexFile)
+		}
+		base = containerHeaderSize
+	} else if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
 		return nil, err
 	}
 	hdr, err := loadHeader(f)
@@ -50,8 +84,9 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 		rank:       hdr.rank,
 	}
 	// The header reader consumed magic(8) + fixed(20) + perm(4n) +
-	// counts(4n) bytes; label blocks start right after.
-	labelStart := int64(8 + 20 + 8*hdr.n)
+	// counts(4n) bytes past the (possibly empty) container prefix; label
+	// blocks start right after.
+	labelStart := base + int64(8+20+8*hdr.n)
 	di.blockOff = make([]int64, hdr.n+1)
 	off := labelStart
 	for v := 0; v < hdr.n; v++ {
@@ -96,9 +131,14 @@ func (di *DiskIndex) Close() error { return di.f.Close() }
 func (di *DiskIndex) NumVertices() int { return di.n }
 
 // Query returns the exact s-t distance with two ranged file reads, or
-// Unreachable. DiskIndex is not safe for concurrent use (the read
-// buffers are shared); wrap it in a pool for concurrent workloads.
+// Unreachable. Out-of-range vertices yield an error (unlike the
+// in-memory Query, there is no cheap caller-side validation surface).
+// DiskIndex is not safe for concurrent use (the read buffers are
+// shared); wrap it in a pool for concurrent workloads.
 func (di *DiskIndex) Query(s, t int32) (int, error) {
+	if s < 0 || int(s) >= di.n || t < 0 || int(t) >= di.n {
+		return 0, fmt.Errorf("core: vertex pair (%d,%d) out of range [0,%d)", s, t, di.n)
+	}
 	if s == t {
 		return 0, nil
 	}

@@ -266,6 +266,44 @@ func (di *DynamicIndex) AvgLabelSize() float64 {
 	return float64(total) / float64(di.n)
 }
 
+// ComputeStats scans the dynamic index and returns summary statistics.
+func (di *DynamicIndex) ComputeStats() Stats {
+	st := Stats{Variant: VariantDynamic, NumVertices: di.n}
+	sizes := make([]int, di.n)
+	for r, l := range di.labV {
+		sizes[r] = len(l)
+		st.TotalLabelEntries += int64(len(l))
+		if len(l) > st.MaxLabelSize {
+			st.MaxLabelSize = len(l)
+		}
+	}
+	if di.n > 0 {
+		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(di.n)
+	}
+	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	st.NormalLabelBytes = st.TotalLabelEntries * 5 // int32 hub + uint8 dist per entry
+	st.IndexBytes = st.NormalLabelBytes + int64(len(di.perm))*8
+	return st
+}
+
+// Freeze snapshots the dynamic index into a static Index (flattened,
+// sentinel-terminated label arrays; no bit-parallel labels). The
+// snapshot answers the same queries and can be serialized, disk-queried
+// and verified like any statically built index; further InsertEdge
+// calls on the dynamic index do not affect it.
+func (di *DynamicIndex) Freeze() *Index {
+	off, vs, ds := flattenLabels(di.n, di.labV, di.labD)
+	return &Index{
+		n:           di.n,
+		origin:      VariantDynamic,
+		perm:        append([]int32(nil), di.perm...),
+		rank:        append([]int32(nil), di.rank...),
+		labelOff:    off,
+		labelVertex: vs,
+		labelDist:   ds,
+	}
+}
+
 func containsSorted(s []int32, v int32) bool {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	return i < len(s) && s[i] == v

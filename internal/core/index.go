@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // InfDist is the in-label encoding of "unreachable". Labels store 8-bit
@@ -48,9 +49,10 @@ var ErrDiameterTooLarge = errors.New("core: graph diameter exceeds the 8-bit dis
 // ends with a sentinel pair (n, InfDist) so the merge join needs no
 // bounds checks.
 type Index struct {
-	n    int
-	perm []int32 // rank -> original vertex ID
-	rank []int32 // original vertex ID -> rank
+	n      int
+	origin Variant // VariantDynamic when frozen from a DynamicIndex, else undirected
+	perm   []int32 // rank -> original vertex ID
+	rank   []int32 // original vertex ID -> rank
 
 	labelOff    []int64 // len n+1, offsets into the label arrays, indexed by rank
 	labelVertex []int32 // hub ranks, ascending per vertex, sentinel n
@@ -65,6 +67,16 @@ type Index struct {
 
 // NumVertices returns the number of vertices the index covers.
 func (ix *Index) NumVertices() int { return ix.n }
+
+// Variant reports the flavor recorded in container headers and Stats:
+// undirected, or dynamic for indexes frozen from a DynamicIndex (the
+// provenance survives serialization round trips).
+func (ix *Index) Variant() Variant {
+	if ix.origin == VariantDynamic {
+		return VariantDynamic
+	}
+	return VariantUndirected
+}
 
 // NumBitParallelRoots returns how many bit-parallel BFS roots were used.
 func (ix *Index) NumBitParallelRoots() int { return ix.numBP }
@@ -163,8 +175,11 @@ func (ix *Index) LabelSize(v int32) int {
 	return int(ix.labelOff[r+1] - ix.labelOff[r] - 1)
 }
 
-// Stats summarizes an index for the paper's IS / LN columns.
+// Stats summarizes an index for the paper's IS / LN columns. Every
+// variant produces the same struct, so metrics and serving layers can
+// introspect any oracle uniformly; Variant names the flavor.
 type Stats struct {
+	Variant            Variant
 	NumVertices        int
 	NumBitParallel     int
 	TotalLabelEntries  int64   // normal label entries over all vertices (no sentinels)
@@ -180,6 +195,7 @@ type Stats struct {
 // ComputeStats scans the index and returns summary statistics.
 func (ix *Index) ComputeStats() Stats {
 	st := Stats{
+		Variant:           ix.Variant(),
 		NumVertices:       ix.n,
 		NumBitParallel:    ix.numBP,
 		HasParentPointers: ix.HasPaths(),
@@ -213,8 +229,7 @@ func insertionSortQuantiles(sizes []int, q *[5]int) {
 	}
 	sorted := make([]int, len(sizes))
 	copy(sorted, sizes)
-	// sizes can be large; use a simple counting-free sort via sort pkg.
-	sortInts(sorted)
+	sort.Ints(sorted)
 	n := len(sorted)
 	q[0] = sorted[0]
 	q[1] = sorted[n/4]
@@ -230,7 +245,7 @@ func (ix *Index) LabelSizeDistribution() []int {
 	for r := 0; r < ix.n; r++ {
 		sizes[r] = int(ix.labelOff[r+1] - ix.labelOff[r] - 1)
 	}
-	sortInts(sizes)
+	sort.Ints(sizes)
 	return sizes
 }
 

@@ -95,7 +95,12 @@ func (ix *Index) SaveFile(path string) error {
 // yields an error wrapping ErrBadIndexFile; Load never panics on
 // malformed input.
 func Load(r io.Reader) (*Index, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return loadPlain(bufio.NewReaderSize(r, 1<<20))
+}
+
+// loadPlain reads the plain payload format from an established reader
+// (shared between Load and the container dispatcher).
+func loadPlain(br *bufio.Reader) (*Index, error) {
 	hdr, err := loadHeader(br)
 	if err != nil {
 		return nil, err

@@ -59,7 +59,12 @@ func (ix *WeightedIndex) SaveFile(path string) error {
 
 // LoadWeighted reads an index written by WeightedIndex.Save.
 func LoadWeighted(r io.Reader) (*WeightedIndex, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return loadWeightedPayload(bufio.NewReaderSize(r, 1<<20))
+}
+
+// loadWeightedPayload reads the weighted payload format from an
+// established reader (shared with the container dispatcher).
+func loadWeightedPayload(br *bufio.Reader) (*WeightedIndex, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)
@@ -161,7 +166,12 @@ func (ix *DirectedIndex) SaveFile(path string) error {
 
 // LoadDirected reads an index written by DirectedIndex.Save.
 func LoadDirected(r io.Reader) (*DirectedIndex, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	return loadDirectedPayload(bufio.NewReaderSize(r, 1<<20))
+}
+
+// loadDirectedPayload reads the directed payload format from an
+// established reader (shared with the container dispatcher).
+func loadDirectedPayload(br *bufio.Reader) (*DirectedIndex, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadIndexFile, err)

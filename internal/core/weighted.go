@@ -303,6 +303,34 @@ func (ix *WeightedIndex) AvgLabelSize() float64 {
 	return float64(ix.labelOff[ix.n]-int64(ix.n)) / float64(ix.n)
 }
 
+// ComputeStats scans the weighted index and returns summary statistics.
+func (ix *WeightedIndex) ComputeStats() Stats {
+	st := Stats{
+		Variant:           VariantWeighted,
+		NumVertices:       ix.n,
+		HasParentPointers: ix.labelParent != nil,
+	}
+	sizes := make([]int, ix.n)
+	for r := 0; r < ix.n; r++ {
+		sz := int(ix.labelOff[r+1] - ix.labelOff[r] - 1)
+		sizes[r] = sz
+		st.TotalLabelEntries += int64(sz)
+		if sz > st.MaxLabelSize {
+			st.MaxLabelSize = sz
+		}
+	}
+	if ix.n > 0 {
+		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(ix.n)
+	}
+	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	st.NormalLabelBytes = int64(len(ix.labelVertex))*4 + int64(len(ix.labelDist))*4
+	if ix.labelParent != nil {
+		st.NormalLabelBytes += int64(len(ix.labelParent)) * 4
+	}
+	st.IndexBytes = st.NormalLabelBytes + int64(len(ix.labelOff))*8 + int64(len(ix.perm))*8
+	return st
+}
+
 // wItem and wHeap form a lazy-deletion binary min-heap for the pruned
 // Dijkstra searches.
 type wItem struct {

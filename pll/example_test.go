@@ -1,6 +1,7 @@
 package pll_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"pll/pll"
@@ -20,7 +21,7 @@ func Example() {
 }
 
 // Reconstruct a shortest path, not just its length (§6 of the paper).
-func ExampleIndex_Path() {
+func ExampleOracle_path() {
 	g, _ := pll.NewGraph(4, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
 	ix, _ := pll.Build(g, pll.WithPaths())
 	p, _ := ix.Path(0, 3)
@@ -29,10 +30,11 @@ func ExampleIndex_Path() {
 	// [0 1 2 3]
 }
 
-// Directed graphs keep two labels per vertex; distances are asymmetric.
-func ExampleBuildDirected() {
+// Build dispatches on the graph kind: a *Digraph yields the directed
+// variant, whose distances are asymmetric.
+func ExampleBuild_directed() {
 	g, _ := pll.NewDigraph(3, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
-	ix, _ := pll.BuildDirected(g)
+	ix, _ := pll.Build(g)
 	fmt.Println(ix.Distance(0, 2))
 	fmt.Println(ix.Distance(2, 0))
 	// Output:
@@ -40,17 +42,36 @@ func ExampleBuildDirected() {
 	// -1
 }
 
-// Weighted graphs use pruned Dijkstra with 32-bit distances.
-func ExampleBuildWeighted() {
+// A *WeightedGraph yields the pruned-Dijkstra variant; Distance reports
+// summed edge weights through the same Oracle surface.
+func ExampleBuild_weighted() {
 	g, _ := pll.NewWeightedGraph(3, []pll.WeightedEdge{
 		{U: 0, V: 1, Weight: 4},
 		{U: 1, V: 2, Weight: 5},
 		{U: 0, V: 2, Weight: 20},
 	})
-	ix, _ := pll.BuildWeighted(g)
+	ix, _ := pll.Build(g)
 	fmt.Println(ix.Distance(0, 2))
 	// Output:
 	// 9
+}
+
+// Every variant serializes through WriteTo into one self-describing
+// container; Load reads the header and returns the right oracle
+// without being told what the stream holds.
+func ExampleLoad() {
+	g, _ := pll.NewDigraph(3, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	built, _ := pll.Build(g)
+
+	var buf bytes.Buffer
+	built.WriteTo(&buf)
+
+	o, _ := pll.Load(&buf) // auto-detects the directed variant
+	fmt.Println(o.Stats().Variant)
+	fmt.Println(o.Distance(0, 2))
+	// Output:
+	// directed
+	// 2
 }
 
 // Dynamic indexes accept edge insertions and stay exact.
@@ -65,12 +86,13 @@ func ExampleDynamicIndex() {
 	// 3
 }
 
-// BatchSource accelerates one-to-many query patterns (search ranking).
+// BatchSource accelerates one-to-many query patterns (search ranking);
+// it needs the concrete *Index, so use the typed builder.
 func ExampleBatchSource() {
 	g, _ := pll.NewGraph(5, []pll.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
 	})
-	ix, _ := pll.Build(g)
+	ix, _ := pll.BuildIndex(g)
 	bs := ix.NewBatchSource(0)
 	for _, t := range []int32{1, 2, 3, 4} {
 		fmt.Print(bs.Distance(t), " ")

@@ -1,6 +1,7 @@
 package pll
 
 import (
+	"fmt"
 	"io"
 
 	"pll/internal/core"
@@ -14,31 +15,36 @@ func WithWorkers(n int) Option {
 	return func(opt *core.Options) { opt.Workers = n }
 }
 
-// SaveCompressed writes the index with delta-varint label compression
-// (typically 40-60% smaller than Save). Indexes built WithPaths are not
-// supported by the compressed format.
-func (ix *Index) SaveCompressed(w io.Writer) error { return ix.ix.SaveCompressed(w) }
+// WriteToCompressed serializes the index as a container whose payload
+// uses delta-varint label compression (typically 40-60% smaller than
+// WriteTo). Load reads it back transparently; disk-resident querying
+// requires the uncompressed layout. Indexes built WithPaths are not
+// supported by the compressed payload.
+func (ix *Index) WriteToCompressed(w io.Writer) (int64, error) { return ix.ix.WriteToCompressed(w) }
+
+// SaveCompressed writes the index with delta-varint label compression.
+//
+// Deprecated: use WriteToCompressed.
+func (ix *Index) SaveCompressed(w io.Writer) error {
+	_, err := ix.WriteToCompressed(w)
+	return err
+}
 
 // SaveCompressedFile writes the compressed index to a path.
-func (ix *Index) SaveCompressedFile(path string) error { return ix.ix.SaveCompressedFile(path) }
-
-// LoadCompressed reads an index written by SaveCompressed.
-func LoadCompressed(r io.Reader) (*Index, error) {
-	ix, err := core.LoadCompressed(r)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{ix: ix}, nil
+func (ix *Index) SaveCompressedFile(path string) error {
+	return writeFileWith(path, ix.WriteToCompressed)
 }
+
+// LoadCompressed reads an undirected index (compressed or not).
+//
+// Deprecated: use Load; the container header records the compression
+// flag, so no dedicated entry point is needed.
+func LoadCompressed(r io.Reader) (*Index, error) { return LoadIndex(r) }
 
 // LoadCompressedFile reads a compressed index file.
-func LoadCompressedFile(path string) (*Index, error) {
-	ix, err := core.LoadCompressedFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{ix: ix}, nil
-}
+//
+// Deprecated: use LoadFile.
+func LoadCompressedFile(path string) (*Index, error) { return LoadIndexFile(path) }
 
 // DynamicIndex is an incrementally updatable exact distance oracle:
 // edges may be inserted after construction and queries remain exact
@@ -64,8 +70,16 @@ func BuildDynamic(g *Graph, opts ...Option) (*DynamicIndex, error) {
 	return &DynamicIndex{di: di}, nil
 }
 
-// Distance returns the exact s-t distance under all insertions so far.
-func (d *DynamicIndex) Distance(s, t int32) int { return d.di.Query(s, t) }
+// Distance returns the exact s-t distance under all insertions so far,
+// or Unreachable.
+func (d *DynamicIndex) Distance(s, t int32) int64 { return int64(d.di.Query(s, t)) }
+
+// Path is unavailable on dynamic indexes (labels carry no parent
+// pointers); it always returns an error. It exists so *DynamicIndex
+// satisfies Oracle.
+func (d *DynamicIndex) Path(s, t int32) ([]int32, error) {
+	return nil, fmt.Errorf("pll: dynamic indexes do not support path reconstruction")
+}
 
 // InsertEdge adds the undirected edge {a,b} and repairs the labels.
 // Inserting an existing edge or a self-loop is a no-op. It returns the
@@ -75,8 +89,24 @@ func (d *DynamicIndex) InsertEdge(a, b int32) (int, error) { return d.di.InsertE
 // NumVertices returns the number of vertices the index covers.
 func (d *DynamicIndex) NumVertices() int { return d.di.NumVertices() }
 
+// Stats summarizes the index.
+func (d *DynamicIndex) Stats() Stats { return d.di.ComputeStats() }
+
 // AvgLabelSize returns the mean label size per vertex.
+//
+// Deprecated: use Stats().AvgLabelSize.
 func (d *DynamicIndex) AvgLabelSize() float64 { return d.di.AvgLabelSize() }
+
+// Freeze snapshots the dynamic index into a static *Index covering all
+// insertions so far. The snapshot is independent of later InsertEdge
+// calls and supports everything a statically built index does
+// (serialization, disk querying, batch sources).
+func (d *DynamicIndex) Freeze() *Index { return &Index{ix: d.di.Freeze()} }
+
+// WriteTo freezes the index and serializes the snapshot as a container
+// tagged with the dynamic variant. Loading it yields a static *Index;
+// the insertion log does not survive serialization.
+func (d *DynamicIndex) WriteTo(w io.Writer) (int64, error) { return d.di.WriteTo(w) }
 
 // BatchSource answers many queries sharing one source faster than
 // repeated Distance calls (one label scan per target instead of a merge

@@ -7,7 +7,7 @@ import (
 
 func TestPublicCompressedRoundTrip(t *testing.T) {
 	g := square()
-	ix, err := Build(g)
+	ix, err := BuildIndex(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestPublicCompressedRoundTrip(t *testing.T) {
 
 func TestPublicCompressedFile(t *testing.T) {
 	g := square()
-	ix, err := Build(g)
+	ix, err := BuildIndex(g)
 	if err != nil {
 		t.Fatal(err)
 	}

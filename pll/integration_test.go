@@ -48,7 +48,7 @@ func TestFourOraclesAgreeOnDatasetStandIn(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		s, u := r.Int31n(n), r.Int31n(n)
 		want := oracle.Query(s, u)
-		if got := ix.Distance(s, u); got != want {
+		if got := ix.Distance(s, u); got != int64(want) {
 			t.Fatalf("PLL disagrees with BFS at (%d,%d): %d vs %d", s, u, got, want)
 		}
 		if got := hix.Query(s, u); got != want {
@@ -76,7 +76,7 @@ func TestFullPersistencePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := pll.Build(g, pll.WithBitParallel(4))
+	ix, err := pll.BuildIndex(g, pll.WithBitParallel(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestFullPersistencePipeline(t *testing.T) {
 	dir := t.TempDir()
 	plain := filepath.Join(dir, "ix.pll")
 	comp := filepath.Join(dir, "ix.pllc")
-	if err := ix.SaveFile(plain); err != nil {
+	if err := pll.WriteFile(plain, ix); err != nil {
 		t.Fatal(err)
 	}
 	if err := ix.SaveCompressedFile(comp); err != nil {
@@ -235,10 +235,10 @@ func TestWeightedAgainstDijkstraOnStandIn(t *testing.T) {
 		want := bfs.DijkstraDistance(truthG, s, u)
 		got := wix.Distance(s, u)
 		if want == bfs.InfWeight {
-			if got != pll.UnreachableW {
+			if got != pll.Unreachable {
 				t.Fatalf("reachability mismatch at (%d,%d)", s, u)
 			}
-		} else if got != want {
+		} else if got != int64(want) {
 			t.Fatalf("weighted mismatch at (%d,%d): %d vs %d", s, u, got, want)
 		}
 	}

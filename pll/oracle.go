@@ -1,0 +1,158 @@
+package pll
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pll/internal/core"
+)
+
+// Oracle is the uniform query surface implemented by every index
+// variant: *Index, *DirectedIndex, *WeightedIndex and *DynamicIndex.
+// Servers and tools program against this interface and stay agnostic of
+// which flavor an index file contains:
+//
+//	o, _ := pll.LoadFile("any.pllbox") // auto-detects the variant
+//	d := o.Distance(s, t)              // -1 (Unreachable) if disconnected
+//
+// Distance returns int64 across all variants — hop counts for the
+// unweighted flavors, summed edge weights for the weighted one — with
+// Unreachable (-1) for disconnected pairs. Path requires an index built
+// WithPaths (and is unavailable on dynamic indexes). WriteTo serializes
+// the index as a self-describing container that Load reads back.
+type Oracle interface {
+	// Distance returns the exact shortest-path distance from s to t, or
+	// Unreachable (-1) if t cannot be reached from s.
+	Distance(s, t int32) int64
+	// Path returns one exact shortest path including both endpoints, or
+	// nil for disconnected pairs. The index must have been built
+	// WithPaths.
+	Path(s, t int32) ([]int32, error)
+	// NumVertices returns the number of vertices the index covers.
+	NumVertices() int
+	// Stats summarizes the index (variant, label entries, bytes, ...).
+	Stats() Stats
+	// WriteTo serializes the index in the versioned container format.
+	io.WriterTo
+}
+
+// Variant tags the index flavor in Stats and in the container header.
+type Variant = core.Variant
+
+// Variant tags reported by Stats().Variant.
+const (
+	VariantUndirected = core.VariantUndirected
+	VariantDirected   = core.VariantDirected
+	VariantWeighted   = core.VariantWeighted
+	VariantDynamic    = core.VariantDynamic
+)
+
+// BuildableGraph is the sealed set of graph types accepted by Build:
+// *Graph, *Digraph and *WeightedGraph.
+type BuildableGraph interface {
+	// NumVertices returns the number of vertices.
+	NumVertices() int
+	// build dispatches to the variant-specific builder.
+	build(opts []Option) (Oracle, error)
+}
+
+// Build constructs the pruned-landmark-labeling oracle matching the
+// graph kind: an *Index for a *Graph, a *DirectedIndex for a *Digraph,
+// a *WeightedIndex for a *WeightedGraph. Options that do not apply to a
+// variant (e.g. WithBitParallel on weighted graphs) are rejected by the
+// underlying builder. Use the typed builders (BuildIndex, BuildDirected,
+// BuildWeighted, BuildDynamic) when the concrete type is needed.
+func Build(g BuildableGraph, opts ...Option) (Oracle, error) {
+	return g.build(opts)
+}
+
+// Load reads an index serialized by any Oracle's WriteTo (or by the
+// deprecated per-variant Save methods) and returns the matching oracle.
+// The container header names the variant, so callers need not know what
+// kind of index the stream holds; bare pre-container payloads are also
+// recognized by their magic. A VariantDynamic container loads as a
+// static *Index snapshot whose Stats keep the dynamic tag. Malformed
+// input yields an error wrapping ErrBadIndexFile.
+func Load(r io.Reader) (Oracle, error) {
+	v, err := core.LoadAny(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrapOracle(v)
+}
+
+// LoadFile reads an index file written in the container format (or a
+// bare legacy payload) and returns the matching oracle.
+func LoadFile(path string) (Oracle, error) {
+	v, err := core.LoadAnyFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrapOracle(v)
+}
+
+// ErrBadIndexFile is wrapped by all load-time format errors.
+var ErrBadIndexFile = core.ErrBadIndexFile
+
+// variantOf names an oracle's flavor without the full Stats scan
+// (mismatch errors shouldn't pay an O(n log n) quantile sort). For
+// *Index it reports the recorded provenance, so a frozen-dynamic
+// snapshot is named "dynamic", matching its container header.
+func variantOf(o Oracle) Variant {
+	switch ix := o.(type) {
+	case *Index:
+		return ix.ix.Variant()
+	case *DirectedIndex:
+		return VariantDirected
+	case *WeightedIndex:
+		return VariantWeighted
+	case *DynamicIndex:
+		return VariantDynamic
+	}
+	return 0
+}
+
+// wrapOracle lifts a core index into its public wrapper.
+func wrapOracle(v any) (Oracle, error) {
+	switch ix := v.(type) {
+	case *core.Index:
+		return &Index{ix: ix}, nil
+	case *core.DirectedIndex:
+		return &DirectedIndex{ix: ix}, nil
+	case *core.WeightedIndex:
+		return &WeightedIndex{ix: ix}, nil
+	}
+	return nil, fmt.Errorf("pll: unsupported index type %T", v)
+}
+
+// WriteFile serializes any oracle to path in the container format.
+func WriteFile(path string, o Oracle) error {
+	return writeFileWith(path, o.WriteTo)
+}
+
+// writeFileWith is the shared file lifecycle for every save entry
+// point (one place to grow fsync / atomic-rename behavior).
+func writeFileWith(path string, write func(io.Writer) (int64, error)) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Validate sanity-checks vertex IDs against an oracle's range, returning
+// a descriptive error rather than letting a query panic.
+func Validate(o Oracle, vertices ...int32) error {
+	n := int32(o.NumVertices())
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("pll: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	return nil
+}

@@ -11,9 +11,14 @@
 //
 // The index construction runs a pruned breadth-first search from every
 // vertex in degree order (optionally preceded by bit-parallel BFSs), and
-// queries merge-join two small sorted label arrays. Directed and
-// weighted variants, shortest-path reconstruction, serialization and
-// disk-resident querying are provided; see the type documentation below.
+// queries merge-join two small sorted label arrays.
+//
+// Every index flavor — undirected (*Index), directed (*DirectedIndex),
+// weighted (*WeightedIndex) and dynamic (*DynamicIndex) — implements
+// the Oracle interface, Build dispatches on the graph kind, and all
+// variants serialize through WriteTo into one self-describing container
+// format that Load reads back without being told the variant. The
+// per-variant Save/Load entry points remain as deprecated wrappers.
 package pll
 
 import (
@@ -134,8 +139,12 @@ type Index struct {
 	ix *core.Index
 }
 
-// Build constructs the pruned-landmark-labeling index.
-func Build(g *Graph, opts ...Option) (*Index, error) {
+// build dispatches Build for undirected graphs.
+func (g *Graph) build(opts []Option) (Oracle, error) { return BuildIndex(g, opts...) }
+
+// BuildIndex constructs the pruned-landmark-labeling index for an
+// undirected, unweighted graph. It is the typed form of Build(g).
+func BuildIndex(g *Graph, opts ...Option) (*Index, error) {
 	var o core.Options
 	for _, f := range opts {
 		f(&o)
@@ -149,7 +158,7 @@ func Build(g *Graph, opts ...Option) (*Index, error) {
 
 // Distance returns the exact shortest-path distance between s and t, or
 // Unreachable (-1) if they are in different components.
-func (ix *Index) Distance(s, t int32) int { return ix.ix.Query(s, t) }
+func (ix *Index) Distance(s, t int32) int64 { return int64(ix.ix.Query(s, t)) }
 
 // Path returns one exact shortest path including both endpoints, or nil
 // for disconnected pairs. The index must have been built WithPaths.
@@ -164,28 +173,49 @@ type Stats = core.Stats
 // Stats summarizes the index.
 func (ix *Index) Stats() Stats { return ix.ix.ComputeStats() }
 
-// Save writes the index in a versioned binary format.
-func (ix *Index) Save(w io.Writer) error { return ix.ix.Save(w) }
+// WriteTo serializes the index in the self-describing container format
+// read back by Load. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
 
-// SaveFile writes the index to a file.
-func (ix *Index) SaveFile(path string) error { return ix.ix.SaveFile(path) }
-
-// Load reads an index written by Save.
-func Load(r io.Reader) (*Index, error) {
-	ix, err := core.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{ix: ix}, nil
+// Save writes the index in the container format.
+//
+// Deprecated: use WriteTo, which also reports the bytes written.
+func (ix *Index) Save(w io.Writer) error {
+	_, err := ix.WriteTo(w)
+	return err
 }
 
-// LoadFile reads an index file.
-func LoadFile(path string) (*Index, error) {
-	ix, err := core.LoadFile(path)
+// SaveFile writes the index to a file in the container format.
+//
+// Deprecated: use WriteFile.
+func (ix *Index) SaveFile(path string) error { return WriteFile(path, ix) }
+
+// LoadIndex reads an undirected index, rejecting other variants with a
+// descriptive error. Use Load when the variant is not known up front.
+func LoadIndex(r io.Reader) (*Index, error) {
+	o, err := Load(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: ix}, nil
+	return asIndex(o)
+}
+
+// LoadIndexFile reads an undirected index file, rejecting other
+// variants.
+func LoadIndexFile(path string) (*Index, error) {
+	o, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asIndex(o)
+}
+
+func asIndex(o Oracle) (*Index, error) {
+	ix, ok := o.(*Index)
+	if !ok {
+		return nil, fmt.Errorf("pll: expected an undirected index, the file holds the %s variant", variantOf(o))
+	}
+	return ix, nil
 }
 
 // DiskIndex answers queries directly from an index file with two ranged
@@ -204,20 +234,20 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 	return &DiskIndex{di: di}, nil
 }
 
-// Distance returns the exact s-t distance or Unreachable.
-func (d *DiskIndex) Distance(s, t int32) (int, error) { return d.di.Query(s, t) }
+// Distance returns the exact s-t distance or Unreachable. Out-of-range
+// vertices yield an error.
+func (d *DiskIndex) Distance(s, t int32) (int64, error) {
+	v, err := d.di.Query(s, t)
+	return int64(v), err
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (d *DiskIndex) NumVertices() int { return d.di.NumVertices() }
 
 // Close releases the underlying file.
 func (d *DiskIndex) Close() error { return d.di.Close() }
 
-// Validate sanity-checks vertex IDs against an index's range, returning
-// a descriptive error rather than letting a query panic.
-func (ix *Index) Validate(vertices ...int32) error {
-	n := int32(ix.NumVertices())
-	for _, v := range vertices {
-		if v < 0 || v >= n {
-			return fmt.Errorf("pll: vertex %d out of range [0,%d)", v, n)
-		}
-	}
-	return nil
-}
+// Validate sanity-checks vertex IDs against the index's range.
+//
+// Deprecated: use the package-level Validate, which accepts any Oracle.
+func (ix *Index) Validate(vertices ...int32) error { return Validate(ix, vertices...) }

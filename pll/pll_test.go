@@ -90,7 +90,7 @@ func TestPublicSaveLoadAndDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ix.pll")
-	if err := ix.SaveFile(path); err != nil {
+	if err := WriteFile(path, ix); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := LoadFile(path)
@@ -129,13 +129,13 @@ func TestPublicValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ix.Validate(0, 3); err != nil {
+	if err := Validate(ix, 0, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := ix.Validate(4); err == nil {
+	if err := Validate(ix, 4); err == nil {
 		t.Fatal("expected range error")
 	}
-	if err := ix.Validate(-1); err == nil {
+	if err := Validate(ix, -1); err == nil {
 		t.Fatal("expected range error for negative")
 	}
 }

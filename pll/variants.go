@@ -1,14 +1,17 @@
 package pll
 
 import (
+	"fmt"
 	"io"
 
 	"pll/internal/core"
 	"pll/internal/graph"
 )
 
-// UnreachableW is returned by weighted distance queries for disconnected
-// pairs.
+// UnreachableW is the sentinel the deprecated WeightedIndex.Weight
+// query space used for disconnected pairs.
+//
+// Deprecated: Distance now returns Unreachable (-1) for every variant.
 const UnreachableW = core.UnreachableW
 
 // WeightedGraph is an immutable undirected graph with non-negative
@@ -42,6 +45,9 @@ func (g *WeightedGraph) NumVertices() int { return g.g.NumVertices() }
 // NumEdges returns the number of undirected edges.
 func (g *WeightedGraph) NumEdges() int64 { return g.g.NumEdges() }
 
+// build dispatches Build for weighted graphs.
+func (g *WeightedGraph) build(opts []Option) (Oracle, error) { return BuildWeighted(g, opts...) }
+
 // WeightedIndex is the exact distance oracle for weighted graphs (paper
 // §6): identical labeling framework with pruned Dijkstra searches.
 type WeightedIndex struct {
@@ -49,8 +55,9 @@ type WeightedIndex struct {
 }
 
 // BuildWeighted constructs a weighted pruned-landmark-labeling index.
-// Ordering, seed, custom-order and WithPaths options apply; bit-parallel
-// labeling does not exist for the weighted variant (§6).
+// It is the typed form of Build(g) for a *WeightedGraph. Ordering,
+// seed, custom-order and WithPaths options apply; bit-parallel labeling
+// does not exist for the weighted variant (§6).
 func BuildWeighted(g *WeightedGraph, opts ...Option) (*WeightedIndex, error) {
 	var o core.Options
 	for _, f := range opts {
@@ -68,44 +75,92 @@ func BuildWeighted(g *WeightedGraph, opts ...Option) (*WeightedIndex, error) {
 	return &WeightedIndex{ix: ix}, nil
 }
 
-// Path returns one minimum-weight path and its total weight, or
-// (nil, UnreachableW) for disconnected pairs. Requires WithPaths.
-func (ix *WeightedIndex) Path(s, t int32) ([]int32, uint64, error) {
-	return ix.ix.QueryPath(s, t)
+// Distance returns the exact minimum-weight s-t distance, or
+// Unreachable (-1) for disconnected pairs.
+func (ix *WeightedIndex) Distance(s, t int32) int64 {
+	d := ix.ix.Query(s, t)
+	if d == core.UnreachableW {
+		return Unreachable
+	}
+	return int64(d)
 }
 
-// Distance returns the exact weighted s-t distance, or UnreachableW.
-func (ix *WeightedIndex) Distance(s, t int32) uint64 { return ix.ix.Query(s, t) }
-
-// Save writes the weighted index in a versioned binary format.
-func (ix *WeightedIndex) Save(w io.Writer) error { return ix.ix.Save(w) }
-
-// SaveFile writes the weighted index to a file.
-func (ix *WeightedIndex) SaveFile(path string) error { return ix.ix.SaveFile(path) }
-
-// LoadWeighted reads an index written by WeightedIndex.Save.
-func LoadWeighted(r io.Reader) (*WeightedIndex, error) {
-	ix, err := core.LoadWeighted(r)
-	if err != nil {
-		return nil, err
-	}
-	return &WeightedIndex{ix: ix}, nil
+// Path returns one minimum-weight path including both endpoints, or nil
+// for disconnected pairs. Requires WithPaths; use PathWeight to also
+// get the path's total weight.
+func (ix *WeightedIndex) Path(s, t int32) ([]int32, error) {
+	p, _, err := ix.ix.QueryPath(s, t)
+	return p, err
 }
 
-// LoadWeightedFile reads a weighted index file.
-func LoadWeightedFile(path string) (*WeightedIndex, error) {
-	ix, err := core.LoadWeightedFile(path)
-	if err != nil {
-		return nil, err
+// PathWeight returns one minimum-weight path and its total weight, or
+// (nil, Unreachable) for disconnected pairs. Requires WithPaths.
+func (ix *WeightedIndex) PathWeight(s, t int32) ([]int32, int64, error) {
+	p, w, err := ix.ix.QueryPath(s, t)
+	if err != nil || p == nil {
+		return nil, Unreachable, err
 	}
-	return &WeightedIndex{ix: ix}, nil
+	return p, int64(w), nil
 }
 
 // NumVertices returns the number of vertices the index covers.
 func (ix *WeightedIndex) NumVertices() int { return ix.ix.NumVertices() }
 
+// Stats summarizes the index.
+func (ix *WeightedIndex) Stats() Stats { return ix.ix.ComputeStats() }
+
 // AvgLabelSize returns the mean label size per vertex.
+//
+// Deprecated: use Stats().AvgLabelSize.
 func (ix *WeightedIndex) AvgLabelSize() float64 { return ix.ix.AvgLabelSize() }
+
+// WriteTo serializes the index in the self-describing container format
+// read back by Load. Indexes built WithPaths cannot be serialized.
+func (ix *WeightedIndex) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
+
+// Save writes the weighted index in the container format.
+//
+// Deprecated: use WriteTo.
+func (ix *WeightedIndex) Save(w io.Writer) error {
+	_, err := ix.WriteTo(w)
+	return err
+}
+
+// SaveFile writes the weighted index to a file in the container format.
+//
+// Deprecated: use WriteFile.
+func (ix *WeightedIndex) SaveFile(path string) error { return WriteFile(path, ix) }
+
+// LoadWeighted reads a weighted index, rejecting other variants.
+//
+// Deprecated: use Load, which detects the variant from the header.
+func LoadWeighted(r io.Reader) (*WeightedIndex, error) {
+	o, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return asWeighted(o)
+}
+
+// LoadWeightedFile reads a weighted index file, rejecting other
+// variants.
+//
+// Deprecated: use LoadFile.
+func LoadWeightedFile(path string) (*WeightedIndex, error) {
+	o, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asWeighted(o)
+}
+
+func asWeighted(o Oracle) (*WeightedIndex, error) {
+	ix, ok := o.(*WeightedIndex)
+	if !ok {
+		return nil, fmt.Errorf("pll: expected a weighted index, the file holds the %s variant", variantOf(o))
+	}
+	return ix, nil
+}
 
 // Digraph is an immutable directed, unweighted graph.
 type Digraph struct {
@@ -137,6 +192,9 @@ func (g *Digraph) NumVertices() int { return g.g.NumVertices() }
 // NumArcs returns the number of directed arcs.
 func (g *Digraph) NumArcs() int64 { return g.g.NumArcs() }
 
+// build dispatches Build for directed graphs.
+func (g *Digraph) build(opts []Option) (Oracle, error) { return BuildDirected(g, opts...) }
+
 // DirectedIndex is the exact distance oracle for digraphs (paper §6):
 // two labels per vertex, built by forward and backward pruned BFSs.
 type DirectedIndex struct {
@@ -144,7 +202,8 @@ type DirectedIndex struct {
 }
 
 // BuildDirected constructs a directed pruned-landmark-labeling index.
-// Ordering, seed, custom-order and WithPaths options apply.
+// It is the typed form of Build(g) for a *Digraph. Ordering, seed,
+// custom-order and WithPaths options apply.
 func BuildDirected(g *Digraph, opts ...Option) (*DirectedIndex, error) {
 	var o core.Options
 	for _, f := range opts {
@@ -170,34 +229,63 @@ func (ix *DirectedIndex) Path(s, t int32) ([]int32, error) {
 
 // Distance returns the exact directed distance from s to t, or
 // Unreachable.
-func (ix *DirectedIndex) Distance(s, t int32) int { return ix.ix.Query(s, t) }
-
-// Save writes the directed index in a versioned binary format.
-func (ix *DirectedIndex) Save(w io.Writer) error { return ix.ix.Save(w) }
-
-// SaveFile writes the directed index to a file.
-func (ix *DirectedIndex) SaveFile(path string) error { return ix.ix.SaveFile(path) }
-
-// LoadDirected reads an index written by DirectedIndex.Save.
-func LoadDirected(r io.Reader) (*DirectedIndex, error) {
-	ix, err := core.LoadDirected(r)
-	if err != nil {
-		return nil, err
-	}
-	return &DirectedIndex{ix: ix}, nil
-}
-
-// LoadDirectedFile reads a directed index file.
-func LoadDirectedFile(path string) (*DirectedIndex, error) {
-	ix, err := core.LoadDirectedFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return &DirectedIndex{ix: ix}, nil
-}
+func (ix *DirectedIndex) Distance(s, t int32) int64 { return int64(ix.ix.Query(s, t)) }
 
 // NumVertices returns the number of vertices the index covers.
 func (ix *DirectedIndex) NumVertices() int { return ix.ix.NumVertices() }
 
+// Stats summarizes the index; per-vertex sizes are |L_OUT| + |L_IN|.
+func (ix *DirectedIndex) Stats() Stats { return ix.ix.ComputeStats() }
+
 // AvgLabelSize returns the mean of |L_IN|+|L_OUT| per vertex.
+//
+// Deprecated: use Stats().AvgLabelSize.
 func (ix *DirectedIndex) AvgLabelSize() float64 { return ix.ix.AvgLabelSize() }
+
+// WriteTo serializes the index in the self-describing container format
+// read back by Load. Indexes built WithPaths cannot be serialized.
+func (ix *DirectedIndex) WriteTo(w io.Writer) (int64, error) { return ix.ix.WriteTo(w) }
+
+// Save writes the directed index in the container format.
+//
+// Deprecated: use WriteTo.
+func (ix *DirectedIndex) Save(w io.Writer) error {
+	_, err := ix.WriteTo(w)
+	return err
+}
+
+// SaveFile writes the directed index to a file in the container format.
+//
+// Deprecated: use WriteFile.
+func (ix *DirectedIndex) SaveFile(path string) error { return WriteFile(path, ix) }
+
+// LoadDirected reads a directed index, rejecting other variants.
+//
+// Deprecated: use Load, which detects the variant from the header.
+func LoadDirected(r io.Reader) (*DirectedIndex, error) {
+	o, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return asDirected(o)
+}
+
+// LoadDirectedFile reads a directed index file, rejecting other
+// variants.
+//
+// Deprecated: use LoadFile.
+func LoadDirectedFile(path string) (*DirectedIndex, error) {
+	o, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asDirected(o)
+}
+
+func asDirected(o Oracle) (*DirectedIndex, error) {
+	ix, ok := o.(*DirectedIndex)
+	if !ok {
+		return nil, fmt.Errorf("pll: expected a directed index, the file holds the %s variant", variantOf(o))
+	}
+	return ix, nil
+}

@@ -51,7 +51,7 @@ func TestPublicWeightedPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, w, err := ix.Path(0, 3)
+	p, w, err := ix.PathWeight(0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
