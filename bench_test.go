@@ -6,8 +6,9 @@
 //	go test -bench=. -benchmem .
 //
 // Dataset stand-ins are generated once per size and cached; sizes are
-// laptop-scale (see EXPERIMENTS.md for reference output and for the
-// larger -scalediv runs).
+// laptop-scale (see EXPERIMENTS.md for reference output, the meaning of
+// benchScaleDiv, and how to run the evaluation at larger scales via
+// cmd/experiments -scalediv).
 package benches
 
 import (

@@ -64,7 +64,10 @@ func usage() {
   pll stats     -index g.pll
   pll bench     -index g.pll [-pairs N] [-seed N]
   pll verify    -index g.pll -graph g.txt [-pairs N]   # undirected indexes
-  pll compress  -index g.pll -out g.pllc               # undirected indexes`)
+  pll compress  -index g.pll -out g.pllc               # undirected indexes
+
+to serve an index over HTTP, see the pllserved command:
+  go run ./cmd/pllserved -index g.pll -addr :8355`)
 }
 
 func construct(args []string) error {

@@ -1,0 +1,139 @@
+// Command pllserved serves a pruned-landmark-labeling index over
+// HTTP/JSON. It loads any .pllbox container (the variant is
+// auto-detected from the header) and keeps it hot in memory, answering
+// distance queries in microseconds while supporting zero-downtime
+// index replacement.
+//
+// Usage:
+//
+//	pllserved -index g.pllbox [-addr :8355] [-cache 65536]
+//	pllserved -graph g.txt -dynamic [-addr :8355]   # updatable index built at startup
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness + vertex count
+//	GET  /distance?s=0&t=42       exact distance (or reachable:false)
+//	GET  /path?s=0&t=42           one shortest path (index built with -paths)
+//	POST /batch                   {"pairs":[[s,t],...]} or {"source":s,"targets":[...]}
+//	GET  /stats                   index stats + server counters + cache counters
+//	POST /update                  {"edges":[[a,b],...]} (dynamic indexes only)
+//	POST /reload                  {"path":"new.pllbox"} — atomic hot-swap; empty body re-reads -index
+//
+// SIGHUP re-reads the -index file in place, like POST /reload with an
+// empty body: operators can rebuild an index offline and swap it under
+// live traffic without dropping a request. SIGINT/SIGTERM drain
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pll/internal/server"
+	"pll/pll"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pllserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	indexPath := flag.String("index", "", "container index file (.pllbox) to serve")
+	graphPath := flag.String("graph", "", "edge-list file to build a fresh index from (alternative to -index)")
+	dynamic := flag.Bool("dynamic", false, "with -graph: build a dynamic index that accepts POST /update")
+	addr := flag.String("addr", ":8355", "listen address")
+	cacheSize := flag.Int("cache", 0, "distance-cache capacity in entries (0 disables)")
+	maxBatch := flag.Int("maxbatch", 0, "max pairs per /batch request (0 means the default)")
+	flag.Parse()
+
+	var o pll.Oracle
+	var err error
+	switch {
+	case *indexPath != "" && *graphPath != "":
+		return errors.New("-index and -graph are mutually exclusive")
+	case *indexPath != "":
+		if *dynamic {
+			return errors.New("-dynamic needs -graph: serialized dynamic indexes load as frozen snapshots")
+		}
+		start := time.Now()
+		o, err = pll.LoadFile(*indexPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %s in %v: %s variant, %d vertices",
+			*indexPath, time.Since(start).Round(time.Millisecond), o.Stats().Variant, o.NumVertices())
+	case *graphPath != "":
+		g, err := pll.LoadGraphFile(*graphPath)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if *dynamic {
+			o, err = pll.BuildDynamic(g)
+		} else {
+			o, err = pll.Build(g, pll.WithBitParallel(16))
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("built %s index over %s in %v: %d vertices",
+			o.Stats().Variant, *graphPath, time.Since(start).Round(time.Millisecond), o.NumVertices())
+	default:
+		return errors.New("one of -index or -graph is required")
+	}
+
+	srv := server.New(pll.NewConcurrentOracle(o), server.Config{
+		IndexPath: *indexPath,
+		CacheSize: *cacheSize,
+		MaxBatch:  *maxBatch,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGHUP hot-reloads the index file without dropping traffic;
+	// SIGINT/SIGTERM shut down gracefully.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *indexPath == "" {
+				log.Printf("SIGHUP ignored: serving a built-in-memory index, use POST /reload with a path")
+				continue
+			}
+			st, err := srv.Reload(*indexPath)
+			if err != nil {
+				log.Printf("SIGHUP reload failed, keeping the current index: %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reloaded %s: %s variant, %d vertices (generation %d)",
+				*indexPath, st.Variant, st.NumVertices, srv.Oracle().Generation())
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		return err
+	}
+	return <-done
+}

@@ -1,0 +1,212 @@
+// Loadtest: a client load driver for the pllserved serving subsystem.
+//
+// It builds an index over a synthetic social network, serves it from an
+// in-process internal/server instance (the same handlers cmd/pllserved
+// mounts), then hammers it over real HTTP with concurrent workers:
+// point queries on /distance, amortized single-source sweeps on /batch,
+// and — halfway through the run — an atomic hot-reload of a freshly
+// built index under full load, demonstrating that no request fails
+// during the swap.
+//
+// Run with:
+//
+//	go run ./examples/loadtest [-workers 8] [-requests 2000] [-n 5000]
+//
+// Point it at an already-running server instead with -addr:
+//
+//	go run ./cmd/pllserved -index g.pllbox &
+//	go run ./examples/loadtest -addr http://localhost:8355
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pll/internal/gen"
+	"pll/internal/rng"
+	"pll/internal/server"
+	"pll/pll"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 2000, "total /distance requests")
+	n := flag.Int("n", 5000, "vertices in the synthetic graph (in-process mode)")
+	addr := flag.String("addr", "", "base URL of a running pllserved (empty starts one in-process)")
+	flag.Parse()
+
+	base := *addr
+	var srv *server.Server
+	if base == "" {
+		var err error
+		base, srv, err = startInProcess(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	numV := probeVertices(client, base)
+	fmt.Printf("target: %s (%d vertices), %d workers, %d requests\n",
+		base, numV, *workers, *requests)
+
+	// Phase 1: concurrent point queries, with one hot-reload fired
+	// mid-flight when we own the server.
+	var failures atomic.Int64
+	latencies := make([][]time.Duration, *workers)
+	var wg sync.WaitGroup
+	perWorker := *requests / *workers
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + id))
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				s, t := r.Int31n(int32(numV)), r.Int31n(int32(numV))
+				q := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/distance?s=%d&t=%d", base, s, t))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(q))
+			}
+			latencies[id] = lat
+		}(w)
+	}
+	if srv != nil {
+		// Swap in a rebuilt index while every worker is mid-loop.
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			if _, err := srv.Reload(indexPath); err != nil {
+				log.Printf("hot-reload failed: %v", err)
+			} else {
+				fmt.Printf("hot-reloaded the index under load (generation %d)\n",
+					srv.Oracle().Generation())
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Printf("point queries: %d ok, %d failed in %v (%.0f req/s)\n",
+		len(all), failures.Load(), elapsed.Round(time.Millisecond),
+		float64(len(all))/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
+			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+	}
+
+	// Phase 2: one amortized single-source batch covering 1000 targets.
+	targets := make([]int32, 0, 1000)
+	for i := 0; i < 1000 && i < numV; i++ {
+		targets = append(targets, int32(i))
+	}
+	src := int32(0)
+	body, _ := json.Marshal(map[string]any{"source": src, "targets": targets})
+	q := time.Now()
+	resp, err := client.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batch struct {
+		Count int `json:"count"`
+	}
+	json.NewDecoder(resp.Body).Decode(&batch)
+	resp.Body.Close()
+	fmt.Printf("batch: %d single-source distances in %v (%.2f us/pair amortized)\n",
+		batch.Count, time.Since(q).Round(time.Microsecond),
+		float64(time.Since(q).Microseconds())/float64(max(batch.Count, 1)))
+
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// indexPath is where the in-process mode persists its index so the
+// hot-reload demonstration has a file to re-read.
+var indexPath string
+
+// startInProcess builds a Barabasi-Albert index, writes it to a temp
+// container file, and serves it on a loopback listener.
+func startInProcess(n int) (string, *server.Server, error) {
+	raw := gen.BarabasiAlbert(n, 4, 42)
+	g, err := pll.NewGraph(raw.NumVertices(), raw.Edges())
+	if err != nil {
+		return "", nil, err
+	}
+	start := time.Now()
+	ix, err := pll.Build(g, pll.WithBitParallel(16))
+	if err != nil {
+		return "", nil, err
+	}
+	fmt.Printf("built index over %d vertices in %v\n", n, time.Since(start).Round(time.Millisecond))
+
+	dir, err := os.MkdirTemp("", "pll-loadtest")
+	if err != nil {
+		return "", nil, err
+	}
+	indexPath = filepath.Join(dir, "loadtest.pllbox")
+	if err := pll.WriteFile(indexPath, ix); err != nil {
+		return "", nil, err
+	}
+
+	srv := server.New(pll.NewConcurrentOracle(ix), server.Config{
+		IndexPath: indexPath,
+		CacheSize: 4096,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go http.Serve(ln, srv.Handler())
+	return "http://" + ln.Addr().String(), srv, nil
+}
+
+// probeVertices asks /healthz for the served vertex count.
+func probeVertices(client *http.Client, base string) int {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Vertices == 0 {
+		log.Fatalf("healthz: bad response (err=%v)", err)
+	}
+	return h.Vertices
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,229 @@
+// Package server exposes any pll.Oracle over an HTTP/JSON API: the
+// query surface (/distance, /path, /batch), operational endpoints
+// (/stats, /healthz) and the mutation endpoints (/update for dynamic
+// indexes, /reload for atomic index hot-swap). cmd/pllserved is the
+// thin binary around it.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numShards spreads cache locks so concurrent readers on different
+// pairs rarely contend; must be a power of two.
+const numShards = 16
+
+// pairCache is a sharded fixed-capacity LRU mapping query pairs to
+// distances. Distance queries are microseconds, so the cache only pays
+// off under heavy repetition of hot pairs — exactly the serving
+// workload — and it must never become the bottleneck itself: each
+// shard has its own lock and a hand-rolled intrusive LRU list over a
+// flat entry slice (no container/list allocations on the hot path).
+// An epoch counter makes purges race-free: a put carries the epoch the
+// caller observed *before* computing its answer, and the shard rejects
+// it if a purge has bumped the epoch since. Without this, a slow
+// request could compute a distance, lose the race with an /update or
+// /reload purge, and then deposit the stale answer into the fresh
+// cache, serving it forever.
+type pairCache struct {
+	shards [numShards]cacheShard
+	epoch  atomic.Uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64]int // key -> slot in slab
+	slab    []cacheEntry
+	free    []int
+	head    int // most recently used slot, -1 if empty
+	tail    int // least recently used slot, -1 if empty
+	cap     int
+}
+
+type cacheEntry struct {
+	key        uint64
+	value      int64
+	prev, next int // intrusive LRU links, -1 terminated
+}
+
+// newPairCache returns a cache holding about capacity entries in
+// total, or nil when capacity <= 0 (caching disabled).
+func newPairCache(capacity int) *pairCache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + numShards - 1) / numShards
+	c := &pairCache{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = perShard
+		s.entries = make(map[uint64]int, perShard)
+		s.head, s.tail = -1, -1
+	}
+	return c
+}
+
+// pairKey packs an (s,t) query pair into one map key.
+func pairKey(s, t int32) uint64 { return uint64(uint32(s))<<32 | uint64(uint32(t)) }
+
+// shardOf mixes the key before taking the low bits so that pairs
+// sharing a target don't pile onto one shard.
+func (c *pairCache) shardOf(key uint64) *cacheShard {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return &c.shards[key&(numShards-1)]
+}
+
+// get returns the cached distance for (s,t) and whether it was
+// present, updating hit/miss counters and recency.
+func (c *pairCache) get(s, t int32) (int64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	key := pairKey(s, t)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	slot, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return 0, false
+	}
+	sh.moveToFront(slot)
+	v := sh.slab[slot].value
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// currentEpoch returns the value to pass to put; capture it before
+// running the query the result describes.
+func (c *pairCache) currentEpoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// put records the distance for (s,t) computed while epoch was current,
+// evicting the least recently used pair of the shard when it is full.
+// A put whose epoch a purge has since invalidated is dropped.
+func (c *pairCache) put(epoch uint64, s, t int32, d int64) {
+	if c == nil {
+		return
+	}
+	key := pairKey(s, t)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.epoch.Load() != epoch {
+		return
+	}
+	if slot, ok := sh.entries[key]; ok {
+		sh.slab[slot].value = d
+		sh.moveToFront(slot)
+		return
+	}
+	var slot int
+	switch {
+	case len(sh.free) > 0:
+		slot = sh.free[len(sh.free)-1]
+		sh.free = sh.free[:len(sh.free)-1]
+	case len(sh.slab) < sh.cap:
+		sh.slab = append(sh.slab, cacheEntry{})
+		slot = len(sh.slab) - 1
+	default:
+		slot = sh.tail
+		sh.unlink(slot)
+		delete(sh.entries, sh.slab[slot].key)
+	}
+	sh.slab[slot] = cacheEntry{key: key, value: d, prev: -1, next: -1}
+	sh.pushFront(slot)
+	sh.entries[key] = slot
+}
+
+// purge empties the cache; called when the index mutates (update or
+// hot-reload) so stale distances can never be served. The epoch bump
+// happens first, so any in-flight put that computed its answer against
+// the pre-mutation index is rejected when it reaches its shard —
+// whether that is before or after the shard is cleared below.
+func (c *pairCache) purge() {
+	if c == nil {
+		return
+	}
+	c.epoch.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[uint64]int, sh.cap)
+		sh.slab = sh.slab[:0]
+		sh.free = sh.free[:0]
+		sh.head, sh.tail = -1, -1
+		sh.mu.Unlock()
+	}
+}
+
+// len reports the number of cached pairs across all shards.
+func (c *pairCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// counters returns cumulative hits and misses.
+func (c *pairCache) counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// unlink removes slot from the LRU list (caller holds the lock).
+func (sh *cacheShard) unlink(slot int) {
+	e := &sh.slab[slot]
+	if e.prev >= 0 {
+		sh.slab[e.prev].next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next >= 0 {
+		sh.slab[e.next].prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushFront makes slot the most recently used (caller holds the lock).
+func (sh *cacheShard) pushFront(slot int) {
+	e := &sh.slab[slot]
+	e.prev, e.next = -1, sh.head
+	if sh.head >= 0 {
+		sh.slab[sh.head].prev = slot
+	}
+	sh.head = slot
+	if sh.tail < 0 {
+		sh.tail = slot
+	}
+}
+
+// moveToFront refreshes recency for slot (caller holds the lock).
+func (sh *cacheShard) moveToFront(slot int) {
+	if sh.head == slot {
+		return
+	}
+	sh.unlink(slot)
+	sh.pushFront(slot)
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPairCacheBasics(t *testing.T) {
+	c := newPairCache(64)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(c.currentEpoch(), 1, 2, 7)
+	if d, ok := c.get(1, 2); !ok || d != 7 {
+		t.Fatalf("get(1,2) = %d,%v", d, ok)
+	}
+	// (s,t) and (t,s) are distinct keys (directed indexes are
+	// asymmetric).
+	if _, ok := c.get(2, 1); ok {
+		t.Fatal("reversed pair should miss")
+	}
+	hits, misses := c.counters()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("counters = %d hits, %d misses", hits, misses)
+	}
+	c.put(c.currentEpoch(), 1, 2, 9) // overwrite
+	if d, _ := c.get(1, 2); d != 9 {
+		t.Fatalf("overwrite lost: %d", d)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestPairCacheDisabled(t *testing.T) {
+	var c *pairCache // nil means disabled; every operation is a no-op
+	c.put(c.currentEpoch(), 1, 2, 3)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if newPairCache(0) != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+}
+
+func TestPairCacheEvictsLRU(t *testing.T) {
+	// One entry per shard: inserting a second key into a shard evicts
+	// the older one, and a get refreshes recency.
+	c := newPairCache(numShards)
+
+	// Find three keys landing in the same shard.
+	base := c.shardOf(pairKey(0, 0))
+	same := make([][2]int32, 0, 3)
+	for t32 := int32(0); len(same) < 3 && t32 < 1<<16; t32++ {
+		if c.shardOf(pairKey(0, t32)) == base {
+			same = append(same, [2]int32{0, t32})
+		}
+	}
+	if len(same) < 3 {
+		t.Fatal("could not find colliding keys")
+	}
+
+	c.put(c.currentEpoch(), same[0][0], same[0][1], 10)
+	c.put(c.currentEpoch(), same[1][0], same[1][1], 11) // evicts same[0]
+	if _, ok := c.get(same[0][0], same[0][1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if d, ok := c.get(same[1][0], same[1][1]); !ok || d != 11 {
+		t.Fatalf("newest entry missing: %d,%v", d, ok)
+	}
+	c.put(c.currentEpoch(), same[2][0], same[2][1], 12) // evicts same[1]
+	if _, ok := c.get(same[1][0], same[1][1]); ok {
+		t.Fatal("expected eviction of the older entry")
+	}
+}
+
+func TestPairCacheRecencyOrder(t *testing.T) {
+	c := newPairCache(2 * numShards) // two entries per shard
+
+	base := c.shardOf(pairKey(0, 0))
+	same := make([][2]int32, 0, 3)
+	for t32 := int32(0); len(same) < 3 && t32 < 1<<16; t32++ {
+		if c.shardOf(pairKey(0, t32)) == base {
+			same = append(same, [2]int32{0, t32})
+		}
+	}
+	if len(same) < 3 {
+		t.Fatal("could not find colliding keys")
+	}
+
+	c.put(c.currentEpoch(), same[0][0], same[0][1], 10)
+	c.put(c.currentEpoch(), same[1][0], same[1][1], 11)
+	c.get(same[0][0], same[0][1])                       // refresh [0]: now [1] is LRU
+	c.put(c.currentEpoch(), same[2][0], same[2][1], 12) // must evict [1]
+	if _, ok := c.get(same[0][0], same[0][1]); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+	if _, ok := c.get(same[1][0], same[1][1]); ok {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestPairCachePurge(t *testing.T) {
+	c := newPairCache(64)
+	for i := int32(0); i < 32; i++ {
+		c.put(c.currentEpoch(), i, i+1, int64(i))
+	}
+	if c.len() == 0 {
+		t.Fatal("expected entries before purge")
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Fatalf("len after purge = %d", c.len())
+	}
+	if _, ok := c.get(3, 4); ok {
+		t.Fatal("purged entry still present")
+	}
+	// The cache must be reusable after purge.
+	c.put(c.currentEpoch(), 3, 4, 1)
+	if d, ok := c.get(3, 4); !ok || d != 1 {
+		t.Fatalf("post-purge put/get = %d,%v", d, ok)
+	}
+}
+
+// TestPairCacheStalePutRejected models the purge race: a request
+// captures the epoch, computes its answer against the pre-mutation
+// index, and only deposits it after a purge has run. The deposit must
+// be dropped, or the stale distance would be served forever.
+func TestPairCacheStalePutRejected(t *testing.T) {
+	c := newPairCache(64)
+	epoch := c.currentEpoch()
+	c.purge() // index mutated while the request was computing
+	c.put(epoch, 1, 2, 99)
+	if _, ok := c.get(1, 2); ok {
+		t.Fatal("stale put survived a purge")
+	}
+	// A put with the fresh epoch works.
+	c.put(c.currentEpoch(), 1, 2, 1)
+	if d, ok := c.get(1, 2); !ok || d != 1 {
+		t.Fatalf("fresh put lost: %d,%v", d, ok)
+	}
+}
+
+// TestPairCacheConcurrent exercises all shards from many goroutines;
+// meaningful under -race.
+func TestPairCacheConcurrent(t *testing.T) {
+	c := newPairCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			for i := int32(0); i < 500; i++ {
+				s, t32 := (seed+i)%64, (seed+2*i)%64
+				if d, ok := c.get(s, t32); ok && d != int64(s)+int64(t32) {
+					t.Errorf("corrupted value for (%d,%d): %d", s, t32, d)
+					return
+				}
+				c.put(c.currentEpoch(), s, t32, int64(s)+int64(t32))
+				if i%97 == 0 && seed == 0 {
+					c.purge()
+				}
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pll/pll"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// IndexPath is the container file /reload re-reads when the request
+	// names no path (and the file SIGHUP-style reloads come from).
+	IndexPath string
+	// CacheSize bounds the sharded distance cache in entries; 0
+	// disables caching.
+	CacheSize int
+	// MaxBatch caps pairs per /batch request (default 4096).
+	MaxBatch int
+}
+
+const defaultMaxBatch = 4096
+
+// Server serves one ConcurrentOracle over HTTP. All handlers answer
+// JSON; errors arrive as {"error": "..."} with a matching status code.
+// The zero value is not usable; call New.
+type Server struct {
+	oracle *pll.ConcurrentOracle
+	cache  *pairCache
+	cfg    Config
+	start  time.Time
+	mux    *http.ServeMux
+
+	reloadMu sync.Mutex // serializes /reload and SIGHUP reloads
+
+	queries    atomic.Int64 // /distance + /path answers
+	batchPairs atomic.Int64 // pairs answered through /batch
+	updates    atomic.Int64 // edges inserted through /update
+	reloads    atomic.Int64 // successful index swaps
+}
+
+// New builds a Server around o. The oracle may be shared with other
+// components (e.g. a SIGHUP handler calling Reload).
+func New(o *pll.ConcurrentOracle, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	s := &Server{
+		oracle: o,
+		cache:  newPairCache(cfg.CacheSize),
+		cfg:    cfg,
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /distance", s.handleDistance)
+	s.mux.HandleFunc("GET /path", s.handlePath)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
+	return s
+}
+
+// Handler returns the http.Handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Oracle returns the served oracle (shared, not a copy).
+func (s *Server) Oracle() *pll.ConcurrentOracle { return s.oracle }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryPair parses the s and t query parameters as int32 vertex IDs.
+func queryPair(r *http.Request) (int32, int32, error) {
+	var s, t int32
+	for _, p := range []struct {
+		name string
+		dst  *int32
+	}{{"s", &s}, {"t", &t}} {
+		raw := r.URL.Query().Get(p.name)
+		if raw == "" {
+			return 0, 0, fmt.Errorf("missing query parameter %q", p.name)
+		}
+		v, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad vertex %q", raw)
+		}
+		*p.dst = int32(v)
+	}
+	return s, t, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"vertices": s.oracle.NumVertices(),
+	})
+}
+
+// distanceResponse is the /distance (and per-pair /batch) answer shape.
+type distanceResponse struct {
+	S         int32 `json:"s"`
+	T         int32 `json:"t"`
+	Distance  int64 `json:"distance"`
+	Reachable bool  `json:"reachable"`
+	Cached    bool  `json:"cached,omitempty"`
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	sv, tv, err := queryPair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if d, ok := s.cache.get(sv, tv); ok {
+		s.queries.Add(1)
+		writeJSON(w, http.StatusOK, distanceResponse{S: sv, T: tv, Distance: d, Reachable: d != pll.Unreachable, Cached: true})
+		return
+	}
+	var d int64
+	// Capture the cache epoch before querying: if an /update or /reload
+	// purge lands while we compute, the put below is dropped instead of
+	// poisoning the fresh cache with a pre-mutation answer.
+	epoch := s.cache.currentEpoch()
+	// Validate and query under one View so a concurrent hot-swap to a
+	// smaller index cannot invalidate the check mid-request.
+	err = s.oracle.View(func(o pll.Oracle) error {
+		if err := pll.Validate(o, sv, tv); err != nil {
+			return err
+		}
+		d = o.Distance(sv, tv)
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cache.put(epoch, sv, tv, d)
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, distanceResponse{S: sv, T: tv, Distance: d, Reachable: d != pll.Unreachable})
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	sv, tv, err := queryPair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var p []int32
+	var badInput bool
+	err = s.oracle.View(func(o pll.Oracle) error {
+		if err := pll.Validate(o, sv, tv); err != nil {
+			badInput = true
+			return err
+		}
+		p, err = o.Path(sv, tv)
+		return err
+	})
+	if err != nil {
+		if badInput {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			// The index exists but cannot answer path queries (not built
+			// WithPaths, or a dynamic index): the conflict is with the
+			// server's resource, not the request.
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	s.queries.Add(1)
+	resp := map[string]any{"s": sv, "t": tv, "reachable": p != nil}
+	if p != nil {
+		resp["path"] = p
+		resp["hops"] = len(p) - 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest asks for many distances at once: either explicit pairs,
+// or one source against many targets (the amortized single-source
+// form, answered with one label scan per target on undirected static
+// indexes).
+type batchRequest struct {
+	Pairs   [][2]int32 `json:"pairs,omitempty"`
+	Source  *int32     `json:"source,omitempty"`
+	Targets []int32    `json:"targets,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	switch {
+	case req.Source != nil && len(req.Targets) > 0 && len(req.Pairs) == 0:
+	case req.Source == nil && len(req.Targets) == 0 && len(req.Pairs) > 0:
+	default:
+		writeError(w, http.StatusBadRequest, `batch body needs either "pairs" or "source"+"targets"`)
+		return
+	}
+	n := len(req.Pairs) + len(req.Targets)
+	if n > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds the %d limit", n, s.cfg.MaxBatch)
+		return
+	}
+
+	distances := make([]int64, 0, n)
+	err := s.oracle.View(func(o pll.Oracle) error {
+		if req.Source != nil {
+			if err := pll.Validate(o, append([]int32{*req.Source}, req.Targets...)...); err != nil {
+				return err
+			}
+			// Single-source batches amortize to one label scan per target
+			// when the oracle supports it; View pins the snapshot so the
+			// batch source cannot outlive its index.
+			if ix, ok := o.(*pll.Index); ok {
+				bs := ix.NewBatchSource(*req.Source)
+				for _, t := range req.Targets {
+					distances = append(distances, int64(bs.Distance(t)))
+				}
+				return nil
+			}
+			for _, t := range req.Targets {
+				distances = append(distances, o.Distance(*req.Source, t))
+			}
+			return nil
+		}
+		flat := make([]int32, 0, 2*len(req.Pairs))
+		for _, p := range req.Pairs {
+			flat = append(flat, p[0], p[1])
+		}
+		if err := pll.Validate(o, flat...); err != nil {
+			return err
+		}
+		for _, p := range req.Pairs {
+			distances = append(distances, o.Distance(p[0], p[1]))
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.batchPairs.Add(int64(n))
+	writeJSON(w, http.StatusOK, map[string]any{"count": n, "distances": distances})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.oracle.Stats()
+	hits, misses := s.cache.counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"index": map[string]any{
+			"variant":            st.Variant.String(),
+			"vertices":           st.NumVertices,
+			"bit_parallel_roots": st.NumBitParallel,
+			"label_entries":      st.TotalLabelEntries,
+			"avg_label_size":     st.AvgLabelSize,
+			"max_label_size":     st.MaxLabelSize,
+			"index_bytes":        st.IndexBytes,
+			"has_paths":          st.HasParentPointers,
+		},
+		"server": map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"queries":        s.queries.Load(),
+			"batch_pairs":    s.batchPairs.Load(),
+			"updates":        s.updates.Load(),
+			"reloads":        s.reloads.Load(),
+			"generation":     s.oracle.Generation(),
+		},
+		"cache": map[string]any{
+			"enabled":  s.cache != nil,
+			"capacity": s.cfg.CacheSize,
+			"entries":  s.cache.len(),
+			"hits":     hits,
+			"misses":   misses,
+		},
+	})
+}
+
+// updateRequest inserts edges into a served dynamic index.
+type updateRequest struct {
+	Edges [][2]int32 `json:"edges"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, `update body needs a non-empty "edges" list`)
+		return
+	}
+	// Validate and insert the whole batch under one write-locked Update,
+	// so the bounds check, every insert, and nothing else all see the
+	// same oracle even if a hot-reload swaps it mid-request, and readers
+	// never observe a half-applied batch.
+	inserted, labelDelta := 0, 0
+	var badEdge *[2]int32
+	err := s.oracle.Update(func(di *pll.DynamicIndex) error {
+		n := int32(di.NumVertices())
+		for i, e := range req.Edges {
+			if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+				badEdge = &req.Edges[i]
+				return fmt.Errorf("edge {%d,%d} out of range [0,%d)", e[0], e[1], n)
+			}
+		}
+		for _, e := range req.Edges {
+			d, err := di.InsertEdge(e[0], e[1])
+			if err != nil {
+				return err
+			}
+			inserted++
+			labelDelta += d
+		}
+		return nil
+	})
+	if inserted > 0 {
+		// Inserted edges can only shorten distances; drop every cached
+		// pair even when a later edge of the batch failed.
+		s.updates.Add(int64(inserted))
+		s.cache.purge()
+	}
+	if err != nil {
+		switch {
+		case err == pll.ErrNotDynamic:
+			writeError(w, http.StatusConflict, "served index is the %s variant; only dynamic indexes accept updates", s.oracle.Stats().Variant)
+		case badEdge != nil:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inserted":    inserted,
+		"label_delta": labelDelta,
+	})
+}
+
+// reloadRequest optionally names the container file to swap in; an
+// empty body (or empty path) re-reads the configured index path.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.IndexPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no path in request and the server was started without an index file")
+		return
+	}
+	st, err := s.Reload(path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reload %s: %v", path, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":       path,
+		"variant":    st.Variant.String(),
+		"vertices":   st.NumVertices,
+		"generation": s.oracle.Generation(),
+	})
+}
+
+// Reload loads the container at path and atomically swaps it in,
+// purging the distance cache. In-flight requests keep answering from
+// the index they started on; no request fails or blocks. It is the
+// shared implementation behind POST /reload and SIGHUP.
+func (s *Server) Reload(path string) (pll.Stats, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	o, err := pll.LoadFile(path)
+	if err != nil {
+		return pll.Stats{}, err
+	}
+	s.oracle.Swap(o)
+	s.cache.purge()
+	s.reloads.Add(1)
+	return o.Stats(), nil
+}

@@ -1,0 +1,189 @@
+package pll
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNotDynamic is returned by ConcurrentOracle.InsertEdge when the
+// wrapped oracle is a frozen/static variant.
+var ErrNotDynamic = errors.New("pll: oracle is not a dynamic index")
+
+// ConcurrentOracle makes any Oracle safe for concurrent use and
+// atomically replaceable, which is what a long-lived query server
+// needs:
+//
+//   - Static variants (*Index, *DirectedIndex, *WeightedIndex and
+//     frozen dynamic snapshots) are immutable, so reads go straight
+//     through a single atomic pointer load — no lock, no contention,
+//     same per-query cost as calling the index directly.
+//   - A wrapped *DynamicIndex additionally gets an RWMutex: Distance
+//     and friends take the read lock, InsertEdge takes the write lock,
+//     so online updates interleave safely with queries.
+//   - Swap installs a different oracle (e.g. a freshly loaded index
+//     file) in one atomic store. In-flight operations finish against
+//     the oracle they started on; new operations see the replacement.
+//     Nothing blocks, no request is dropped.
+//
+// A ConcurrentOracle itself implements Oracle, so servers and tools
+// can program against it unchanged.
+type ConcurrentOracle struct {
+	state atomic.Pointer[concurrentState]
+	gen   atomic.Uint64
+}
+
+// concurrentState pairs an oracle with the lock discipline it needs.
+// The two travel together through the atomic pointer so a swap can
+// never mix one oracle with another's mutex.
+type concurrentState struct {
+	oracle Oracle
+	mu     *sync.RWMutex // nil for immutable (static) oracles
+}
+
+func newConcurrentState(o Oracle) *concurrentState {
+	st := &concurrentState{oracle: o}
+	if _, dynamic := o.(*DynamicIndex); dynamic {
+		st.mu = &sync.RWMutex{}
+	}
+	return st
+}
+
+// NewConcurrentOracle wraps o for concurrent querying, updating and
+// hot-swapping.
+func NewConcurrentOracle(o Oracle) *ConcurrentOracle {
+	c := &ConcurrentOracle{}
+	c.state.Store(newConcurrentState(o))
+	return c
+}
+
+// View runs f against a consistent snapshot of the current oracle,
+// holding the read lock (when the oracle is dynamic) for the whole
+// call. Use it when several calls must observe the same index — e.g.
+// validating vertex IDs and then querying, or answering a batch — so a
+// concurrent Swap cannot change the oracle mid-sequence. f must not
+// retain the oracle after returning and must not call InsertEdge or
+// Swap (the former would deadlock on the write lock).
+func (c *ConcurrentOracle) View(f func(o Oracle) error) error {
+	st := c.state.Load()
+	if st.mu != nil {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+	}
+	return f(st.oracle)
+}
+
+// Distance returns the exact s-t distance, or Unreachable.
+func (c *ConcurrentOracle) Distance(s, t int32) int64 {
+	st := c.state.Load()
+	if st.mu == nil {
+		return st.oracle.Distance(s, t)
+	}
+	st.mu.RLock()
+	d := st.oracle.Distance(s, t)
+	st.mu.RUnlock()
+	return d
+}
+
+// Path returns one exact shortest path, or nil for disconnected pairs.
+func (c *ConcurrentOracle) Path(s, t int32) ([]int32, error) {
+	st := c.state.Load()
+	if st.mu == nil {
+		return st.oracle.Path(s, t)
+	}
+	st.mu.RLock()
+	p, err := st.oracle.Path(s, t)
+	st.mu.RUnlock()
+	return p, err
+}
+
+// NumVertices returns the number of vertices the current oracle covers.
+func (c *ConcurrentOracle) NumVertices() int {
+	st := c.state.Load()
+	if st.mu == nil {
+		return st.oracle.NumVertices()
+	}
+	st.mu.RLock()
+	n := st.oracle.NumVertices()
+	st.mu.RUnlock()
+	return n
+}
+
+// Stats summarizes the current oracle.
+func (c *ConcurrentOracle) Stats() Stats {
+	st := c.state.Load()
+	if st.mu == nil {
+		return st.oracle.Stats()
+	}
+	st.mu.RLock()
+	s := st.oracle.Stats()
+	st.mu.RUnlock()
+	return s
+}
+
+// WriteTo serializes the current oracle, excluding concurrent updates
+// for the duration of the write.
+func (c *ConcurrentOracle) WriteTo(w io.Writer) (int64, error) {
+	st := c.state.Load()
+	if st.mu == nil {
+		return st.oracle.WriteTo(w)
+	}
+	st.mu.RLock()
+	n, err := st.oracle.WriteTo(w)
+	st.mu.RUnlock()
+	return n, err
+}
+
+// Update runs f against the wrapped *DynamicIndex under the write
+// lock, so a multi-step mutation (validate, then insert several edges)
+// is atomic with respect to queries and other updates, and observes
+// one oracle even if Swap runs concurrently. Wrapping any other
+// variant yields ErrNotDynamic without calling f. An update that races
+// with Swap applies to whichever oracle it loaded first and may
+// therefore land on the retired index; callers that swap and update
+// from the same goroutine never observe this.
+func (c *ConcurrentOracle) Update(f func(di *DynamicIndex) error) error {
+	st := c.state.Load()
+	di, ok := st.oracle.(*DynamicIndex)
+	if !ok {
+		return ErrNotDynamic
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return f(di)
+}
+
+// InsertEdge adds the undirected edge {a,b} to a wrapped *DynamicIndex
+// under the write lock and returns the number of label entries
+// repaired. See Update for the interaction with Swap.
+func (c *ConcurrentOracle) InsertEdge(a, b int32) (int, error) {
+	var delta int
+	err := c.Update(func(di *DynamicIndex) error {
+		var err error
+		delta, err = di.InsertEdge(a, b)
+		return err
+	})
+	return delta, err
+}
+
+// Snapshot returns the current oracle. The result is stable — a later
+// Swap does not mutate it — and safe to query directly when it is a
+// static variant. A *DynamicIndex snapshot must not be queried or
+// updated directly while others may be writing; go through the
+// ConcurrentOracle (or View) instead.
+func (c *ConcurrentOracle) Snapshot() Oracle { return c.state.Load().oracle }
+
+// Swap atomically installs o as the serving oracle and returns the
+// previous one. Operations already running complete against the old
+// oracle; every operation starting after Swap returns sees o. The
+// swap itself never blocks on readers.
+func (c *ConcurrentOracle) Swap(o Oracle) Oracle {
+	old := c.state.Swap(newConcurrentState(o))
+	c.gen.Add(1)
+	return old.oracle
+}
+
+// Generation counts completed Swaps, starting at 0. Servers use it to
+// tag cached results and report reloads.
+func (c *ConcurrentOracle) Generation() uint64 { return c.gen.Load() }

@@ -1,0 +1,174 @@
+package pll
+
+import (
+	"sync"
+	"testing"
+)
+
+// line returns the path graph 0-1-...-(n-1).
+func line(n int) *Graph {
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{U: int32(i), V: int32(i + 1)}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestConcurrentOracleStatic(t *testing.T) {
+	ix, err := Build(line(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrentOracle(ix)
+	if d := c.Distance(0, 5); d != 5 {
+		t.Fatalf("Distance(0,5) = %d, want 5", d)
+	}
+	if c.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d", c.NumVertices())
+	}
+	if _, err := c.InsertEdge(0, 5); err != ErrNotDynamic {
+		t.Fatalf("InsertEdge on static = %v, want ErrNotDynamic", err)
+	}
+	if got := c.Stats().Variant; got != VariantUndirected {
+		t.Fatalf("variant = %v", got)
+	}
+	if c.Snapshot() != Oracle(ix) {
+		t.Fatal("Snapshot should return the wrapped oracle")
+	}
+}
+
+func TestConcurrentOracleDynamicUpdates(t *testing.T) {
+	di, err := BuildDynamic(line(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrentOracle(di)
+	if d := c.Distance(0, 5); d != 5 {
+		t.Fatalf("before insert: Distance(0,5) = %d, want 5", d)
+	}
+	if _, err := c.InsertEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Distance(0, 5); d != 1 {
+		t.Fatalf("after insert: Distance(0,5) = %d, want 1", d)
+	}
+}
+
+func TestConcurrentOracleSwap(t *testing.T) {
+	small, err := Build(line(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(line(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrentOracle(small)
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	old := c.Swap(big)
+	if old != Oracle(small) {
+		t.Fatal("Swap should return the previous oracle")
+	}
+	if c.Generation() != 1 {
+		t.Fatalf("generation after swap = %d", c.Generation())
+	}
+	if c.NumVertices() != 10 {
+		t.Fatalf("NumVertices after swap = %d", c.NumVertices())
+	}
+	if d := c.Distance(0, 9); d != 9 {
+		t.Fatalf("Distance(0,9) = %d, want 9", d)
+	}
+}
+
+func TestConcurrentOracleView(t *testing.T) {
+	ix, err := Build(line(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrentOracle(ix)
+	var n int
+	if err := c.View(func(o Oracle) error {
+		n = o.NumVertices()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("View saw %d vertices", n)
+	}
+}
+
+// TestConcurrentOracleRace hammers a dynamic index with concurrent
+// readers, one writer inserting shortcut edges, and one swapper
+// hot-replacing the whole oracle. Run with -race; correctness of each
+// read is only sanity-checked (distances never increase under edge
+// insertion on a fixed generation, but swaps reset the oracle, so the
+// invariant here is just "exact index answers stay in range").
+func TestConcurrentOracleRace(t *testing.T) {
+	const n = 40
+	di, err := BuildDynamic(line(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrentOracle(di)
+
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int32) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := (seed + int32(i)) % n
+				tt := (seed + 2*int32(i)) % n
+				d := c.Distance(s, tt)
+				if d < 0 || d >= n {
+					t.Errorf("Distance(%d,%d) = %d out of range", s, tt, d)
+					return
+				}
+				c.NumVertices()
+			}
+		}(int32(r))
+	}
+
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := int32(0); i < n-2; i++ {
+			if _, err := c.InsertEdge(i, i+2); err != nil && err != ErrNotDynamic {
+				t.Errorf("InsertEdge: %v", err)
+				return
+			}
+		}
+	}()
+
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 5; i++ {
+			fresh, err := BuildDynamic(line(n))
+			if err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+			c.Swap(fresh)
+		}
+	}()
+
+	// Let the writer and swapper finish under reader pressure, then
+	// release the readers.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -51,6 +51,11 @@ func LoadCompressedFile(path string) (*Index, error) { return LoadIndexFile(path
 // (the evolving-network direction of the paper's §8, implemented with
 // resumed pruned BFSs). Bit-parallel labels and path reconstruction are
 // not available in dynamic mode.
+//
+// Unlike the static variants, a DynamicIndex is not safe for concurrent
+// use: InsertEdge mutates labels in place, so interleave queries and
+// inserts from one goroutine, synchronize externally, or wrap the index
+// in a ConcurrentOracle.
 type DynamicIndex struct {
 	di *core.DynamicIndex
 }

@@ -21,6 +21,17 @@ import (
 // Unreachable (-1) for disconnected pairs. Path requires an index built
 // WithPaths (and is unavailable on dynamic indexes). WriteTo serializes
 // the index as a self-describing container that Load reads back.
+//
+// Concurrency contract: the static variants (*Index, *DirectedIndex,
+// *WeightedIndex, and frozen dynamic snapshots) are immutable after
+// construction, so any number of goroutines may call Distance, Path,
+// NumVertices, Stats and WriteTo concurrently without synchronization.
+// *DynamicIndex is NOT safe for concurrent use — InsertEdge mutates the
+// labels in place, so callers must either serialize all access
+// externally or wrap the index in a ConcurrentOracle, which takes the
+// read/write locks automatically and adds atomic hot-swapping. Helper
+// objects with per-call state (BatchSource, DiskIndex) are never safe
+// for concurrent use regardless of variant.
 type Oracle interface {
 	// Distance returns the exact shortest-path distance from s to t, or
 	// Unreachable (-1) if t cannot be reached from s.
