@@ -277,6 +277,91 @@ func BenchmarkAblation_PrunedLabeling(b *testing.B) {
 	}
 }
 
+// ---- Construction scaling: the batch-parallel pruned labeling ----
+//
+// BenchmarkBuildWorkers{1,2,4,8}_* measure index-construction wall time
+// per variant and worker count on one fixed synthetic benchmark graph
+// per variant (the index is byte-identical at every worker count, so
+// only time changes). EXPERIMENTS.md records a reference scaling table;
+// regenerate it with:
+//
+//	go test -bench 'BenchmarkBuildWorkers' -benchtime 3x .
+
+var (
+	buildBenchGraphOnce sync.Once
+	buildBenchGraph     *graph.Graph    // undirected + dynamic benchmark graph
+	buildBenchDigraph   *graph.Digraph  // directed benchmark graph
+	buildBenchWeighted  *graph.Weighted // weighted benchmark graph
+)
+
+func buildBenchInputs() {
+	buildBenchGraphOnce.Do(func() {
+		buildBenchGraph = gen.BarabasiAlbert(20000, 5, 1)
+		buildBenchDigraph = gen.RandomDigraph(4000, 20000, 2)
+		buildBenchWeighted = gen.RandomWeights(gen.BarabasiAlbert(8000, 4, 3), 1, 16, 4)
+	})
+}
+
+func benchBuildWorkersUndirected(b *testing.B, workers int) {
+	buildBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(buildBenchGraph, core.Options{Seed: 7, NumBitParallel: 16, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBuildWorkersDirected(b *testing.B, workers int) {
+	buildBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildDirected(buildBenchDigraph, core.DirectedOptions{Seed: 7, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBuildWorkersWeighted(b *testing.B, workers int) {
+	buildBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildWeighted(buildBenchWeighted, core.WeightedOptions{Seed: 7, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBuildWorkersDynamic(b *testing.B, workers int) {
+	buildBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildDynamic(buildBenchGraph, core.Options{Seed: 7, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildWorkers1_Undirected(b *testing.B) { benchBuildWorkersUndirected(b, 1) }
+func BenchmarkBuildWorkers2_Undirected(b *testing.B) { benchBuildWorkersUndirected(b, 2) }
+func BenchmarkBuildWorkers4_Undirected(b *testing.B) { benchBuildWorkersUndirected(b, 4) }
+func BenchmarkBuildWorkers8_Undirected(b *testing.B) { benchBuildWorkersUndirected(b, 8) }
+
+func BenchmarkBuildWorkers1_Directed(b *testing.B) { benchBuildWorkersDirected(b, 1) }
+func BenchmarkBuildWorkers2_Directed(b *testing.B) { benchBuildWorkersDirected(b, 2) }
+func BenchmarkBuildWorkers4_Directed(b *testing.B) { benchBuildWorkersDirected(b, 4) }
+func BenchmarkBuildWorkers8_Directed(b *testing.B) { benchBuildWorkersDirected(b, 8) }
+
+func BenchmarkBuildWorkers1_Weighted(b *testing.B) { benchBuildWorkersWeighted(b, 1) }
+func BenchmarkBuildWorkers2_Weighted(b *testing.B) { benchBuildWorkersWeighted(b, 2) }
+func BenchmarkBuildWorkers4_Weighted(b *testing.B) { benchBuildWorkersWeighted(b, 4) }
+func BenchmarkBuildWorkers8_Weighted(b *testing.B) { benchBuildWorkersWeighted(b, 8) }
+
+func BenchmarkBuildWorkers1_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 1) }
+func BenchmarkBuildWorkers2_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 2) }
+func BenchmarkBuildWorkers4_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 4) }
+func BenchmarkBuildWorkers8_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 8) }
+
 // Theorem 4.4's regime: low tree-width inputs.
 func BenchmarkAblation_TreeWidth_PLL_Grid(b *testing.B) {
 	g := gen.Grid(30, 60)

@@ -39,9 +39,10 @@ func main() {
 	pairs := fs.Int("pairs", 0, "random query pairs per measurement (0 = default)")
 	seed := fs.Uint64("seed", 7, "experiment seed")
 	all := fs.Bool("all", false, "include the six large datasets (slow)")
+	workers := fs.Int("workers", 0, "construction workers for the PLL builds (0 = all cores, 1 = sequential)")
 	fs.Parse(os.Args[2:])
 
-	cfg := exp.Config{ScaleDiv: *scaleDiv, QueryPairs: *pairs, Seed: *seed}
+	cfg := exp.Config{ScaleDiv: *scaleDiv, QueryPairs: *pairs, Seed: *seed, Workers: *workers}
 	var err error
 	switch cmd {
 	case "table1":
@@ -75,7 +76,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments {table1|table3|table5|fig1|fig2|fig3|fig4|fig5|approx|all} [-scalediv N] [-pairs N] [-seed N] [-all]")
+	fmt.Fprintln(os.Stderr, "usage: experiments {table1|table3|table5|fig1|fig2|fig3|fig4|fig5|approx|all} [-scalediv N] [-pairs N] [-seed N] [-workers N] [-all]")
+}
+
+// printBuildSetup names the construction parallelism next to any output
+// that contains indexing wall-times, so recorded numbers are
+// reproducible (build times depend on the worker count; labels do not).
+func printBuildSetup(cfg exp.Config) {
+	fmt.Printf("# PLL construction: %d workers (indexing wall-times below were measured with this setting)\n",
+		cfg.BuildWorkers())
 }
 
 func recipes(all bool) []datasets.Recipe {
@@ -91,6 +100,7 @@ func runTable1(cfg exp.Config, all bool) error {
 		return err
 	}
 	fmt.Println("# Table 1: summary of exact methods (measured on synthetic stand-ins)")
+	printBuildSetup(cfg)
 	exp.PrintTable1(os.Stdout, exp.Table1(rows))
 	fmt.Println("\n# Published numbers for the original systems appear in the paper's Table 1;")
 	fmt.Println("# the rows above are this repository's reimplementations (see DESIGN.md §3).")
@@ -103,6 +113,7 @@ func runTable3(cfg exp.Config, all bool) error {
 		return err
 	}
 	fmt.Println("# Table 3: PLL vs HHL vs tree decomposition vs online BFS")
+	printBuildSetup(cfg)
 	exp.PrintTable3(os.Stdout, rows)
 	return nil
 }
@@ -117,6 +128,7 @@ func runTable5(cfg exp.Config) error {
 		return err
 	}
 	fmt.Println("# Table 5: average label size per vertex-ordering strategy (no bit-parallel)")
+	printBuildSetup(cfg)
 	exp.PrintTable5(os.Stdout, rows)
 	return nil
 }

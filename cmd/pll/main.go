@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp 16] [-order Degree] [-paths]
+//	pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp 16] [-order Degree] [-paths] [-workers 0]
 //	pll query     -index g.pll 0 42 17 99        # pairs of vertices
 //	pll query     -index g.pll -disk 0 42        # disk-resident querying
 //	pll path      -index g.pll 0 42              # index must be built with -paths
@@ -58,7 +58,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths]
+  pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths] [-workers N]
   pll query     -index g.pll [-disk] s t [s t ...]
   pll path      -index g.pll s t          # index must be built with -paths
   pll stats     -index g.pll
@@ -79,6 +79,7 @@ func construct(args []string) error {
 	ord := fs.String("order", "Degree", "vertex ordering strategy")
 	seed := fs.Uint64("seed", 1, "ordering seed")
 	paths := fs.Bool("paths", false, "store parent pointers for path queries")
+	workers := fs.Int("workers", 0, "construction worker goroutines (0 = all cores, 1 = sequential; output is identical either way)")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("construct needs -graph and -index")
@@ -88,7 +89,7 @@ func construct(args []string) error {
 	default:
 		return fmt.Errorf("unknown graph kind %q", *kind)
 	}
-	opts := []pll.Option{pll.WithSeed(*seed)}
+	opts := []pll.Option{pll.WithSeed(*seed), pll.WithWorkers(*workers)}
 	switch *ord {
 	case "Degree", "degree":
 		opts = append(opts, pll.WithOrdering(pll.OrderDegree))

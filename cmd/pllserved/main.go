@@ -55,6 +55,7 @@ func run() error {
 	addr := flag.String("addr", ":8355", "listen address")
 	cacheSize := flag.Int("cache", 0, "distance-cache capacity in entries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 0, "max pairs per /batch request (0 means the default)")
+	workers := flag.Int("workers", 0, "construction workers for -graph builds (0 = all cores; the index is identical regardless)")
 	flag.Parse()
 
 	var o pll.Oracle
@@ -80,15 +81,16 @@ func run() error {
 		}
 		start := time.Now()
 		if *dynamic {
-			o, err = pll.BuildDynamic(g)
+			o, err = pll.BuildDynamic(g, pll.WithWorkers(*workers))
 		} else {
-			o, err = pll.Build(g, pll.WithBitParallel(16))
+			o, err = pll.Build(g, pll.WithBitParallel(16), pll.WithWorkers(*workers))
 		}
 		if err != nil {
 			return err
 		}
-		log.Printf("built %s index over %s in %v: %d vertices",
-			o.Stats().Variant, *graphPath, time.Since(start).Round(time.Millisecond), o.NumVertices())
+		log.Printf("built %s index over %s in %v (%d workers): %d vertices",
+			o.Stats().Variant, *graphPath, time.Since(start).Round(time.Millisecond),
+			pll.EffectiveWorkers(*workers), o.NumVertices())
 	default:
 		return errors.New("one of -index or -graph is required")
 	}

@@ -32,11 +32,17 @@ type Options struct {
 	// CollectStats, if non-nil, receives per-BFS construction counters
 	// (the instrumentation behind Figures 3 and 4).
 	CollectStats *BuildStats
-	// Workers parallelizes the bit-parallel phase across goroutines
-	// (the §4.5 thread-level-parallelism note; the BFSs are mutually
-	// independent). <= 1 means sequential. The pruned phase is
-	// inherently sequential (each BFS prunes against earlier labels) and
-	// is unaffected.
+	// Workers parallelizes construction across goroutines: the
+	// bit-parallel prelude (the §4.5 thread-level-parallelism note; the
+	// BFSs are mutually independent) and the pruned labeling phase
+	// itself, which runs rank-ordered batches of pruned searches against
+	// the frozen labels of all earlier ranks and merges them
+	// deterministically (see parallel.go). The resulting index is
+	// byte-identical to a sequential build for every option combination.
+	// 0 selects GOMAXPROCS; 1 (or negative) forces the sequential code
+	// path. Builds that collect per-BFS statistics (CollectStats) always
+	// run the pruned phase sequentially, since the relaxed batch
+	// searches would skew the visited counters.
 	Workers int
 }
 
@@ -93,10 +99,15 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	}
 
 	b := newBuilder(h, ix, opt.StorePaths, opt.CollectStats)
-	if err := b.runBitParallelPhase(numBP, opt.Workers); err != nil {
+	workers := EffectiveWorkers(opt.Workers)
+	if err := b.runBitParallelPhase(numBP, workers); err != nil {
 		return nil, err
 	}
-	if err := b.runPrunedPhase(); err != nil {
+	if workers > 1 && opt.CollectStats == nil {
+		if err := b.runPrunedPhaseParallel(workers); err != nil {
+			return nil, err
+		}
+	} else if err := b.runPrunedPhase(); err != nil {
 		return nil, err
 	}
 	b.flatten()
@@ -117,20 +128,55 @@ type builder struct {
 
 	used []bool // vertex consumed as a bit-parallel root or neighbor
 
-	// Pruned-BFS scratch, re-initialized incrementally (§4.5
-	// "Initialization"): dist is the BFS distance array P, rootLab is the
-	// array T of distances from the current root's label.
-	dist    []uint8
-	par     []int32
-	rootLab []uint8
-	queue   []int32
+	// sc is the scratch of the sequential pruned searches and of the
+	// batch-merge replays; concurrent batch searches use their own
+	// prunedScratch each (parallel.go).
+	sc prunedScratch
 
-	// Root-side bit-parallel label mirrors for the prune test.
-	bpDv  []uint8
-	bpS1v []uint64
-	bpS0v []uint64
+	// Per-vertex marks scattered from a batch search's candidate list
+	// during a path-storing replay (parallel.go); nil otherwise.
+	candD      []uint8
+	candPruned []bool
 
 	stats *BuildStats
+}
+
+// prunedScratch is the per-search scratch of one pruned BFS,
+// re-initialized incrementally (§4.5 "Initialization"): dist is the BFS
+// distance array P, rootLab is the array T of distances from the current
+// root's label, and the bp* arrays mirror the root's bit-parallel label
+// entries for the prune test.
+type prunedScratch struct {
+	dist    []uint8
+	par     []int32 // nil unless storing paths
+	rootLab []uint8
+	queue   []int32
+	bpDv    []uint8
+	bpS1v   []uint64
+	bpS0v   []uint64
+}
+
+// newPrunedScratch allocates an all-InfDist scratch for a graph of n
+// vertices and numBP bit-parallel roots.
+func newPrunedScratch(n, numBP int, storePaths bool) *prunedScratch {
+	sc := &prunedScratch{
+		dist:    make([]uint8, n),
+		rootLab: make([]uint8, n+1), // +1: sentinel rank may be probed
+		queue:   make([]int32, 0, 1024),
+		bpDv:    make([]uint8, numBP),
+		bpS1v:   make([]uint64, numBP),
+		bpS0v:   make([]uint64, numBP),
+	}
+	if storePaths {
+		sc.par = make([]int32, n)
+	}
+	for i := range sc.dist {
+		sc.dist[i] = InfDist
+	}
+	for i := range sc.rootLab {
+		sc.rootLab[i] = InfDist
+	}
+	return sc
 }
 
 func newBuilder(h *graph.Graph, ix *Index, storePaths bool, stats *BuildStats) *builder {
@@ -141,20 +187,11 @@ func newBuilder(h *graph.Graph, ix *Index, storePaths bool, stats *BuildStats) *
 		labD:       make([][]uint8, n),
 		storePaths: storePaths,
 		used:       make([]bool, n),
-		dist:       make([]uint8, n),
-		rootLab:    make([]uint8, n+1), // +1: sentinel rank may be probed
-		queue:      make([]int32, 0, 1024),
+		sc:         *newPrunedScratch(n, 0, storePaths),
 		stats:      stats,
 	}
 	if storePaths {
 		b.labP = make([][]int32, n)
-		b.par = make([]int32, n)
-	}
-	for i := range b.dist {
-		b.dist[i] = InfDist
-	}
-	for i := range b.rootLab {
-		b.rootLab[i] = InfDist
 	}
 	return b
 }
@@ -207,9 +244,9 @@ func (b *builder) runBitParallelPhase(t, workers int) error {
 	ix.bpS1 = make([]uint64, performed*n)
 	ix.bpS0 = make([]uint64, performed*n)
 	ix.numBP = performed
-	b.bpDv = make([]uint8, performed)
-	b.bpS1v = make([]uint64, performed)
-	b.bpS0v = make([]uint64, performed)
+	b.sc.bpDv = make([]uint8, performed)
+	b.sc.bpS1v = make([]uint64, performed)
+	b.sc.bpS0v = make([]uint64, performed)
 
 	// Each BFS runs over contiguous per-root scratch, then scatters into
 	// the per-vertex-interleaved index arrays (layout v*numBP+i), which
@@ -394,47 +431,41 @@ func (b *builder) runPrunedPhase() error {
 // bit-parallel labels first, and all scratch arrays are reset by
 // revisiting exactly the entries that were touched.
 func (b *builder) prunedBFS(vk int32) (added, visited int64, err error) {
-	ix := b.ix
+	sc := &b.sc
 	// Load T with the root's current label (§4.5 "Querying").
 	lv, ld := b.labV[vk], b.labD[vk]
 	for i, w := range lv {
-		b.rootLab[w] = ld[i]
+		sc.rootLab[w] = ld[i]
 	}
-	// Mirror the root's bit-parallel label entries.
-	ov := int(vk) * ix.numBP
-	for i := 0; i < ix.numBP; i++ {
-		b.bpDv[i] = ix.bpDist[ov+i]
-		b.bpS1v[i] = ix.bpS1[ov+i]
-		b.bpS0v[i] = ix.bpS0[ov+i]
-	}
+	b.mirrorBP(sc, vk)
 
-	que := b.queue[:0]
+	que := sc.queue[:0]
 	que = append(que, vk)
-	b.dist[vk] = 0
+	sc.dist[vk] = 0
 	if b.storePaths {
-		b.par[vk] = -1
+		sc.par[vk] = -1
 	}
 	for qh := 0; qh < len(que); qh++ {
 		u := que[qh]
-		d := b.dist[u]
-		if !b.pruned(u, d) {
+		d := sc.dist[u]
+		if !b.pruned(sc, u, d) {
 			// Label u with (vk, d) and expand.
 			b.labV[u] = append(b.labV[u], vk)
 			b.labD[u] = append(b.labD[u], d)
 			if b.storePaths {
-				b.labP[u] = append(b.labP[u], b.par[u])
+				b.labP[u] = append(b.labP[u], sc.par[u])
 			}
 			added++
 			nd := int(d) + 1
 			for _, w := range b.h.Neighbors(u) {
-				if b.dist[w] == InfDist {
+				if sc.dist[w] == InfDist {
 					if nd > MaxDist {
-						b.resetScratch(que, lv)
+						sc.reset(que, lv)
 						return 0, 0, ErrDiameterTooLarge
 					}
-					b.dist[w] = uint8(nd)
+					sc.dist[w] = uint8(nd)
 					if b.storePaths {
-						b.par[w] = u
+						sc.par[w] = u
 					}
 					que = append(que, w)
 				}
@@ -442,21 +473,34 @@ func (b *builder) prunedBFS(vk int32) (added, visited int64, err error) {
 		}
 	}
 	visited = int64(len(que))
-	b.resetScratch(que, lv)
-	b.queue = que[:0]
+	sc.reset(que, lv)
+	sc.queue = que[:0]
 	return added, visited, nil
+}
+
+// mirrorBP loads the root's bit-parallel label entries into the scratch.
+func (b *builder) mirrorBP(sc *prunedScratch, vk int32) {
+	ix := b.ix
+	ov := int(vk) * ix.numBP
+	for i := 0; i < ix.numBP; i++ {
+		sc.bpDv[i] = ix.bpDist[ov+i]
+		sc.bpS1v[i] = ix.bpS1[ov+i]
+		sc.bpS0v[i] = ix.bpS0[ov+i]
+	}
 }
 
 // pruned reports whether the vertex u at BFS distance d from the current
 // root is already covered by existing labels (line 7 of Algorithm 1).
-func (b *builder) pruned(u int32, d uint8) bool {
+// The root's side of the test lives in sc (T array and BP mirrors), so
+// concurrent batch searches can each bring their own.
+func (b *builder) pruned(sc *prunedScratch, u int32, d uint8) bool {
 	ix := b.ix
 	// Bit-parallel labels first: distance through BP root i and its
 	// neighbor set, adjusted by the set intersections (§5.3). The
 	// per-vertex interleaved layout makes this loop one contiguous scan.
 	ou := int(u) * ix.numBP
 	for i := 0; i < ix.numBP; i++ {
-		dv := b.bpDv[i]
+		dv := sc.bpDv[i]
 		if dv == InfDist {
 			continue
 		}
@@ -466,9 +510,9 @@ func (b *builder) pruned(u int32, d uint8) bool {
 		}
 		td := int(dv) + int(du)
 		if td-2 <= int(d) {
-			if b.bpS1v[i]&ix.bpS1[ou+i] != 0 {
+			if sc.bpS1v[i]&ix.bpS1[ou+i] != 0 {
 				td -= 2
-			} else if b.bpS1v[i]&ix.bpS0[ou+i] != 0 || b.bpS0v[i]&ix.bpS1[ou+i] != 0 {
+			} else if sc.bpS1v[i]&ix.bpS0[ou+i] != 0 || sc.bpS0v[i]&ix.bpS1[ou+i] != 0 {
 				td -= 1
 			}
 			if td <= int(d) {
@@ -479,7 +523,7 @@ func (b *builder) pruned(u int32, d uint8) bool {
 	// Normal labels: scan L(u) against the root-label array T.
 	lv, ld := b.labV[u], b.labD[u]
 	for i, w := range lv {
-		tw := b.rootLab[w]
+		tw := sc.rootLab[w]
 		if tw != InfDist && int(tw)+int(ld[i]) <= int(d) {
 			return true
 		}
@@ -487,14 +531,14 @@ func (b *builder) pruned(u int32, d uint8) bool {
 	return false
 }
 
-// resetScratch restores dist and rootLab to all-InfDist by touching only
-// the entries the search wrote (§4.5 "Initialization").
-func (b *builder) resetScratch(visited []int32, rootLabelVertices []int32) {
+// reset restores dist and rootLab to all-InfDist by touching only the
+// entries the search wrote (§4.5 "Initialization").
+func (sc *prunedScratch) reset(visited []int32, rootLabelVertices []int32) {
 	for _, v := range visited {
-		b.dist[v] = InfDist
+		sc.dist[v] = InfDist
 	}
 	for _, w := range rootLabelVertices {
-		b.rootLab[w] = InfDist
+		sc.rootLab[w] = InfDist
 	}
 }
 

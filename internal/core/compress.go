@@ -113,25 +113,28 @@ func loadCompressedPayload(br *bufio.Reader) (*Index, error) {
 	}
 	n := int(n64)
 	ix := &Index{n: n, numBP: int(bp64)}
-	ix.perm = make([]int32, n)
-	seen := make([]bool, n)
-	ix.rank = make([]int32, n)
-	for i := range ix.perm {
+	// The permutation grows by append (duplicates checked after the
+	// bytes actually arrived) so a bogus n cannot force a huge upfront
+	// allocation; see allocChunk in serialize.go.
+	rawPerm := make([]uint32, 0, min(n, allocChunk/4))
+	for i := 0; i < n; i++ {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
 		}
-		if v >= uint64(n) || seen[v] {
+		if v >= uint64(n) {
 			return nil, fmt.Errorf("%w: invalid permutation entry %d", ErrBadIndexFile, v)
 		}
-		seen[v] = true
-		ix.perm[i] = int32(v)
-		ix.rank[v] = int32(i)
+		rawPerm = append(rawPerm, uint32(v))
+	}
+	var err error
+	if ix.perm, ix.rank, err = permFromRaw(rawPerm, n); err != nil {
+		return nil, err
 	}
 	ix.labelOff = make([]int64, n+1)
 	// Two passes are avoided by growing slices; labels are modest.
-	ix.labelVertex = make([]int32, 0, n*2)
-	ix.labelDist = make([]uint8, 0, n*2)
+	ix.labelVertex = make([]int32, 0, min(n*2, allocChunk/4))
+	ix.labelDist = make([]uint8, 0, min(n*2, allocChunk))
 	w := int64(0)
 	for v := 0; v < n; v++ {
 		ix.labelOff[v] = w
@@ -166,24 +169,15 @@ func loadCompressedPayload(br *bufio.Reader) (*Index, error) {
 		w++
 	}
 	ix.labelOff[n] = w
-	ix.bpDist = make([]uint8, ix.numBP*n)
-	if _, err := io.ReadFull(br, ix.bpDist); err != nil {
-		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+	bpTotal := int64(ix.numBP) * int64(n)
+	if ix.bpDist, err = readBytesCapped(br, bpTotal, "bit-parallel distances"); err != nil {
+		return nil, err
 	}
-	ix.bpS1 = make([]uint64, ix.numBP*n)
-	ix.bpS0 = make([]uint64, ix.numBP*n)
-	var buf [8]byte
-	for i := range ix.bpS1 {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated S-1 sets: %v", ErrBadIndexFile, err)
-		}
-		ix.bpS1[i] = binary.LittleEndian.Uint64(buf[:])
+	if ix.bpS1, err = readU64sCapped(br, bpTotal, "S-1 sets"); err != nil {
+		return nil, err
 	}
-	for i := range ix.bpS0 {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated S0 sets: %v", ErrBadIndexFile, err)
-		}
-		ix.bpS0[i] = binary.LittleEndian.Uint64(buf[:])
+	if ix.bpS0, err = readU64sCapped(br, bpTotal, "S0 sets"); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }

@@ -40,6 +40,10 @@ type DirectedOptions struct {
 	// StorePaths records a parent pointer per label entry so QueryPath
 	// can reconstruct directed shortest paths (§6).
 	StorePaths bool
+	// Workers parallelizes the pruned labeling (see Options.Workers);
+	// the index is byte-identical regardless of the worker count.
+	// 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // BuildDirected constructs a directed pruned-landmark-labeling index.
@@ -56,103 +60,14 @@ func BuildDirected(g *graph.Digraph, opt DirectedOptions) (*DirectedIndex, error
 		return nil, fmt.Errorf("core: invalid CustomOrder: %w", err)
 	}
 
-	// outV[u] holds L_OUT(u) hubs; inV[u] holds L_IN(u) hubs.
-	outV := make([][]int32, n)
-	outD := make([][]uint8, n)
-	inV := make([][]int32, n)
-	inD := make([][]uint8, n)
-	var outP, inP [][]int32
-	var par []int32
-	if opt.StorePaths {
-		outP = make([][]int32, n)
-		inP = make([][]int32, n)
-		par = make([]int32, n)
+	db := newDirBuilder(h, opt.StorePaths)
+	if workers := EffectiveWorkers(opt.Workers); workers > 1 {
+		err = db.runParallel(workers)
+	} else {
+		err = db.runSequential()
 	}
-
-	dist := make([]uint8, n)
-	rootLab := make([]uint8, n+1)
-	for i := range dist {
-		dist[i] = InfDist
-	}
-	for i := range rootLab {
-		rootLab[i] = InfDist
-	}
-	queue := make([]int32, 0, 1024)
-
-	// directedSweep runs one pruned BFS from vk along the given arc
-	// direction. A forward sweep discovers d(vk, u) and appends to
-	// L_IN(u) while pruning against L_OUT(vk) x L_IN(u); a backward sweep
-	// is the mirror image. scanP, if non-nil, receives the BFS-tree
-	// predecessor of each labeled vertex.
-	directedSweep := func(vk int32, neighbors func(int32) []int32, rootSide [][]int32, rootSideD [][]uint8, scanV [][]int32, scanD [][]uint8, scanP [][]int32) error {
-		lv, ld := rootSide[vk], rootSideD[vk]
-		for i, w := range lv {
-			rootLab[w] = ld[i]
-		}
-		queue = queue[:0]
-		queue = append(queue, vk)
-		dist[vk] = 0
-		if par != nil {
-			par[vk] = -1
-		}
-		for qh := 0; qh < len(queue); qh++ {
-			u := queue[qh]
-			d := dist[u]
-			pruned := false
-			uv, ud := scanV[u], scanD[u]
-			for i, w := range uv {
-				if tw := rootLab[w]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
-					pruned = true
-					break
-				}
-			}
-			if !pruned {
-				scanV[u] = append(scanV[u], vk)
-				scanD[u] = append(scanD[u], d)
-				if scanP != nil {
-					scanP[u] = append(scanP[u], par[u])
-				}
-				nd := int(d) + 1
-				for _, w := range neighbors(u) {
-					if dist[w] == InfDist {
-						if nd > MaxDist {
-							for _, v := range queue {
-								dist[v] = InfDist
-							}
-							for _, w2 := range lv {
-								rootLab[w2] = InfDist
-							}
-							return ErrDiameterTooLarge
-						}
-						dist[w] = uint8(nd)
-						if par != nil {
-							par[w] = u
-						}
-						queue = append(queue, w)
-					}
-				}
-			}
-		}
-		for _, v := range queue {
-			dist[v] = InfDist
-		}
-		for _, w := range lv {
-			rootLab[w] = InfDist
-		}
-		return nil
-	}
-
-	for vk := int32(0); int(vk) < n; vk++ {
-		// Forward: from vk over out-arcs; tests L_OUT(vk) against
-		// L_IN(u); labels go into L_IN(u).
-		if err := directedSweep(vk, h.OutNeighbors, outV, outD, inV, inD, inP); err != nil {
-			return nil, err
-		}
-		// Backward: from vk over in-arcs; tests L_IN(vk) against
-		// L_OUT(u); labels go into L_OUT(u).
-		if err := directedSweep(vk, h.InNeighbors, inV, inD, outV, outD, outP); err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	ix := &DirectedIndex{
@@ -160,13 +75,168 @@ func BuildDirected(g *graph.Digraph, opt DirectedOptions) (*DirectedIndex, error
 		perm: append([]int32(nil), perm...),
 		rank: order.RankOf(perm),
 	}
-	ix.outOff, ix.outVertex, ix.outDist = flattenLabels(n, outV, outD)
-	ix.inOff, ix.inVertex, ix.inDist = flattenLabels(n, inV, inD)
+	ix.outOff, ix.outVertex, ix.outDist = flattenLabels(n, db.outV, db.outD)
+	ix.inOff, ix.inVertex, ix.inDist = flattenLabels(n, db.inV, db.inD)
 	if opt.StorePaths {
-		ix.outParent = flattenParents(n, ix.outOff, outP)
-		ix.inParent = flattenParents(n, ix.inOff, inP)
+		ix.outParent = flattenParents(n, ix.outOff, db.outP)
+		ix.inParent = flattenParents(n, ix.inOff, db.inP)
 	}
 	return ix, nil
+}
+
+// dirBuilder holds the growing label families and the sequential-sweep
+// scratch of one directed construction run. outV[u] holds L_OUT(u)
+// hubs; inV[u] holds L_IN(u) hubs.
+type dirBuilder struct {
+	h *graph.Digraph // rank-relabeled digraph
+	n int
+
+	outV, inV [][]int32
+	outD, inD [][]uint8
+	outP, inP [][]int32 // parents; nil unless storing paths
+
+	storePaths bool
+	sc         dirScratch
+
+	// Per-vertex marks for path-storing batch replays (parallel_directed.go).
+	candD      []uint8
+	candPruned []bool
+}
+
+// dirScratch is the per-sweep scratch of one directed pruned BFS.
+type dirScratch struct {
+	dist    []uint8
+	par     []int32 // nil unless storing paths
+	rootLab []uint8
+	queue   []int32
+}
+
+func newDirScratch(n int, storePaths bool) *dirScratch {
+	sc := &dirScratch{
+		dist:    make([]uint8, n),
+		rootLab: make([]uint8, n+1),
+		queue:   make([]int32, 0, 1024),
+	}
+	if storePaths {
+		sc.par = make([]int32, n)
+	}
+	for i := range sc.dist {
+		sc.dist[i] = InfDist
+	}
+	for i := range sc.rootLab {
+		sc.rootLab[i] = InfDist
+	}
+	return sc
+}
+
+func (sc *dirScratch) reset(visited []int32, rootLabelVertices []int32) {
+	for _, v := range visited {
+		sc.dist[v] = InfDist
+	}
+	for _, w := range rootLabelVertices {
+		sc.rootLab[w] = InfDist
+	}
+}
+
+func newDirBuilder(h *graph.Digraph, storePaths bool) *dirBuilder {
+	n := h.NumVertices()
+	db := &dirBuilder{
+		h: h, n: n,
+		outV: make([][]int32, n),
+		outD: make([][]uint8, n),
+		inV:  make([][]int32, n),
+		inD:  make([][]uint8, n),
+
+		storePaths: storePaths,
+		sc:         *newDirScratch(n, storePaths),
+	}
+	if storePaths {
+		db.outP = make([][]int32, n)
+		db.inP = make([][]int32, n)
+	}
+	return db
+}
+
+// dir returns the machinery of one sweep direction. A forward sweep
+// (fwd) runs over out-arcs, loads T from L_OUT(vk) and scans/extends
+// L_IN(u); a backward sweep is the mirror image. The returned slices
+// share backing with the builder, so appends through them are visible.
+func (db *dirBuilder) dir(fwd bool) (neighbors func(int32) []int32, rootV [][]int32, rootD [][]uint8, scanV [][]int32, scanD [][]uint8, scanP [][]int32) {
+	if fwd {
+		return db.h.OutNeighbors, db.outV, db.outD, db.inV, db.inD, db.inP
+	}
+	return db.h.InNeighbors, db.inV, db.inD, db.outV, db.outD, db.outP
+}
+
+func (db *dirBuilder) runSequential() error {
+	for vk := int32(0); int(vk) < db.n; vk++ {
+		// Forward: from vk over out-arcs; tests L_OUT(vk) against
+		// L_IN(u); labels go into L_IN(u).
+		if err := db.sweep(vk, true); err != nil {
+			return err
+		}
+		// Backward: from vk over in-arcs; tests L_IN(vk) against
+		// L_OUT(u); labels go into L_OUT(u).
+		if err := db.sweep(vk, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweep runs one pruned BFS from vk along the given arc direction,
+// appending labels to the scan-side family. With StorePaths the
+// BFS-tree predecessor of each labeled vertex is recorded too.
+func (db *dirBuilder) sweep(vk int32, fwd bool) error {
+	neighbors, rootV, rootD, scanV, scanD, scanP := db.dir(fwd)
+	sc := &db.sc
+	lv, ld := rootV[vk], rootD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = ld[i]
+	}
+	queue := sc.queue[:0]
+	queue = append(queue, vk)
+	sc.dist[vk] = 0
+	if sc.par != nil {
+		sc.par[vk] = -1
+	}
+	for qh := 0; qh < len(queue); qh++ {
+		u := queue[qh]
+		d := sc.dist[u]
+		pruned := false
+		uv, ud := scanV[u], scanD[u]
+		for i, w := range uv {
+			if tw := sc.rootLab[w]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			scanV[u] = append(scanV[u], vk)
+			scanD[u] = append(scanD[u], d)
+			if scanP != nil {
+				scanP[u] = append(scanP[u], sc.par[u])
+			}
+			nd := int(d) + 1
+			for _, w := range neighbors(u) {
+				if sc.dist[w] == InfDist {
+					if nd > MaxDist {
+						sc.reset(queue, lv)
+						sc.queue = queue[:0]
+						return ErrDiameterTooLarge
+					}
+					sc.dist[w] = uint8(nd)
+					if sc.par != nil {
+						sc.par[w] = u
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	sc.reset(queue, lv)
+	sc.queue = queue[:0]
+	return nil
 }
 
 // flattenParents lays parent slices out parallel to already-flattened

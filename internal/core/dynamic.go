@@ -63,7 +63,14 @@ func BuildDynamic(g *graph.Graph, opt Options) (*DynamicIndex, error) {
 	if err := b.runBitParallelPhase(0, 1); err != nil {
 		return nil, err
 	}
-	if err := b.runPrunedPhase(); err != nil {
+	// The initial build is the batch-parallel pruned labeling of
+	// parallel.go (byte-identical to sequential); incremental updates
+	// stay sequential — resumed BFSs patch labels in place.
+	if workers := EffectiveWorkers(opt.Workers); workers > 1 {
+		if err := b.runPrunedPhaseParallel(workers); err != nil {
+			return nil, err
+		}
+	} else if err := b.runPrunedPhase(); err != nil {
 		return nil, err
 	}
 

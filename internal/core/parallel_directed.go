@@ -1,0 +1,264 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Batch-parallel construction for the directed variant. The scheme is
+// the one documented in parallel.go, applied per sweep direction: each
+// batch root runs its forward and backward relaxed sweeps against the
+// frozen label families, and the sequential merge interleaves them in
+// the sequential order (fwd_k, bwd_k, fwd_k+1, ...). The directed prune
+// test has no bit-parallel part, so the tail argument is the same: the
+// only label entries a relaxed sweep could not see carry hubs of this
+// batch, which sit at the tails of L_IN/L_OUT.
+
+// dirCandPair is the candidate output of one batch root: the forward
+// sweep proposes L_IN entries, the backward sweep L_OUT entries. The
+// *Seq flags request a sequential fallback for that direction.
+type dirCandPair struct {
+	fwd, bwd       []labelCand
+	fwdSeq, bwdSeq bool
+}
+
+func (db *dirBuilder) runParallel(workers int) error {
+	if db.storePaths {
+		db.candD = make([]uint8, db.n)
+		db.candPruned = make([]bool, db.n)
+		for i := range db.candD {
+			db.candD[i] = InfDist
+		}
+	}
+	scratches := make([]*dirScratch, workers)
+	cands := make([]dirCandPair, maxPrunedBatch)
+
+	done := 0
+	for done < db.n {
+		size := prunedBatchSize(done, workers)
+		if size > db.n-done {
+			size = db.n - done
+		}
+		batchStart := int32(done)
+		done += size
+		if size == 1 {
+			if err := db.sweep(batchStart, true); err != nil {
+				return err
+			}
+			if err := db.sweep(batchStart, false); err != nil {
+				return err
+			}
+			continue
+		}
+
+		spawn := workers
+		if spawn > size {
+			spawn = size
+		}
+		var wg sync.WaitGroup
+		next := int32(-1)
+		for w := 0; w < spawn; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if scratches[w] == nil {
+					scratches[w] = newDirScratch(db.n, db.storePaths)
+				}
+				sc := scratches[w]
+				for {
+					i := int(atomic.AddInt32(&next, 1))
+					if i >= size {
+						return
+					}
+					vk := batchStart + int32(i)
+					c := &cands[i]
+					c.fwd, c.fwdSeq = db.relaxedSweep(vk, true, sc, c.fwd[:0])
+					c.bwd, c.bwdSeq = db.relaxedSweep(vk, false, sc, c.bwd[:0])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		for i := 0; i < size; i++ {
+			vk := batchStart + int32(i)
+			if err := db.mergeSweep(vk, batchStart, true, cands[i].fwd, cands[i].fwdSeq); err != nil {
+				return err
+			}
+			if err := db.mergeSweep(vk, batchStart, false, cands[i].bwd, cands[i].bwdSeq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// relaxedSweep is sweep against the frozen labels: reads only, all
+// writes go to sc and cands. needSeq asks for a sequential fallback: a
+// MaxDist overrun, or — for distance-only builds — a candidate exactly
+// at MaxDist, since the sequential overflow check depends on visit
+// state the candidate filter does not replay (see relaxedPrunedBFS).
+func (db *dirBuilder) relaxedSweep(vk int32, fwd bool, sc *dirScratch, cands []labelCand) (_ []labelCand, needSeq bool) {
+	neighbors, rootV, rootD, scanV, scanD, _ := db.dir(fwd)
+	lv, ld := rootV[vk], rootD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = ld[i]
+	}
+	queue := sc.queue[:0]
+	queue = append(queue, vk)
+	sc.dist[vk] = 0
+	if sc.par != nil {
+		sc.par[vk] = -1
+	}
+search:
+	for qh := 0; qh < len(queue); qh++ {
+		u := queue[qh]
+		d := sc.dist[u]
+		pruned := false
+		uv, ud := scanV[u], scanD[u]
+		for i, w := range uv {
+			if tw := sc.rootLab[w]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			if db.storePaths {
+				cands = append(cands, labelCand{v: u, d: d, pruned: true})
+			}
+			continue
+		}
+		c := labelCand{v: u, d: d}
+		if db.storePaths {
+			c.par = sc.par[u]
+		}
+		cands = append(cands, c)
+		if !db.storePaths && int(d) == MaxDist {
+			needSeq = true
+			break search
+		}
+		nd := int(d) + 1
+		for _, w := range neighbors(u) {
+			if sc.dist[w] == InfDist {
+				if nd > MaxDist {
+					needSeq = true
+					break search
+				}
+				sc.dist[w] = uint8(nd)
+				if sc.par != nil {
+					sc.par[w] = u
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	sc.reset(queue, lv)
+	sc.queue = queue[:0]
+	return cands, needSeq
+}
+
+// mergeSweep finalizes one direction of one batch root, dispatching to
+// the filter (distance-only) or the queue replay (path-storing), or —
+// when the relaxed sweep flagged needSeq — to the real sequential
+// sweep, which fails exactly where a sequential build would.
+func (db *dirBuilder) mergeSweep(vk, batchStart int32, fwd bool, cands []labelCand, needSeq bool) error {
+	if needSeq {
+		return db.sweep(vk, fwd)
+	}
+	if db.storePaths {
+		return db.replaySweep(vk, batchStart, fwd, cands)
+	}
+	_, rootV, rootD, scanV, scanD, _ := db.dir(fwd)
+	lv, ld := rootV[vk], rootD[vk]
+	rl := db.sc.rootLab
+	for i, w := range lv {
+		rl[w] = ld[i]
+	}
+	for _, c := range cands {
+		u, d := c.v, c.d
+		uv, ud := scanV[u], scanD[u]
+		covered := false
+		for i := len(uv) - 1; i >= 0 && uv[i] >= batchStart; i-- {
+			if tw := rl[uv[i]]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			scanV[u] = append(scanV[u], vk)
+			scanD[u] = append(scanD[u], d)
+		}
+	}
+	for _, w := range lv {
+		rl[w] = InfDist
+	}
+	return nil
+}
+
+// replaySweep is the path-storing merge: it re-runs the BFS queue
+// discipline (parents depend on visit order) with candidate-mark prune
+// decisions plus a label-tail scan, as in replayPrunedBFS.
+func (db *dirBuilder) replaySweep(vk, batchStart int32, fwd bool, cands []labelCand) error {
+	for _, c := range cands {
+		if c.pruned {
+			db.candPruned[c.v] = true
+		} else {
+			db.candD[c.v] = c.d
+		}
+	}
+
+	neighbors, rootV, rootD, scanV, scanD, scanP := db.dir(fwd)
+	sc := &db.sc
+	lv, ld := rootV[vk], rootD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = ld[i]
+	}
+	queue := sc.queue[:0]
+	queue = append(queue, vk)
+	sc.dist[vk] = 0
+	sc.par[vk] = -1
+	var err error
+replay:
+	for qh := 0; qh < len(queue); qh++ {
+		u := queue[qh]
+		d := sc.dist[u]
+		covered := true
+		if !db.candPruned[u] && db.candD[u] == d {
+			covered = false
+			uv, ud := scanV[u], scanD[u]
+			for i := len(uv) - 1; i >= 0 && uv[i] >= batchStart; i-- {
+				if tw := sc.rootLab[uv[i]]; tw != InfDist && int(tw)+int(ud[i]) <= int(d) {
+					covered = true
+					break
+				}
+			}
+		}
+		if covered {
+			continue
+		}
+		scanV[u] = append(scanV[u], vk)
+		scanD[u] = append(scanD[u], d)
+		scanP[u] = append(scanP[u], sc.par[u])
+		nd := int(d) + 1
+		for _, w := range neighbors(u) {
+			if sc.dist[w] == InfDist {
+				if nd > MaxDist {
+					err = ErrDiameterTooLarge
+					break replay
+				}
+				sc.dist[w] = uint8(nd)
+				sc.par[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	sc.reset(queue, lv)
+	sc.queue = queue[:0]
+	for _, c := range cands {
+		if c.pruned {
+			db.candPruned[c.v] = false
+		} else {
+			db.candD[c.v] = InfDist
+		}
+	}
+	return err
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch-parallel construction for the weighted variant: the scheme of
+// parallel.go with pruned Dijkstra searches. The superset/exactness
+// argument carries over unchanged — a search pruning against fewer
+// labels settles a superset of vertices, each at its exact distance —
+// and the weighted prune test has no bit-parallel part, so the merge is
+// the same label-tail re-test. Path-storing builds replay the exact
+// heap discipline (parents depend on pop order) with candidate-mark
+// prune decisions.
+
+// wgtCand is one vertex settled by a relaxed batch Dijkstra.
+type wgtCand struct {
+	v      int32
+	par    int32
+	d      uint32
+	pruned bool
+}
+
+func (wb *wgtBuilder) runParallel(workers int) error {
+	if wb.storePaths {
+		wb.candD = make([]uint32, wb.n)
+		wb.candPruned = make([]bool, wb.n)
+		for i := range wb.candD {
+			wb.candD[i] = InfWeight32
+		}
+	}
+	scratches := make([]*wgtScratch, workers)
+	cands := make([][]wgtCand, maxPrunedBatch)
+	overflow := make([]bool, maxPrunedBatch)
+
+	done := 0
+	for done < wb.n {
+		size := prunedBatchSize(done, workers)
+		if size > wb.n-done {
+			size = wb.n - done
+		}
+		batchStart := int32(done)
+		done += size
+		if size == 1 {
+			if err := wb.prunedDijkstra(batchStart); err != nil {
+				return err
+			}
+			continue
+		}
+
+		spawn := workers
+		if spawn > size {
+			spawn = size
+		}
+		var wg sync.WaitGroup
+		next := int32(-1)
+		for w := 0; w < spawn; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if scratches[w] == nil {
+					scratches[w] = newWgtScratch(wb.n, wb.storePaths)
+				}
+				sc := scratches[w]
+				for {
+					i := int(atomic.AddInt32(&next, 1))
+					if i >= size {
+						return
+					}
+					cands[i], overflow[i] = wb.relaxedDijkstra(batchStart+int32(i), sc, cands[i][:0])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		for i := 0; i < size; i++ {
+			vk := batchStart + int32(i)
+			switch {
+			case overflow[i]:
+				// The relaxed search blew the 32-bit label budget; the
+				// sequential search prunes harder and might not. Fall
+				// back to it — failing identically if it does.
+				if err := wb.prunedDijkstra(vk); err != nil {
+					return err
+				}
+			case wb.storePaths:
+				if err := wb.replayDijkstra(vk, batchStart, cands[i]); err != nil {
+					return err
+				}
+			default:
+				wb.mergeCands(vk, batchStart, cands[i])
+			}
+		}
+	}
+	return nil
+}
+
+// relaxedDijkstra runs root vk's pruned Dijkstra against the frozen
+// labels, writing nothing but sc and cands. overflow reports a settled
+// distance beyond the 32-bit label budget. Unlike the BFS variants, no
+// at-the-budget-edge guard is needed: the sequential budget check fires
+// on the settled (exact) distance of a non-pruned pop, and any vertex
+// the sequential search settles non-pruned beyond the budget is settled
+// at the same exact distance here (the frozen labels prune less), so
+// this search always overflows whenever the sequential one would.
+func (wb *wgtBuilder) relaxedDijkstra(vk int32, sc *wgtScratch, cands []wgtCand) (_ []wgtCand, overflow bool) {
+	lv, ld := wb.labV[vk], wb.labD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = uint64(ld[i])
+	}
+	sc.dist[vk] = 0
+	if sc.par != nil {
+		sc.par[vk] = -1
+	}
+	sc.visited = append(sc.visited[:0], vk)
+	sc.heap = append(sc.heap[:0], wItem{0, vk})
+	for len(sc.heap) > 0 {
+		it := sc.heap.pop()
+		u, d := it.v, it.dist
+		if d != sc.dist[u] {
+			continue
+		}
+		pruned := false
+		uv, ud := wb.labV[u], wb.labD[u]
+		for i, w := range uv {
+			if tw := sc.rootLab[w]; tw != infWeight && tw+uint64(ud[i]) <= d {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			if wb.storePaths {
+				cands = append(cands, wgtCand{v: u, pruned: true})
+			}
+			continue
+		}
+		if d > uint64(InfWeight32)-1 {
+			overflow = true
+			break
+		}
+		c := wgtCand{v: u, d: uint32(d)}
+		if wb.storePaths {
+			c.par = sc.par[u]
+		}
+		cands = append(cands, c)
+		ws := wb.h.Weights(u)
+		for i, w := range wb.h.Neighbors(u) {
+			nd := d + uint64(ws[i])
+			if nd < sc.dist[w] {
+				if sc.dist[w] == infWeight {
+					sc.visited = append(sc.visited, w)
+				}
+				sc.dist[w] = nd
+				if sc.par != nil {
+					sc.par[w] = u
+				}
+				sc.heap.push(wItem{nd, w})
+			}
+		}
+	}
+	sc.reset(lv)
+	return cands, overflow
+}
+
+// mergeCands finalizes root vk's batch search by re-testing each
+// candidate against the label-tail entries with hub >= batchStart (the
+// only ones the relaxed search could not see) and appending survivors.
+func (wb *wgtBuilder) mergeCands(vk, batchStart int32, cands []wgtCand) {
+	lv, ld := wb.labV[vk], wb.labD[vk]
+	rl := wb.sc.rootLab
+	for i, w := range lv {
+		rl[w] = uint64(ld[i])
+	}
+	for _, c := range cands {
+		u, d := c.v, uint64(c.d)
+		uv, ud := wb.labV[u], wb.labD[u]
+		covered := false
+		for i := len(uv) - 1; i >= 0 && uv[i] >= batchStart; i-- {
+			if tw := rl[uv[i]]; tw != infWeight && tw+uint64(ud[i]) <= d {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			wb.labV[u] = append(wb.labV[u], vk)
+			wb.labD[u] = append(wb.labD[u], c.d)
+		}
+	}
+	for _, w := range lv {
+		rl[w] = infWeight
+	}
+}
+
+// replayDijkstra is the path-storing merge: it reproduces the exact
+// sequential heap discipline (Dijkstra-tree parents depend on pop and
+// relaxation order) with candidate-mark prune decisions plus a
+// label-tail scan.
+func (wb *wgtBuilder) replayDijkstra(vk, batchStart int32, cands []wgtCand) error {
+	for _, c := range cands {
+		if c.pruned {
+			wb.candPruned[c.v] = true
+		} else {
+			wb.candD[c.v] = c.d
+		}
+	}
+
+	sc := &wb.sc
+	lv, ld := wb.labV[vk], wb.labD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = uint64(ld[i])
+	}
+	sc.dist[vk] = 0
+	sc.par[vk] = -1
+	sc.visited = append(sc.visited[:0], vk)
+	sc.heap = append(sc.heap[:0], wItem{0, vk})
+	var err error
+	for len(sc.heap) > 0 {
+		it := sc.heap.pop()
+		u, d := it.v, it.dist
+		if d != sc.dist[u] {
+			continue
+		}
+		covered := true
+		if !wb.candPruned[u] && wb.candD[u] != InfWeight32 && uint64(wb.candD[u]) == d {
+			covered = false
+			uv, ud := wb.labV[u], wb.labD[u]
+			for i := len(uv) - 1; i >= 0 && uv[i] >= batchStart; i-- {
+				if tw := sc.rootLab[uv[i]]; tw != infWeight && tw+uint64(ud[i]) <= d {
+					covered = true
+					break
+				}
+			}
+		}
+		if covered {
+			continue
+		}
+		if d > uint64(InfWeight32)-1 {
+			// Unreachable: the relaxed search settles every vertex at a
+			// distance <= the replay's, so it would have overflowed
+			// first and taken the fallback path.
+			err = fmt.Errorf("core: weighted distance %d exceeds 32-bit label budget", d)
+			break
+		}
+		wb.labV[u] = append(wb.labV[u], vk)
+		wb.labD[u] = append(wb.labD[u], uint32(d))
+		wb.labP[u] = append(wb.labP[u], sc.par[u])
+		ws := wb.h.Weights(u)
+		for i, w := range wb.h.Neighbors(u) {
+			nd := d + uint64(ws[i])
+			if nd < sc.dist[w] {
+				if sc.dist[w] == infWeight {
+					sc.visited = append(sc.visited, w)
+				}
+				sc.dist[w] = nd
+				sc.par[w] = u
+				sc.heap.push(wItem{nd, w})
+			}
+		}
+	}
+	sc.reset(lv)
+	for _, c := range cands {
+		if c.pruned {
+			wb.candPruned[c.v] = false
+		} else {
+			wb.candD[c.v] = InfWeight32
+		}
+	}
+	return err
+}

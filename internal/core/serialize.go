@@ -35,6 +35,84 @@ const flagParents uint32 = 1
 // ErrBadIndexFile is wrapped by all load-time format errors.
 var ErrBadIndexFile = errors.New("core: malformed index file")
 
+// allocChunk bounds how many bytes any loader allocates ahead of the
+// bytes actually read. Header fields of a malformed (or adversarial)
+// file can declare sizes in the gigabytes while the stream holds a few
+// hundred bytes; the capped readers below therefore grow their result
+// incrementally, so bogus sizes fail with a small footprint instead of
+// an OOM. The pll.FuzzLoad target leans on this.
+const allocChunk = 1 << 20
+
+// readBytesCapped reads exactly n bytes, allocating in bounded chunks.
+func readBytesCapped(r io.Reader, n int64, what string) ([]byte, error) {
+	out := make([]byte, 0, min(n, allocChunk))
+	for int64(len(out)) < n {
+		k := min(n-int64(len(out)), allocChunk)
+		start := len(out)
+		out = append(out, make([]byte, k)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated %s: %v", ErrBadIndexFile, what, err)
+		}
+	}
+	return out, nil
+}
+
+// readU32sCapped reads n little-endian uint32s in bounded chunks.
+func readU32sCapped(r io.Reader, n int, what string) ([]uint32, error) {
+	const step = allocChunk / 4
+	out := make([]uint32, 0, min(n, step))
+	buf := make([]byte, 4*min(n, step))
+	for len(out) < n {
+		k := min(n-len(out), step)
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return nil, fmt.Errorf("%w: truncated %s: %v", ErrBadIndexFile, what, err)
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return out, nil
+}
+
+// readU64sCapped reads n little-endian uint64s in bounded chunks.
+func readU64sCapped(r io.Reader, n int64, what string) ([]uint64, error) {
+	const step = int64(allocChunk / 8)
+	out := make([]uint64, 0, min(n, step))
+	buf := make([]byte, 8*min(n, step))
+	for int64(len(out)) < n {
+		k := min(n-int64(len(out)), step)
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return nil, fmt.Errorf("%w: truncated %s: %v", ErrBadIndexFile, what, err)
+		}
+		for i := int64(0); i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return out, nil
+}
+
+// permFromRaw validates raw as a permutation of [0, n) and derives the
+// inverse. It is called after the permutation bytes were actually read,
+// so the n-sized allocations here are backed by real input.
+func permFromRaw(raw []uint32, n int) (perm, rank []int32, err error) {
+	perm = make([]int32, n)
+	rank = make([]int32, n)
+	seen := make([]bool, n)
+	for i, u := range raw {
+		v := int32(u)
+		if v < 0 || int(v) >= n {
+			return nil, nil, fmt.Errorf("%w: permutation entry %d out of range", ErrBadIndexFile, v)
+		}
+		if seen[v] {
+			return nil, nil, fmt.Errorf("%w: duplicate permutation entry %d", ErrBadIndexFile, v)
+		}
+		seen[v] = true
+		perm[i] = v
+		rank[v] = int32(i)
+	}
+	return perm, rank, nil
+}
+
 // Save writes the index to w in the versioned binary format.
 func (ix *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -111,16 +189,17 @@ func loadPlain(br *bufio.Reader) (*Index, error) {
 	for _, c := range hdr.counts {
 		total += int64(c) + 1
 	}
+	// Label arrays grow by append, capacity-capped: the declared total is
+	// only trusted once the corresponding entries actually arrive.
 	ix.labelOff = make([]int64, n+1)
-	ix.labelVertex = make([]int32, total)
-	ix.labelDist = make([]uint8, total)
+	ix.labelVertex = make([]int32, 0, min(total, allocChunk/4))
+	ix.labelDist = make([]uint8, 0, min(total, allocChunk))
 	if hdr.hasParents {
-		ix.labelParent = make([]int32, total)
+		ix.labelParent = make([]int32, 0, min(total, allocChunk/4))
 	}
-	w := int64(0)
 	entry := make([]byte, hdr.entrySize)
 	for v := 0; v < n; v++ {
-		ix.labelOff[v] = w
+		ix.labelOff[v] = int64(len(ix.labelVertex))
 		prev := int32(-1)
 		for k := uint32(0); k < hdr.counts[v]; k++ {
 			if _, err := io.ReadFull(br, entry); err != nil {
@@ -134,39 +213,28 @@ func loadPlain(br *bufio.Reader) (*Index, error) {
 				return nil, fmt.Errorf("%w: label of vertex %d not strictly sorted", ErrBadIndexFile, v)
 			}
 			prev = hub
-			ix.labelVertex[w] = hub
-			ix.labelDist[w] = entry[4]
+			ix.labelVertex = append(ix.labelVertex, hub)
+			ix.labelDist = append(ix.labelDist, entry[4])
 			if hdr.hasParents {
-				ix.labelParent[w] = int32(binary.LittleEndian.Uint32(entry[5:]))
+				ix.labelParent = append(ix.labelParent, int32(binary.LittleEndian.Uint32(entry[5:])))
 			}
-			w++
 		}
-		ix.labelVertex[w] = int32(n)
-		ix.labelDist[w] = InfDist
+		ix.labelVertex = append(ix.labelVertex, int32(n))
+		ix.labelDist = append(ix.labelDist, InfDist)
 		if hdr.hasParents {
-			ix.labelParent[w] = -1
+			ix.labelParent = append(ix.labelParent, -1)
 		}
-		w++
 	}
-	ix.labelOff[n] = w
-	ix.bpDist = make([]uint8, hdr.numBP*n)
-	if _, err := io.ReadFull(br, ix.bpDist); err != nil {
-		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+	ix.labelOff[n] = int64(len(ix.labelVertex))
+	bpTotal := int64(hdr.numBP) * int64(n)
+	if ix.bpDist, err = readBytesCapped(br, bpTotal, "bit-parallel distances"); err != nil {
+		return nil, err
 	}
-	ix.bpS1 = make([]uint64, hdr.numBP*n)
-	ix.bpS0 = make([]uint64, hdr.numBP*n)
-	buf := make([]byte, 8)
-	for i := range ix.bpS1 {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated bit-parallel S-1 sets: %v", ErrBadIndexFile, err)
-		}
-		ix.bpS1[i] = binary.LittleEndian.Uint64(buf)
+	if ix.bpS1, err = readU64sCapped(br, bpTotal, "bit-parallel S-1 sets"); err != nil {
+		return nil, err
 	}
-	for i := range ix.bpS0 {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated bit-parallel S0 sets: %v", ErrBadIndexFile, err)
-		}
-		ix.bpS0[i] = binary.LittleEndian.Uint64(buf)
+	if ix.bpS0, err = readU64sCapped(br, bpTotal, "bit-parallel S0 sets"); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
@@ -223,34 +291,19 @@ func loadHeader(r io.Reader) (*header, error) {
 	if h.hasParents {
 		h.entrySize = 9
 	}
-	h.perm = make([]int32, h.n)
-	buf := make([]byte, 4)
-	for i := range h.perm {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
-		}
-		h.perm[i] = int32(binary.LittleEndian.Uint32(buf))
-		if h.perm[i] < 0 || int(h.perm[i]) >= h.n {
-			return nil, fmt.Errorf("%w: permutation entry %d out of range", ErrBadIndexFile, h.perm[i])
-		}
+	raw, err := readU32sCapped(r, h.n, "permutation")
+	if err != nil {
+		return nil, err
 	}
-	h.rank = make([]int32, h.n)
-	seen := make([]bool, h.n)
-	for rk, v := range h.perm {
-		if seen[v] {
-			return nil, fmt.Errorf("%w: duplicate permutation entry %d", ErrBadIndexFile, v)
-		}
-		seen[v] = true
-		h.rank[v] = int32(rk)
+	if h.perm, h.rank, err = permFromRaw(raw, h.n); err != nil {
+		return nil, err
 	}
-	h.counts = make([]uint32, h.n)
-	for i := range h.counts {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated label counts: %v", ErrBadIndexFile, err)
-		}
-		h.counts[i] = binary.LittleEndian.Uint32(buf)
-		if uint64(h.counts[i]) > uint64(h.n) {
-			return nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, h.counts[i])
+	if h.counts, err = readU32sCapped(r, h.n, "label counts"); err != nil {
+		return nil, err
+	}
+	for _, c := range h.counts {
+		if uint64(c) > uint64(h.n) {
+			return nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, c)
 		}
 	}
 	return h, nil

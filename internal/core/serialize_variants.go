@@ -81,13 +81,14 @@ func loadWeightedPayload(br *bufio.Reader) (*WeightedIndex, error) {
 	for _, c := range counts {
 		total += int64(c) + 1
 	}
+	// Grown by append with capped capacity: the declared total is only
+	// trusted once the entries actually arrive (see allocChunk).
 	ix.labelOff = make([]int64, n+1)
-	ix.labelVertex = make([]int32, total)
-	ix.labelDist = make([]uint32, total)
+	ix.labelVertex = make([]int32, 0, min(total, allocChunk/4))
+	ix.labelDist = make([]uint32, 0, min(total, allocChunk/4))
 	var buf [8]byte
-	w := int64(0)
 	for v := 0; v < n; v++ {
-		ix.labelOff[v] = w
+		ix.labelOff[v] = int64(len(ix.labelVertex))
 		prev := int32(-1)
 		for k := uint32(0); k < counts[v]; k++ {
 			if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -98,15 +99,13 @@ func loadWeightedPayload(br *bufio.Reader) (*WeightedIndex, error) {
 				return nil, fmt.Errorf("%w: bad hub %d at vertex %d", ErrBadIndexFile, hub, v)
 			}
 			prev = hub
-			ix.labelVertex[w] = hub
-			ix.labelDist[w] = binary.LittleEndian.Uint32(buf[4:])
-			w++
+			ix.labelVertex = append(ix.labelVertex, hub)
+			ix.labelDist = append(ix.labelDist, binary.LittleEndian.Uint32(buf[4:]))
 		}
-		ix.labelVertex[w] = int32(n)
-		ix.labelDist[w] = InfWeight32
-		w++
+		ix.labelVertex = append(ix.labelVertex, int32(n))
+		ix.labelDist = append(ix.labelDist, InfWeight32)
 	}
-	ix.labelOff[n] = w
+	ix.labelOff[n] = int64(len(ix.labelVertex))
 	return ix, nil
 }
 
@@ -194,27 +193,23 @@ func loadDirectedPayload(br *bufio.Reader) (*DirectedIndex, error) {
 	}
 	ix := &DirectedIndex{n: n, perm: perm, rank: rank}
 	readSide := func() ([]int64, []int32, []uint8, error) {
-		counts := make([]uint32, n)
-		var buf [5]byte
-		for i := range counts {
-			if _, err := io.ReadFull(br, buf[:4]); err != nil {
-				return nil, nil, nil, fmt.Errorf("%w: truncated counts: %v", ErrBadIndexFile, err)
-			}
-			counts[i] = binary.LittleEndian.Uint32(buf[:4])
-			if uint64(counts[i]) > uint64(n) {
-				return nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, counts[i])
-			}
+		counts, err := readU32sCapped(br, n, "counts")
+		if err != nil {
+			return nil, nil, nil, err
 		}
 		total := int64(0)
 		for _, c := range counts {
+			if uint64(c) > uint64(n) {
+				return nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, c)
+			}
 			total += int64(c) + 1
 		}
 		off := make([]int64, n+1)
-		vs := make([]int32, total)
-		ds := make([]uint8, total)
-		w := int64(0)
+		vs := make([]int32, 0, min(total, allocChunk/4))
+		ds := make([]uint8, 0, min(total, allocChunk))
+		var buf [5]byte
 		for v := 0; v < n; v++ {
-			off[v] = w
+			off[v] = int64(len(vs))
 			prev := int32(-1)
 			for k := uint32(0); k < counts[v]; k++ {
 				if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -225,15 +220,13 @@ func loadDirectedPayload(br *bufio.Reader) (*DirectedIndex, error) {
 					return nil, nil, nil, fmt.Errorf("%w: bad hub %d at %d", ErrBadIndexFile, hub, v)
 				}
 				prev = hub
-				vs[w] = hub
-				ds[w] = buf[4]
-				w++
+				vs = append(vs, hub)
+				ds = append(ds, buf[4])
 			}
-			vs[w] = int32(n)
-			ds[w] = InfDist
-			w++
+			vs = append(vs, int32(n))
+			ds = append(ds, InfDist)
 		}
-		off[n] = w
+		off[n] = int64(len(vs))
 		return off, vs, ds, nil
 	}
 	if ix.outOff, ix.outVertex, ix.outDist, err = readSide(); err != nil {
@@ -271,15 +264,13 @@ func loadVariantHeader(br *bufio.Reader) (int, []int32, []int32, []uint32, error
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
-	counts := make([]uint32, n)
-	var buf [4]byte
-	for i := range counts {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, nil, nil, nil, fmt.Errorf("%w: truncated counts: %v", ErrBadIndexFile, err)
-		}
-		counts[i] = binary.LittleEndian.Uint32(buf[:])
-		if uint64(counts[i]) > uint64(n) {
-			return 0, nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, counts[i])
+	counts, err := readU32sCapped(br, n, "counts")
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	for _, c := range counts {
+		if uint64(c) > uint64(n) {
+			return 0, nil, nil, nil, fmt.Errorf("%w: label count %d exceeds n", ErrBadIndexFile, c)
 		}
 	}
 	return n, perm, rank, counts, nil
@@ -287,21 +278,9 @@ func loadVariantHeader(br *bufio.Reader) (int, []int32, []int32, []uint32, error
 
 // loadPerm reads and validates a permutation of [0, n).
 func loadPerm(br *bufio.Reader, n int) ([]int32, []int32, error) {
-	perm := make([]int32, n)
-	rank := make([]int32, n)
-	seen := make([]bool, n)
-	var buf [4]byte
-	for i := range perm {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, nil, fmt.Errorf("%w: truncated permutation: %v", ErrBadIndexFile, err)
-		}
-		v := int32(binary.LittleEndian.Uint32(buf[:]))
-		if v < 0 || int(v) >= n || seen[v] {
-			return nil, nil, fmt.Errorf("%w: invalid permutation entry %d", ErrBadIndexFile, v)
-		}
-		seen[v] = true
-		perm[i] = v
-		rank[v] = int32(i)
+	raw, err := readU32sCapped(br, n, "permutation")
+	if err != nil {
+		return nil, nil, err
 	}
-	return perm, rank, nil
+	return permFromRaw(raw, n)
 }

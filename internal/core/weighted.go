@@ -43,7 +43,15 @@ type WeightedOptions struct {
 	// StorePaths records a parent pointer per label entry so QueryPath
 	// can reconstruct minimum-weight paths (§6).
 	StorePaths bool
+	// Workers parallelizes the pruned Dijkstra labeling (see
+	// Options.Workers); the index is byte-identical regardless of the
+	// worker count. 0 selects GOMAXPROCS.
+	Workers int
 }
+
+// infWeight is the scratch encoding of "not reached" during pruned
+// Dijkstra searches (label entries themselves stay within 32 bits).
+const infWeight = uint64(math.MaxUint64)
 
 // BuildWeighted constructs a pruned-landmark-labeling index for a
 // weighted undirected graph by pruned Dijkstra searches. Distances along
@@ -61,86 +69,14 @@ func BuildWeighted(g *graph.Weighted, opt WeightedOptions) (*WeightedIndex, erro
 		return nil, fmt.Errorf("core: invalid CustomOrder: %w", err)
 	}
 
-	labV := make([][]int32, n)
-	labD := make([][]uint32, n)
-	var labP [][]int32
-	var par []int32
-	if opt.StorePaths {
-		labP = make([][]int32, n)
-		par = make([]int32, n)
+	wb := newWgtBuilder(h, opt.StorePaths)
+	if workers := EffectiveWorkers(opt.Workers); workers > 1 {
+		err = wb.runParallel(workers)
+	} else {
+		err = wb.runSequential()
 	}
-	dist := make([]uint64, n)
-	rootLab := make([]uint64, n+1)
-	const inf = uint64(math.MaxUint64)
-	for i := range dist {
-		dist[i] = inf
-	}
-	for i := range rootLab {
-		rootLab[i] = inf
-	}
-	visited := make([]int32, 0, 1024)
-	var heap wHeap
-
-	for vk := int32(0); int(vk) < n; vk++ {
-		lv, ld := labV[vk], labD[vk]
-		for i, w := range lv {
-			rootLab[w] = uint64(ld[i])
-		}
-		visited = visited[:0]
-		heap = heap[:0]
-		dist[vk] = 0
-		if par != nil {
-			par[vk] = -1
-		}
-		visited = append(visited, vk)
-		heap.push(wItem{0, vk})
-		for len(heap) > 0 {
-			it := heap.pop()
-			u, d := it.v, it.dist
-			if d != dist[u] {
-				continue // stale entry
-			}
-			// Prune test: scan L(u) against the root-label array.
-			pruned := false
-			uv, ud := labV[u], labD[u]
-			for i, w := range uv {
-				if tw := rootLab[w]; tw != inf && tw+uint64(ud[i]) <= d {
-					pruned = true
-					break
-				}
-			}
-			if pruned {
-				continue
-			}
-			if d > uint64(InfWeight32)-1 {
-				return nil, fmt.Errorf("core: weighted distance %d exceeds 32-bit label budget", d)
-			}
-			labV[u] = append(labV[u], vk)
-			labD[u] = append(labD[u], uint32(d))
-			if labP != nil {
-				labP[u] = append(labP[u], par[u])
-			}
-			ws := h.Weights(u)
-			for i, w := range h.Neighbors(u) {
-				nd := d + uint64(ws[i])
-				if nd < dist[w] {
-					if dist[w] == inf {
-						visited = append(visited, w)
-					}
-					dist[w] = nd
-					if par != nil {
-						par[w] = u
-					}
-					heap.push(wItem{nd, w})
-				}
-			}
-		}
-		for _, v := range visited {
-			dist[v] = inf
-		}
-		for _, w := range lv {
-			rootLab[w] = inf
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	ix := &WeightedIndex{
@@ -148,6 +84,7 @@ func BuildWeighted(g *graph.Weighted, opt WeightedOptions) (*WeightedIndex, erro
 		perm: append([]int32(nil), perm...),
 		rank: order.RankOf(perm),
 	}
+	labV, labD, labP := wb.labV, wb.labD, wb.labP
 	total := int64(0)
 	for v := 0; v < n; v++ {
 		total += int64(len(labV[v])) + 1
@@ -176,6 +113,147 @@ func BuildWeighted(g *graph.Weighted, opt WeightedOptions) (*WeightedIndex, erro
 	}
 	ix.labelOff[n] = w
 	return ix, nil
+}
+
+// wgtBuilder holds the growing labels and the sequential-search scratch
+// of one weighted construction run.
+type wgtBuilder struct {
+	h *graph.Weighted // rank-relabeled graph
+	n int
+
+	labV [][]int32
+	labD [][]uint32
+	labP [][]int32 // parents; nil unless storing paths
+
+	storePaths bool
+	sc         wgtScratch
+
+	// Per-vertex marks for path-storing batch replays (parallel_weighted.go).
+	candD      []uint32
+	candPruned []bool
+}
+
+// wgtScratch is the per-search scratch of one pruned Dijkstra.
+type wgtScratch struct {
+	dist    []uint64
+	par     []int32 // nil unless storing paths
+	rootLab []uint64
+	visited []int32
+	heap    wHeap
+}
+
+func newWgtScratch(n int, storePaths bool) *wgtScratch {
+	sc := &wgtScratch{
+		dist:    make([]uint64, n),
+		rootLab: make([]uint64, n+1),
+		visited: make([]int32, 0, 1024),
+	}
+	if storePaths {
+		sc.par = make([]int32, n)
+	}
+	for i := range sc.dist {
+		sc.dist[i] = infWeight
+	}
+	for i := range sc.rootLab {
+		sc.rootLab[i] = infWeight
+	}
+	return sc
+}
+
+func (sc *wgtScratch) reset(rootLabelVertices []int32) {
+	for _, v := range sc.visited {
+		sc.dist[v] = infWeight
+	}
+	for _, w := range rootLabelVertices {
+		sc.rootLab[w] = infWeight
+	}
+	sc.visited = sc.visited[:0]
+	sc.heap = sc.heap[:0]
+}
+
+func newWgtBuilder(h *graph.Weighted, storePaths bool) *wgtBuilder {
+	n := h.NumVertices()
+	wb := &wgtBuilder{
+		h: h, n: n,
+		labV:       make([][]int32, n),
+		labD:       make([][]uint32, n),
+		storePaths: storePaths,
+		sc:         *newWgtScratch(n, storePaths),
+	}
+	if storePaths {
+		wb.labP = make([][]int32, n)
+	}
+	return wb
+}
+
+func (wb *wgtBuilder) runSequential() error {
+	for vk := int32(0); int(vk) < wb.n; vk++ {
+		if err := wb.prunedDijkstra(vk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prunedDijkstra runs one pruned Dijkstra from vk, appending labels.
+func (wb *wgtBuilder) prunedDijkstra(vk int32) error {
+	sc := &wb.sc
+	lv, ld := wb.labV[vk], wb.labD[vk]
+	for i, w := range lv {
+		sc.rootLab[w] = uint64(ld[i])
+	}
+	sc.visited = sc.visited[:0]
+	sc.heap = sc.heap[:0]
+	sc.dist[vk] = 0
+	if sc.par != nil {
+		sc.par[vk] = -1
+	}
+	sc.visited = append(sc.visited, vk)
+	sc.heap.push(wItem{0, vk})
+	for len(sc.heap) > 0 {
+		it := sc.heap.pop()
+		u, d := it.v, it.dist
+		if d != sc.dist[u] {
+			continue // stale entry
+		}
+		// Prune test: scan L(u) against the root-label array.
+		pruned := false
+		uv, ud := wb.labV[u], wb.labD[u]
+		for i, w := range uv {
+			if tw := sc.rootLab[w]; tw != infWeight && tw+uint64(ud[i]) <= d {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		if d > uint64(InfWeight32)-1 {
+			sc.reset(lv)
+			return fmt.Errorf("core: weighted distance %d exceeds 32-bit label budget", d)
+		}
+		wb.labV[u] = append(wb.labV[u], vk)
+		wb.labD[u] = append(wb.labD[u], uint32(d))
+		if wb.labP != nil {
+			wb.labP[u] = append(wb.labP[u], sc.par[u])
+		}
+		ws := wb.h.Weights(u)
+		for i, w := range wb.h.Neighbors(u) {
+			nd := d + uint64(ws[i])
+			if nd < sc.dist[w] {
+				if sc.dist[w] == infWeight {
+					sc.visited = append(sc.visited, w)
+				}
+				sc.dist[w] = nd
+				if sc.par != nil {
+					sc.par[w] = u
+				}
+				sc.heap.push(wItem{nd, w})
+			}
+		}
+	}
+	sc.reset(lv)
+	return nil
 }
 
 // HasPaths reports whether the index can answer QueryPath.

@@ -40,7 +40,15 @@ type Config struct {
 	// core above TDMaxCore reports DNF as in Table 3 (defaults 16, 4000).
 	TDMaxBag  int
 	TDMaxCore int
+	// Workers parallelizes every PLL construction (0 = GOMAXPROCS,
+	// 1 = sequential). Indexes are byte-identical either way, so only
+	// the reported indexing times change.
+	Workers int
 }
+
+// BuildWorkers reports the worker count the PLL constructions will
+// actually use, for inclusion next to indexing-time measurements.
+func (c Config) BuildWorkers() int { return core.EffectiveWorkers(c.Workers) }
 
 // Normalize fills zero fields with defaults and returns the config.
 func (c Config) Normalize() Config {
@@ -119,6 +127,7 @@ func Table3(cfg Config, recipes []datasets.Recipe) ([]Table3Row, error) {
 			Ordering:       order.Degree,
 			Seed:           cfg.Seed,
 			NumBitParallel: rec.BitParallel,
+			Workers:        cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exp: PLL on %s: %w", rec.Name, err)
@@ -302,7 +311,7 @@ func Table5(cfg Config, recipes []datasets.Recipe, randomMaxN int) ([]Table5Row,
 		g := rec.Generate(cfg.ScaleDiv, cfg.Seed)
 		row := Table5Row{Dataset: rec.Name}
 		avg := func(s order.Strategy) (float64, error) {
-			ix, err := core.Build(g, core.Options{Ordering: s, Seed: cfg.Seed})
+			ix, err := core.Build(g, core.Options{Ordering: s, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return 0, err
 			}

@@ -296,6 +296,7 @@ func Fig5(cfg Config, recipes []datasets.Recipe, ts []int) ([]Fig5Series, error)
 				Ordering:       order.Degree,
 				Seed:           cfg.Seed,
 				NumBitParallel: t,
+				Workers:        cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: Fig5 %s t=%d: %w", ds.rec.Name, t, err)

@@ -8,12 +8,23 @@ import (
 	"pll/internal/graph"
 )
 
-// WithWorkers parallelizes the bit-parallel construction phase across
-// the given number of goroutines (the pruned phase is inherently
-// sequential). Identical results to a sequential build.
+// WithWorkers parallelizes index construction across n goroutines: both
+// the bit-parallel prelude and the pruned labeling phase itself, which
+// runs rank-ordered batches of pruned searches against the frozen labels
+// of earlier ranks and merges them deterministically. The resulting
+// index is byte-identical to a sequential build for every variant and
+// option combination — worker count is purely a speed knob. n = 0 (the
+// default) uses GOMAXPROCS; n = 1 forces the sequential code path.
+// Build remains externally synchronous: it returns only after all
+// workers have finished, and the returned index is immutable.
 func WithWorkers(n int) Option {
 	return func(opt *core.Options) { opt.Workers = n }
 }
+
+// EffectiveWorkers resolves a WithWorkers value to the worker count a
+// build will actually use: 0 maps to GOMAXPROCS, negative values clamp
+// to 1. Useful for logging build setups next to wall-time measurements.
+func EffectiveWorkers(n int) int { return core.EffectiveWorkers(n) }
 
 // WriteToCompressed serializes the index as a container whose payload
 // uses delta-varint label compression (typically 40-60% smaller than

@@ -26,6 +26,11 @@ import (
 // *WeightedIndex, and frozen dynamic snapshots) are immutable after
 // construction, so any number of goroutines may call Distance, Path,
 // NumVertices, Stats and WriteTo concurrently without synchronization.
+// Construction itself is internally concurrent (WithWorkers, GOMAXPROCS
+// workers by default) but externally synchronous: Build returns only
+// after every worker goroutine has finished, the returned oracle is
+// already immutable, and the worker count never changes the result —
+// parallel builds are byte-identical to sequential ones.
 // *DynamicIndex is NOT safe for concurrent use — InsertEdge mutates the
 // labels in place, so callers must either serialize all access
 // externally or wrap the index in a ConcurrentOracle, which takes the

@@ -1,0 +1,197 @@
+package pll_test
+
+// Public-API half of the parallel-equivalence layer: whatever the
+// variant, a Build with WithWorkers(n) must serialize to exactly the
+// bytes of a sequential build, and worker counts 0 (GOMAXPROCS) and
+// negative (clamped) must behave like documented.
+
+import (
+	"bytes"
+	"testing"
+
+	"pll/internal/rng"
+	"pll/pll"
+)
+
+func oracleBytes(t *testing.T, o pll.Oracle) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// testGraphs builds one moderately sized graph per buildable kind.
+func testUndirected(t *testing.T, n int, seed uint64) *pll.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	edges := make([]pll.Edge, 0, 3*n)
+	for v := 1; v < n; v++ { // connected backbone
+		edges = append(edges, pll.Edge{U: int32(r.Intn(v)), V: int32(v)})
+	}
+	for i := 0; i < 2*n; i++ {
+		edges = append(edges, pll.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+	}
+	g, err := pll.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParallelBuildByteIdenticalUndirected(t *testing.T) {
+	g := testUndirected(t, 600, 1)
+	for _, opts := range [][]pll.Option{
+		{pll.WithBitParallel(16)},
+		{pll.WithBitParallel(0)},
+		{pll.WithPaths()},
+		{pll.WithOrdering(pll.OrderRandom), pll.WithSeed(9)},
+	} {
+		seq, err := pll.BuildIndex(g, append(opts, pll.WithWorkers(1))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleBytes(t, seq)
+		for _, w := range []int{2, 8} {
+			par, err := pll.BuildIndex(g, append(opts, pll.WithWorkers(w))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(oracleBytes(t, par), want) {
+				t.Fatalf("opts %d, workers=%d: container bytes differ from sequential build", len(opts), w)
+			}
+		}
+	}
+}
+
+func TestParallelBuildByteIdenticalDirected(t *testing.T) {
+	r := rng.New(3)
+	n := 400
+	arcs := make([]pll.Edge, 0, 4*n)
+	for i := 0; i < 4*n; i++ {
+		arcs = append(arcs, pll.Edge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n))})
+	}
+	g, err := pll.NewDigraph(n, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := pll.BuildDirected(g, pll.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pll.BuildDirected(g, pll.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oracleBytes(t, seq), oracleBytes(t, par)) {
+		t.Fatal("directed container bytes differ from sequential build")
+	}
+}
+
+func TestParallelBuildByteIdenticalWeighted(t *testing.T) {
+	r := rng.New(5)
+	n := 400
+	edges := make([]pll.WeightedEdge, 0, 3*n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, pll.WeightedEdge{U: int32(r.Intn(v)), V: int32(v), Weight: uint32(r.Intn(9) + 1)})
+	}
+	for i := 0; i < 2*n; i++ {
+		edges = append(edges, pll.WeightedEdge{U: r.Int31n(int32(n)), V: r.Int31n(int32(n)), Weight: uint32(r.Intn(9) + 1)})
+	}
+	g, err := pll.NewWeightedGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := pll.BuildWeighted(g, pll.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pll.BuildWeighted(g, pll.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oracleBytes(t, seq), oracleBytes(t, par)) {
+		t.Fatal("weighted container bytes differ from sequential build")
+	}
+}
+
+func TestParallelBuildByteIdenticalDynamic(t *testing.T) {
+	g := testUndirected(t, 500, 7)
+	seq, err := pll.BuildDynamic(g, pll.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pll.BuildDynamic(g, pll.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oracleBytes(t, seq), oracleBytes(t, par)) {
+		t.Fatal("dynamic initial build differs from sequential build")
+	}
+	// Updates stay sequential: identical insertions keep them identical.
+	r := rng.New(99)
+	for i := 0; i < 30; i++ {
+		a, b := r.Int31n(500), r.Int31n(500)
+		if _, err := seq.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(oracleBytes(t, seq), oracleBytes(t, par)) {
+		t.Fatal("dynamic indexes diverged after identical insertions")
+	}
+}
+
+func TestWithWorkersDefaultAndClamp(t *testing.T) {
+	g := testUndirected(t, 300, 11)
+	base, err := pll.BuildIndex(g, pll.WithBitParallel(8), pll.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleBytes(t, base)
+	// 0 = GOMAXPROCS default, negative clamps to sequential; both must
+	// produce the sequential bytes.
+	for _, w := range []int{0, -3} {
+		ix, err := pll.BuildIndex(g, pll.WithBitParallel(8), pll.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(oracleBytes(t, ix), want) {
+			t.Fatalf("WithWorkers(%d): container bytes differ", w)
+		}
+	}
+	// Omitting WithWorkers entirely equals the explicit default.
+	ix, err := pll.BuildIndex(g, pll.WithBitParallel(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oracleBytes(t, ix), want) {
+		t.Fatal("default build: container bytes differ")
+	}
+}
+
+// TestParallelBuildDistancesAgree is a belt-and-braces check through the
+// Oracle interface: distances from a parallel build match a sequential
+// build for every variant (byte-identity already implies this for the
+// serializable combinations).
+func TestParallelBuildDistancesAgree(t *testing.T) {
+	g := testUndirected(t, 500, 13)
+	seq, err := pll.Build(g, pll.WithBitParallel(16), pll.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pll.Build(g, pll.WithBitParallel(16), pll.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	for i := 0; i < 500; i++ {
+		s, u := r.Int31n(500), r.Int31n(500)
+		if ds, dp := seq.Distance(s, u), par.Distance(s, u); ds != dp {
+			t.Fatalf("Distance(%d,%d): sequential %d, parallel %d", s, u, ds, dp)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 // vertex in degree order (optionally preceded by bit-parallel BFSs), and
 // queries merge-join two small sorted label arrays.
 //
+// Construction is parallel by default (WithWorkers; 0 means GOMAXPROCS):
+// pruned searches run in rank-ordered batches against the frozen labels
+// of earlier ranks and merge deterministically, so the index — every
+// label, parent pointer and serialized byte — is identical to a
+// sequential build regardless of worker count. Build returns only after
+// all workers finish.
+//
 // Every index flavor — undirected (*Index), directed (*DirectedIndex),
 // weighted (*WeightedIndex) and dynamic (*DynamicIndex) — implements
 // the Oracle interface, Build dispatches on the graph kind, and all

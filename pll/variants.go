@@ -56,8 +56,8 @@ type WeightedIndex struct {
 
 // BuildWeighted constructs a weighted pruned-landmark-labeling index.
 // It is the typed form of Build(g) for a *WeightedGraph. Ordering,
-// seed, custom-order and WithPaths options apply; bit-parallel labeling
-// does not exist for the weighted variant (§6).
+// seed, custom-order, WithPaths and WithWorkers options apply;
+// bit-parallel labeling does not exist for the weighted variant (§6).
 func BuildWeighted(g *WeightedGraph, opts ...Option) (*WeightedIndex, error) {
 	var o core.Options
 	for _, f := range opts {
@@ -68,6 +68,7 @@ func BuildWeighted(g *WeightedGraph, opts ...Option) (*WeightedIndex, error) {
 		Seed:        o.Seed,
 		CustomOrder: o.CustomOrder,
 		StorePaths:  o.StorePaths,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -203,7 +204,7 @@ type DirectedIndex struct {
 
 // BuildDirected constructs a directed pruned-landmark-labeling index.
 // It is the typed form of Build(g) for a *Digraph. Ordering, seed,
-// custom-order and WithPaths options apply.
+// custom-order, WithPaths and WithWorkers options apply.
 func BuildDirected(g *Digraph, opts ...Option) (*DirectedIndex, error) {
 	var o core.Options
 	for _, f := range opts {
@@ -214,6 +215,7 @@ func BuildDirected(g *Digraph, opts ...Option) (*DirectedIndex, error) {
 		Seed:        o.Seed,
 		CustomOrder: o.CustomOrder,
 		StorePaths:  o.StorePaths,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, err
