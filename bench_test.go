@@ -12,6 +12,8 @@
 package benches
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -26,6 +28,7 @@ import (
 	"pll/internal/rng"
 	"pll/internal/stats"
 	"pll/internal/treedec"
+	"pll/pll"
 )
 
 // benchScaleDiv keeps per-iteration work in the tens of milliseconds.
@@ -361,6 +364,178 @@ func BenchmarkBuildWorkers1_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 
 func BenchmarkBuildWorkers2_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 2) }
 func BenchmarkBuildWorkers4_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 4) }
 func BenchmarkBuildWorkers8_Dynamic(b *testing.B) { benchBuildWorkersDynamic(b, 8) }
+
+// ---- Cold start: Open (mmap, zero-copy) vs LoadFile (heap decode) ----
+//
+// BenchmarkOpenColdStart* measure time-to-first-query on the largest
+// bench graph (the BA n=20000 construction graph, bp=16): open or load
+// the container, answer one query, release. Open does no per-entry
+// decoding, so its cost is a handful of page faults regardless of
+// index size; LoadFile pays a decode pass over every label entry.
+
+var (
+	coldStartOnce sync.Once
+	coldStartDir  string
+	coldStartErr  error
+)
+
+// coldStartFiles builds the bench index once and writes it in both
+// container formats, returning the v1 and flat paths.
+func coldStartFiles(b *testing.B) (v1Path, flatPath string) {
+	b.Helper()
+	coldStartOnce.Do(func() {
+		buildBenchInputs()
+		pg, err := pll.NewGraph(buildBenchGraph.NumVertices(), buildBenchGraph.Edges())
+		if err != nil {
+			coldStartErr = err
+			return
+		}
+		ix, err := pll.BuildIndex(pg, pll.WithSeed(7), pll.WithBitParallel(16))
+		if err != nil {
+			coldStartErr = err
+			return
+		}
+		coldStartDir, err = os.MkdirTemp("", "pll-coldstart-*")
+		if err != nil {
+			coldStartErr = err
+			return
+		}
+		if err := pll.WriteFile(filepath.Join(coldStartDir, "ix.v1.pllbox"), ix); err != nil {
+			coldStartErr = err
+			return
+		}
+		coldStartErr = pll.WriteFlatFile(filepath.Join(coldStartDir, "ix.flat.pllbox"), ix)
+	})
+	if coldStartErr != nil {
+		b.Fatal(coldStartErr)
+	}
+	return filepath.Join(coldStartDir, "ix.v1.pllbox"), filepath.Join(coldStartDir, "ix.flat.pllbox")
+}
+
+func BenchmarkOpenColdStart_Open(b *testing.B) {
+	_, flat := coldStartFiles(b)
+	b.ResetTimer()
+	sink := int64(0)
+	for i := 0; i < b.N; i++ {
+		fi, err := pll.Open(flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += fi.Distance(0, 19999)
+		fi.Close()
+	}
+	_ = sink
+}
+
+func BenchmarkOpenColdStart_LoadFile(b *testing.B) {
+	v1, _ := coldStartFiles(b)
+	b.ResetTimer()
+	sink := int64(0)
+	for i := 0; i < b.N; i++ {
+		o, err := pll.LoadFile(v1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += o.Distance(0, 19999)
+	}
+	_ = sink
+}
+
+// Heap-loading the flat format isolates layout from load path: the
+// columnar image decodes faster than the v1 record stream, but still
+// pays the full-validation pass Open skips.
+func BenchmarkOpenColdStart_LoadFlatFile(b *testing.B) {
+	_, flat := coldStartFiles(b)
+	b.ResetTimer()
+	sink := int64(0)
+	for i := 0; i < b.N; i++ {
+		o, err := pll.LoadFile(flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += o.Distance(0, 19999)
+	}
+	_ = sink
+}
+
+// ---- Batch distances: Batcher vs N independent merge joins ----
+//
+// BenchmarkBatchDistances* compare one DistanceFrom call (source label
+// pinned once, one label scan per target) against the same 1024
+// targets answered by per-pair Distance calls, on the heap-built index
+// and on the memory-mapped flat container. The source is the vertex
+// with the heaviest label — the regime the §4.5 trick targets: a
+// merge join pays |L(s)|+|L(t)| per target, the pinned batch pays
+// |L(s)| once and |L(t)| per target, so the win scales with |L(s)|
+// (the bit-parallel root checks are per-target either way).
+
+func batchBenchSetup(b *testing.B) (pll.Oracle, int32, []int32) {
+	b.Helper()
+	v1, _ := coldStartFiles(b)
+	o, err := pll.LoadFile(v1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The heaviest-label source (batch workloads like social search key
+	// on ordinary users, not hub vertices — and ordinary means a large
+	// label).
+	cix, err := core.LoadAnyFile(v1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := cix.(*core.Index)
+	src, best := int32(0), -1
+	for v := 0; v < o.NumVertices(); v++ {
+		if sz := ix.LabelSize(int32(v)); sz > best {
+			src, best = int32(v), sz
+		}
+	}
+	r := rng.New(42)
+	targets := make([]int32, 1024)
+	for i := range targets {
+		targets[i] = r.Int31n(int32(o.NumVertices()))
+	}
+	return o, src, targets
+}
+
+func BenchmarkBatchDistances_Batcher(b *testing.B) {
+	o, src, targets := batchBenchSetup(b)
+	batcher := o.(pll.Batcher)
+	var dst []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = batcher.DistanceFrom(src, targets, dst)
+	}
+	_ = dst
+}
+
+func BenchmarkBatchDistances_SingleQueries(b *testing.B) {
+	o, src, targets := batchBenchSetup(b)
+	sink := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range targets {
+			sink += o.Distance(src, t)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkBatchDistances_FlatBatcher(b *testing.B) {
+	_, src, targets := batchBenchSetup(b)
+	_, flat := coldStartFiles(b)
+	fi, err := pll.Open(flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fi.Close()
+	var dst []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = fi.DistanceFrom(src, targets, dst)
+	}
+	_ = dst
+}
 
 // Theorem 4.4's regime: low tree-width inputs.
 func BenchmarkAblation_TreeWidth_PLL_Grid(b *testing.B) {

@@ -12,6 +12,7 @@
 //	pll path      -index g.pll 0 42              # index must be built with -paths
 //	pll stats     -index g.pll
 //	pll bench     -index g.pll -pairs 100000     # random-query latency
+//	pll convert   -index g.pll -out g.flat       # rewrite as flat (mmap) container
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 		err = verify(os.Args[2:])
 	case "compress":
 		err = compress(os.Args[2:])
+	case "convert":
+		err = convert(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -59,12 +62,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths] [-workers N]
-  pll query     -index g.pll [-disk] s t [s t ...]
+  pll query     -index g.pll [-disk|-mmap] s t [s t ...]
   pll path      -index g.pll s t          # index must be built with -paths
   pll stats     -index g.pll
   pll bench     -index g.pll [-pairs N] [-seed N]
   pll verify    -index g.pll -graph g.txt [-pairs N]   # undirected indexes
   pll compress  -index g.pll -out g.pllc               # undirected indexes
+  pll convert   -index g.pll -out g.flat [-to flat|v1] # flat = zero-copy mmap format
 
 to serve an index over HTTP, see the pllserved command:
   go run ./cmd/pllserved -index g.pll -addr :8355`)
@@ -162,10 +166,14 @@ func numEdges(g pll.BuildableGraph) int64 {
 func query(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	indexPath := fs.String("index", "", "index file")
-	disk := fs.Bool("disk", false, "answer from disk without loading labels")
+	disk := fs.Bool("disk", false, "answer from disk without loading labels (version-1 files)")
+	mmapped := fs.Bool("mmap", false, "memory-map a flat container instead of heap-loading it")
 	fs.Parse(args)
 	if *indexPath == "" {
 		return fmt.Errorf("query needs -index")
+	}
+	if *disk && *mmapped {
+		return fmt.Errorf("-disk and -mmap are mutually exclusive")
 	}
 	rest := fs.Args()
 	if len(rest) == 0 || len(rest)%2 != 0 {
@@ -198,8 +206,16 @@ func query(args []string) error {
 		}
 		return nil
 	}
-	o, err := pll.LoadFile(*indexPath)
-	if err != nil {
+	var o pll.Oracle
+	var err error
+	if *mmapped {
+		fi, ferr := pll.Open(*indexPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer fi.Close()
+		o = fi
+	} else if o, err = pll.LoadFile(*indexPath); err != nil {
 		return err
 	}
 	for _, p := range pairs {
@@ -208,6 +224,47 @@ func query(args []string) error {
 		}
 		printDistance(p[0], p[1], o.Distance(p[0], p[1]))
 	}
+	return nil
+}
+
+// convert rewrites any supported index file into the flat (version-2)
+// zero-copy container served by pll.Open / pllserved mmap startup, or
+// back into the version-1 record format.
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	indexPath := fs.String("index", "", "input index file (any supported format)")
+	out := fs.String("out", "", "output container file")
+	to := fs.String("to", "flat", "target format: flat (version-2, mmap-served) or v1 (record-oriented)")
+	fs.Parse(args)
+	if *indexPath == "" || *out == "" {
+		return fmt.Errorf("convert needs -index and -out")
+	}
+	o, err := pll.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	switch *to {
+	case "flat":
+		err = pll.WriteFlatFile(*out, o)
+	case "v1":
+		err = pll.WriteFile(*out, o)
+	default:
+		return fmt.Errorf("unknown target format %q (want flat or v1)", *to)
+	}
+	if err != nil {
+		return err
+	}
+	before, err := os.Stat(*indexPath)
+	if err != nil {
+		return err
+	}
+	after, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (%d bytes) -> %s %s (%d bytes, %.1f%%)\n",
+		*indexPath, before.Size(), *to, *out, after.Size(),
+		100*float64(after.Size())/float64(before.Size()))
 	return nil
 }
 

@@ -1,8 +1,10 @@
 // Command pllserved serves a pruned-landmark-labeling index over
-// HTTP/JSON. It loads any .pllbox container (the variant is
-// auto-detected from the header) and keeps it hot in memory, answering
-// distance queries in microseconds while supporting zero-downtime
-// index replacement.
+// HTTP/JSON. It accepts any .pllbox container (the variant is
+// auto-detected from the header): flat (version-2) containers — see
+// `pll convert` — are memory-mapped and served zero-copy, so startup
+// and SIGHUP reloads skip the decode pass entirely; version-1
+// containers are heap-loaded. Either way it answers distance queries in
+// microseconds while supporting zero-downtime index replacement.
 //
 // Usage:
 //
@@ -68,12 +70,22 @@ func run() error {
 			return errors.New("-dynamic needs -graph: serialized dynamic indexes load as frozen snapshots")
 		}
 		start := time.Now()
-		o, err = pll.LoadFile(*indexPath)
-		if err != nil {
-			return err
+		if fi, ferr := pll.Open(*indexPath); ferr == nil {
+			// Flat container: mmapped, zero-copy — startup cost is
+			// independent of the index size and restarts are O(1).
+			o = fi
+			log.Printf("mapped %s in %v: %s variant, %d vertices, %d bytes zero-copy",
+				*indexPath, time.Since(start).Round(time.Microsecond), fi.Variant(), fi.NumVertices(), fi.MappedBytes())
+		} else if !errors.Is(ferr, pll.ErrNotFlat) {
+			return ferr
+		} else {
+			o, err = pll.LoadFile(*indexPath)
+			if err != nil {
+				return err
+			}
+			log.Printf("loaded %s in %v: %s variant, %d vertices (heap; run `pll convert` for O(1) mmap startup)",
+				*indexPath, time.Since(start).Round(time.Millisecond), o.Stats().Variant, o.NumVertices())
 		}
-		log.Printf("loaded %s in %v: %s variant, %d vertices",
-			*indexPath, time.Since(start).Round(time.Millisecond), o.Stats().Variant, o.NumVertices())
 	case *graphPath != "":
 		g, err := pll.LoadGraphFile(*graphPath)
 		if err != nil {
@@ -137,5 +149,11 @@ func run() error {
 	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
 		return err
 	}
-	return <-done
+	err = <-done
+	// Release the mapping (or file) behind the currently served oracle;
+	// requests have drained by now.
+	if c, ok := srv.Oracle().Snapshot().(pll.Closer); ok {
+		c.Close() //nolint:errcheck
+	}
+	return err
 }

@@ -9,6 +9,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"pll/internal/gen"
@@ -46,6 +48,30 @@ func main() {
 		fmt.Printf("d(%d, %d) = %d   (%v)\n", q[0], q[1], d, time.Since(start))
 	}
 
+	// Serving restarts shouldn't pay a decode pass: write the index as a
+	// flat (version-2) container once, then pll.Open memory-maps it and
+	// answers identically with zero label copying — time-to-first-query
+	// is microseconds regardless of index size.
+	path := filepath.Join(os.TempDir(), "quickstart.flat.pllbox")
+	if err := pll.WriteFlatFile(path, ix); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+	start = time.Now()
+	fi, err := pll.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fi.Close()
+	fmt.Printf("reopened zero-copy in %v: d(0, 19999) = %d\n",
+		time.Since(start), fi.Distance(0, 19_999))
+
+	// One-to-many workloads use the Batcher capability: the source label
+	// is pinned once, each target costs a single label scan.
+	targets := []int32{19_999, 15_678, 7, 200}
+	fmt.Printf("batch from 0: %v\n", fi.DistanceFrom(0, targets, nil))
+
 	// Indexes serialize to a compact binary format; see cmd/pll for a
-	// CLI around construct/query/stats and the disk-resident mode.
+	// CLI around construct/query/stats/convert and pllserved for HTTP
+	// serving.
 }

@@ -10,8 +10,11 @@ package core
 // search and context-aware search — where one user/page is compared
 // against hundreds of candidates per request.
 //
-// A BatchSource holds scratch arrays sized to the graph; reuse it across
-// sources via Reset. Not safe for concurrent use.
+// BatchSource is the engine behind Index.DistanceFrom (the Batcher
+// capability), which pools instances and should be preferred by new
+// code. A BatchSource holds scratch arrays sized to the graph; reuse it
+// across sources via Reset. Like Query, it panics on out-of-range
+// vertices — callers validate. Not safe for concurrent use.
 type BatchSource struct {
 	ix *Index
 	// t[w] = distance from the current source to hub rank w, InfDist if

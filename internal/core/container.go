@@ -15,7 +15,9 @@ import (
 // returns the right in-memory oracle:
 //
 //	magic    [8]byte  "PLLBOX" + two zero bytes
-//	version  uint16   container format version (currently 1)
+//	version  uint16   container format version: 1 = record-oriented
+//	                  payloads (this file), 2 = flat zero-copy columnar
+//	                  sections (flat.go)
 //	variant  uint8    VariantUndirected | VariantDirected |
 //	                  VariantWeighted | VariantDynamic
 //	flags    uint8    bit 0: compressed payload (delta-varint labels)
@@ -104,9 +106,9 @@ func parseContainerHeader(b []byte) (ContainerHeader, error) {
 		Flags:       b[11],
 		BitParallel: binary.LittleEndian.Uint32(b[12:16]),
 	}
-	if h.Version != ContainerVersion {
-		return h, fmt.Errorf("%w: unsupported container version %d (this build reads version %d)",
-			ErrBadIndexFile, h.Version, ContainerVersion)
+	if h.Version != ContainerVersion && h.Version != ContainerVersionFlat {
+		return h, fmt.Errorf("%w: unsupported container version %d (this build reads versions %d and %d)",
+			ErrBadIndexFile, h.Version, ContainerVersion, ContainerVersionFlat)
 	}
 	switch h.Variant {
 	case VariantUndirected, VariantDirected, VariantWeighted, VariantDynamic:
@@ -119,6 +121,9 @@ func parseContainerHeader(b []byte) (ContainerHeader, error) {
 	if h.Flags&ContainerFlagCompressed != 0 &&
 		h.Variant != VariantUndirected && h.Variant != VariantDynamic {
 		return h, fmt.Errorf("%w: compressed flag is not valid for the %s variant", ErrBadIndexFile, h.Variant)
+	}
+	if h.Version == ContainerVersionFlat && h.Flags&ContainerFlagCompressed != 0 {
+		return h, fmt.Errorf("%w: flat containers are never compressed", ErrBadIndexFile)
 	}
 	return h, nil
 }
@@ -240,6 +245,11 @@ func LoadAny(r io.Reader) (any, error) {
 	h, err := parseContainerHeader(hdr[:])
 	if err != nil {
 		return nil, err
+	}
+	if h.Version == ContainerVersionFlat {
+		// Flat (version-2) payload: one columnar image, heap-loaded here
+		// with full per-entry validation. OpenFlat is the zero-copy path.
+		return loadFlatFromReader(br, h)
 	}
 	switch h.Variant {
 	case VariantUndirected, VariantDynamic:

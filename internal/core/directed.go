@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pll/internal/graph"
 	"pll/internal/order"
@@ -26,6 +27,8 @@ type DirectedIndex struct {
 	inVertex []int32
 	inDist   []uint8
 	inParent []int32 // predecessor from the hub (ranks); nil unless StorePaths
+
+	batchPool sync.Pool // recycles *rankScratch8 for DistanceFrom
 }
 
 // DirectedOptions configures BuildDirected.

@@ -56,6 +56,10 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 			f.Close()
 			return nil, err
 		}
+		if h.Version == ContainerVersionFlat {
+			f.Close()
+			return nil, fmt.Errorf("%w: flat containers are served by OpenFlat (mmap), not DiskIndex", ErrBadIndexFile)
+		}
 		if h.Variant != VariantUndirected && h.Variant != VariantDynamic {
 			f.Close()
 			return nil, fmt.Errorf("%w: disk querying requires an undirected index, got %s",

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pll/internal/graph"
 	"pll/internal/order"
@@ -35,6 +36,8 @@ type DynamicIndex struct {
 	dist    []uint8
 	rootLab []uint8
 	queue   []int32
+
+	batchPool sync.Pool // recycles *rankScratch8 for DistanceFrom
 }
 
 // BuildDynamic constructs a dynamic index. Options follow Build except

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFlatFile on platforms without mmap support slurps the file in one
+// read. Opening is still free of per-entry decoding — the heap buffer
+// is aliased exactly like a mapped image — it just is not shared
+// between processes and must fit in memory.
+func mapFlatFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("unreadable file size %d", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

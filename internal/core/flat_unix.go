@@ -1,0 +1,25 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFlatFile memory-maps an open flat container read-only. The mapping
+// survives the file descriptor being closed; pages are shared with
+// every other process mapping the same file and are paged in on
+// demand, so an index larger than the heap still opens without any
+// per-entry decoding or heap copies.
+func mapFlatFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("unmappable file size %d", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

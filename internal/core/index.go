@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // InfDist is the in-label encoding of "unreachable". Labels store 8-bit
@@ -63,6 +64,8 @@ type Index struct {
 	bpDist []uint8  // [n][numBP] distances from BP root i, flattened v*numBP+i (per-vertex interleaving keeps prune tests and queries on one cache line)
 	bpS1   []uint64 // S^{-1} sets as 64-bit masks, same layout
 	bpS0   []uint64 // S^{0} sets, same layout
+
+	batchPool sync.Pool // recycles *BatchSource scratch for DistanceFrom
 }
 
 // NumVertices returns the number of vertices the index covers.

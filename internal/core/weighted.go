@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pll/internal/graph"
 	"pll/internal/order"
@@ -29,6 +30,8 @@ type WeightedIndex struct {
 	labelVertex []int32 // hub ranks, ascending, sentinel n
 	labelDist   []uint32
 	labelParent []int32 // optional Dijkstra-tree parents (ranks); nil unless StorePaths
+
+	batchPool sync.Pool // recycles *rankScratch32 for DistanceFrom
 }
 
 // WeightedOptions configures BuildWeighted.

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"testing"
 
 	"pll/internal/bfs"
@@ -67,9 +68,10 @@ func undirectedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
 	}
 }
 
-// directedCase builds the directed index (WithPaths) over a random
-// digraph.
-func directedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
+// directedCase builds the directed index over a random digraph;
+// withPaths additionally stores parent pointers (required for the
+// /path checks, unsupported by the serialized formats).
+func directedCase(t *testing.T, n int, m int64, seed uint64, withPaths bool) variantCase {
 	t.Helper()
 	dg := gen.RandomDigraph(n, m, seed)
 	arcs := make([]pll.Edge, 0, m)
@@ -82,7 +84,11 @@ func directedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := pll.BuildDirected(pg, pll.WithPaths(), pll.WithSeed(seed))
+	opts := []pll.Option{pll.WithSeed(seed)}
+	if withPaths {
+		opts = append(opts, pll.WithPaths())
+	}
+	ix, err := pll.BuildDirected(pg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,9 +108,9 @@ func directedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
 	}
 }
 
-// weightedCase builds the weighted index (WithPaths) over a random
-// graph with weights in [1,10].
-func weightedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
+// weightedCase builds the weighted index over a random graph with
+// weights in [1,10]; withPaths as in directedCase.
+func weightedCase(t *testing.T, n int, m int64, seed uint64, withPaths bool) variantCase {
 	t.Helper()
 	gg := gen.ErdosRenyi(n, m, seed)
 	wg := gen.RandomWeights(gg, 1, 10, seed+1)
@@ -121,7 +127,11 @@ func weightedCase(t *testing.T, n int, m int64, seed uint64) variantCase {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := pll.BuildWeighted(pg, pll.WithPaths(), pll.WithSeed(seed))
+	opts := []pll.Option{pll.WithSeed(seed)}
+	if withPaths {
+		opts = append(opts, pll.WithPaths())
+	}
+	ix, err := pll.BuildWeighted(pg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,6 +182,31 @@ func dynamicCase(t *testing.T, n int, m int64, seed uint64) variantCase {
 		dist:   func(s int32) []int64 { return toInt64(bfs.AllDistances(gg, s)) },
 		n:      n,
 	}
+}
+
+// flatVariant round-trips a case's oracle through WriteFlatFile + Open
+// so the same ground-truth checks run against the memory-mapped
+// zero-copy FlatIndex, through the same handlers (its /batch answers
+// flow through the Batcher capability). withPaths=false drops the
+// /path checks for variants whose flat form cannot carry parents.
+func flatVariant(t *testing.T, base variantCase, withPaths bool) variantCase {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), base.name+".pllbox")
+	if err := pll.WriteFlatFile(path, base.oracle); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := pll.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fi.Close() })
+	out := base
+	out.name = "flat-" + base.name
+	out.oracle = fi
+	if !withPaths {
+		out.hop = nil
+	}
+	return out
 }
 
 // checkVariant drives tc.oracle through httptest handlers and compares
@@ -253,12 +288,23 @@ func TestConformanceAllVariants(t *testing.T) {
 		m    = 150
 		seed = 7
 	)
-	for _, tc := range []variantCase{
+	cases := []variantCase{
 		undirectedCase(t, n, m, seed),
-		directedCase(t, n, m, seed),
-		weightedCase(t, n, m, seed),
+		directedCase(t, n, m, seed, true),
+		weightedCase(t, n, m, seed, true),
 		dynamicCase(t, n, m, seed),
-	} {
+	}
+	// The same ground truths re-checked against memory-mapped flat
+	// containers of each variant. The flat directed/weighted formats
+	// (like version 1) cannot serialize parent pointers, so those two
+	// cases rebuild path-free on their own graphs.
+	cases = append(cases,
+		flatVariant(t, cases[0], true), // undirected: flat keeps parents
+		flatVariant(t, cases[3], false),
+		flatVariant(t, directedCase(t, n, m, seed+1, false), false),
+		flatVariant(t, weightedCase(t, n, m, seed+1, false), false),
+	)
+	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) { checkVariant(t, tc) })
 	}
 }

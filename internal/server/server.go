@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -22,6 +23,13 @@ type Config struct {
 	CacheSize int
 	// MaxBatch caps pairs per /batch request (default 4096).
 	MaxBatch int
+	// CloseGrace is the delay before a reload starts closing a
+	// swapped-out resource-backed oracle (pll.Closer, e.g. a memory-
+	// mapped pll.FlatIndex). Closing additionally waits for every HTTP
+	// request that began before the swap to finish — even a long /stats
+	// scan — so the grace only needs to cover non-request readers (a
+	// caller holding Snapshot()). 0 means five seconds.
+	CloseGrace time.Duration
 }
 
 const defaultMaxBatch = 4096
@@ -37,6 +45,11 @@ type Server struct {
 	mux    *http.ServeMux
 
 	reloadMu sync.Mutex // serializes /reload and SIGHUP reloads
+
+	// inflight counts the requests answering from the current oracle;
+	// Reload swaps in a fresh group and waits out the old one before
+	// closing a retired resource-backed oracle (see retire).
+	inflight atomic.Pointer[sync.WaitGroup]
 
 	queries    atomic.Int64 // /distance + /path answers
 	batchPairs atomic.Int64 // pairs answered through /batch
@@ -57,6 +70,7 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 		start:  time.Now(),
 		mux:    http.NewServeMux(),
 	}
+	s.inflight.Store(new(sync.WaitGroup))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /distance", s.handleDistance)
 	s.mux.HandleFunc("GET /path", s.handlePath)
@@ -67,8 +81,17 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the http.Handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler serving all endpoints. Every
+// request registers in the current in-flight group so a reload can
+// tell when the requests predating its swap have drained.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wg := s.inflight.Load()
+		wg.Add(1)
+		defer wg.Done()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Oracle returns the served oracle (shared, not a copy).
 func (s *Server) Oracle() *pll.ConcurrentOracle { return s.oracle }
@@ -224,14 +247,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err := pll.Validate(o, append([]int32{*req.Source}, req.Targets...)...); err != nil {
 				return err
 			}
-			// Single-source batches amortize to one label scan per target
-			// when the oracle supports it; View pins the snapshot so the
-			// batch source cannot outlive its index.
-			if ix, ok := o.(*pll.Index); ok {
-				bs := ix.NewBatchSource(*req.Source)
-				for _, t := range req.Targets {
-					distances = append(distances, int64(bs.Distance(t)))
-				}
+			// Single-source batches forward to the Batcher capability —
+			// every index variant implements it, pinning the source label
+			// once and scanning one label per target; View pins the
+			// snapshot so the pinned label cannot outlive its index. The
+			// per-pair loop remains as the fallback for foreign oracles.
+			if b, ok := o.(pll.Batcher); ok {
+				distances = b.DistanceFrom(*req.Source, req.Targets, distances)
 				return nil
 			}
 			for _, t := range req.Targets {
@@ -389,18 +411,63 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 // Reload loads the container at path and atomically swaps it in,
-// purging the distance cache. In-flight requests keep answering from
-// the index they started on; no request fails or blocks. It is the
-// shared implementation behind POST /reload and SIGHUP.
+// purging the distance cache. Flat (version-2) containers are opened
+// zero-copy via pll.Open — the swap is O(1) in the index size — and
+// every other format is heap-loaded. In-flight requests keep answering
+// from the index they started on; no request fails or blocks. A
+// swapped-out resource-backed oracle is closed after CloseGrace. It is
+// the shared implementation behind POST /reload and SIGHUP.
 func (s *Server) Reload(path string) (pll.Stats, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	o, err := pll.LoadFile(path)
+	o, err := loadOracle(path)
 	if err != nil {
 		return pll.Stats{}, err
 	}
-	s.oracle.Swap(o)
+	st := o.Stats()
+	old := s.oracle.Swap(o)
+	// Swap the in-flight group after the oracle: requests in the old
+	// group may hold either oracle (harmless — closing just waits for
+	// them too), requests in the new group can only see the new one.
+	oldInflight := s.inflight.Swap(new(sync.WaitGroup))
 	s.cache.purge()
 	s.reloads.Add(1)
-	return o.Stats(), nil
+	s.retire(old, oldInflight)
+	return st, nil
+}
+
+// loadOracle opens flat containers zero-copy and heap-loads every
+// other supported format.
+func loadOracle(path string) (pll.Oracle, error) {
+	fi, err := pll.Open(path)
+	if err == nil {
+		return fi, nil
+	}
+	if !errors.Is(err, pll.ErrNotFlat) {
+		return nil, err
+	}
+	return pll.LoadFile(path)
+}
+
+// retire closes a swapped-out oracle's resources (mapping, file) once
+// it can no longer be read: after the grace period it waits for every
+// request registered in the pre-swap in-flight group — so even a
+// minutes-long /stats scan pins the mapping until it finishes. The
+// grace additionally covers the instruction-scale window between a
+// request loading the group and registering in it, and any non-request
+// reader holding a Snapshot().
+func (s *Server) retire(old pll.Oracle, oldInflight *sync.WaitGroup) {
+	c, ok := old.(pll.Closer)
+	if !ok {
+		return
+	}
+	grace := s.cfg.CloseGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	go func() {
+		time.Sleep(grace)
+		oldInflight.Wait()
+		c.Close() //nolint:errcheck // nothing to do for a failed unmap
+	}()
 }

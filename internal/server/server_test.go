@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"pll/pll"
 )
@@ -318,6 +319,67 @@ func writeIndexFile(t *testing.T, dir string, name string, n int) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// writeFlatIndexFile writes a line-graph index as a flat (version-2)
+// container, the format /reload opens zero-copy.
+func writeFlatIndexFile(t *testing.T, dir string, name string, n int) string {
+	t.Helper()
+	ix, err := pll.Build(lineGraph(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := pll.WriteFlatFile(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReloadFlatContainer hot-swaps the serving oracle onto a memory-
+// mapped flat container and then back to a heap-loaded one, exercising
+// the zero-copy reload path and the deferred Close of the retired
+// mapping (a short CloseGrace lets the retirement actually run).
+func TestReloadFlatContainer(t *testing.T) {
+	dir := t.TempDir()
+	v1 := writeIndexFile(t, dir, "v1.pllbox", 4)
+	flat := writeFlatIndexFile(t, dir, "flat.pllbox", 9)
+
+	o, err := pll.LoadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, o, Config{IndexPath: v1, CacheSize: 16, CloseGrace: time.Millisecond})
+
+	var rr struct {
+		Vertices   int    `json:"vertices"`
+		Variant    string `json:"variant"`
+		Generation uint64 `json:"generation"`
+	}
+	postJSON(t, ts.URL+"/reload", reloadRequest{Path: flat}, http.StatusOK, &rr)
+	if rr.Vertices != 9 {
+		t.Fatalf("reloaded flat index has %d vertices, want 9", rr.Vertices)
+	}
+	if _, ok := srv.Oracle().Snapshot().(*pll.FlatIndex); !ok {
+		t.Fatalf("serving %T after flat reload, want *pll.FlatIndex", srv.Oracle().Snapshot())
+	}
+	var dr distanceResponse
+	getJSON(t, ts.URL+"/distance?s=0&t=8", http.StatusOK, &dr)
+	if dr.Distance != 8 {
+		t.Fatalf("d(0,8) = %d on the mapped line graph, want 8", dr.Distance)
+	}
+
+	// Swap back to the heap index: the retired FlatIndex must be closed
+	// after the grace period without disturbing serving.
+	postJSON(t, ts.URL+"/reload", reloadRequest{}, http.StatusOK, &rr)
+	if rr.Vertices != 4 {
+		t.Fatalf("reloaded v1 index has %d vertices, want 4", rr.Vertices)
+	}
+	time.Sleep(20 * time.Millisecond) // let the AfterFunc close the mapping
+	getJSON(t, ts.URL+"/distance?s=0&t=3", http.StatusOK, &dr)
+	if dr.Distance != 3 {
+		t.Fatalf("d(0,3) = %d after swapping back, want 3", dr.Distance)
+	}
 }
 
 func TestReloadEndpoint(t *testing.T) {

@@ -1,0 +1,124 @@
+package pll_test
+
+// Batcher capability conformance: DistanceFrom must equal per-pair
+// Distance on every variant (including the mapped FlatIndex and the
+// ConcurrentOracle wrapper), reuse the destination slice, and the
+// deprecated BatchSource wrapper must validate inputs with errors
+// instead of panics while following the Oracle int64/-1 convention.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pll/pll"
+)
+
+// batcherOracles returns every oracle flavor that must implement
+// Batcher, including wrappers.
+func batcherOracles(t *testing.T) []flatCase {
+	cases := buildFlatCases(t)
+	// Mapped flat oracle.
+	path := filepath.Join(t.TempDir(), "batch.pllbox")
+	if err := pll.WriteFlatFile(path, cases[1].oracle); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := pll.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fi.Close() })
+	cases = append(cases, flatCase{"flat", fi})
+	// Concurrent wrappers around a static and a dynamic oracle.
+	cases = append(cases,
+		flatCase{"concurrent-static", pll.NewConcurrentOracle(cases[0].oracle)},
+		flatCase{"concurrent-dynamic", pll.NewConcurrentOracle(cases[5].oracle)},
+	)
+	return cases
+}
+
+func TestBatcherConformanceAllVariants(t *testing.T) {
+	for _, tc := range batcherOracles(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			b, ok := tc.oracle.(pll.Batcher)
+			if !ok {
+				t.Fatalf("%T does not implement Batcher", tc.oracle)
+			}
+			n := int32(tc.oracle.NumVertices())
+			targets := make([]int32, 0, n)
+			for v := n - 1; v >= 0; v-- { // reversed: order must be preserved
+				targets = append(targets, v)
+			}
+			var dst []int64
+			for s := int32(0); s < n; s++ {
+				dst = b.DistanceFrom(s, targets, dst)
+				if len(dst) != len(targets) {
+					t.Fatalf("DistanceFrom returned %d distances for %d targets", len(dst), len(targets))
+				}
+				for i, tv := range targets {
+					if want := tc.oracle.Distance(s, tv); dst[i] != want {
+						t.Fatalf("DistanceFrom(%d)[target %d] = %d, want Distance %d", s, tv, dst[i], want)
+					}
+				}
+			}
+			// Capacity reuse: an ample dst must come back with the same
+			// backing array; an empty batch must return an empty slice.
+			big := make([]int64, 2*n)
+			out := b.DistanceFrom(0, targets, big)
+			if len(out) != int(n) || &out[0] != &big[0] {
+				t.Fatal("DistanceFrom did not reuse the destination slice")
+			}
+			if got := b.DistanceFrom(0, nil, nil); len(got) != 0 {
+				t.Fatalf("empty batch returned %d distances", len(got))
+			}
+		})
+	}
+}
+
+// TestBatchSourceValidates covers the deprecated wrapper's repaired
+// semantics: errors (not panics) for out-of-range vertices, int64
+// distances with Unreachable (-1), and Reset keeping the old source on
+// a rejected input.
+func TestBatchSourceValidates(t *testing.T) {
+	g, err := pll.NewGraph(4, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := pll.BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ix.NewBatchSource(-1); err == nil {
+		t.Fatal("NewBatchSource(-1) succeeded")
+	}
+	if _, err := ix.NewBatchSource(4); err == nil {
+		t.Fatal("NewBatchSource(n) succeeded")
+	}
+	bs, err := ix.NewBatchSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Distance(99); err == nil {
+		t.Fatal("Distance(out of range) succeeded")
+	}
+	d, err := bs.Distance(2)
+	if err != nil || d != 2 {
+		t.Fatalf("Distance(2) = %d, %v; want 2, nil", d, err)
+	}
+	d, err = bs.Distance(3) // vertex 3 is isolated
+	if err != nil || d != pll.Unreachable {
+		t.Fatalf("Distance(disconnected) = %d, %v; want -1, nil", d, err)
+	}
+	if err := bs.Reset(-7); err == nil {
+		t.Fatal("Reset(-7) succeeded")
+	}
+	if bs.Source() != 0 {
+		t.Fatalf("rejected Reset moved the source to %d", bs.Source())
+	}
+	if err := bs.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := bs.Distance(0); err != nil || d != 2 {
+		t.Fatalf("after Reset(2): Distance(0) = %d, %v; want 2, nil", d, err)
+	}
+}

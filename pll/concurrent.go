@@ -98,6 +98,31 @@ func (c *ConcurrentOracle) Path(s, t int32) ([]int32, error) {
 	return p, err
 }
 
+// DistanceFrom answers a single-source batch against one consistent
+// snapshot of the current oracle (see Batcher), forwarding to the
+// snapshot's own Batcher implementation when it has one and falling
+// back to per-target Distance calls otherwise. For a wrapped
+// *DynamicIndex the read lock covers the whole batch, so a concurrent
+// InsertEdge can never split it.
+func (c *ConcurrentOracle) DistanceFrom(s int32, targets []int32, dst []int64) []int64 {
+	st := c.state.Load()
+	if st.mu != nil {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+	}
+	if b, ok := st.oracle.(Batcher); ok {
+		return b.DistanceFrom(s, targets, dst)
+	}
+	if cap(dst) < len(targets) {
+		dst = make([]int64, len(targets))
+	}
+	dst = dst[:len(targets)]
+	for i, t := range targets {
+		dst[i] = st.oracle.Distance(s, t)
+	}
+	return dst
+}
+
 // NumVertices returns the number of vertices the current oracle covers.
 func (c *ConcurrentOracle) NumVertices() int {
 	st := c.state.Load()

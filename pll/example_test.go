@@ -86,18 +86,18 @@ func ExampleDynamicIndex() {
 	// 3
 }
 
-// BatchSource accelerates one-to-many query patterns (search ranking);
-// it needs the concrete *Index, so use the typed builder.
-func ExampleBatchSource() {
+// The Batcher capability accelerates one-to-many query patterns
+// (search ranking): the source label is pinned once, each target costs
+// one label scan. Every variant implements it — probe any Oracle by
+// type-assertion.
+func ExampleBatcher() {
 	g, _ := pll.NewGraph(5, []pll.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
 	})
-	ix, _ := pll.BuildIndex(g)
-	bs := ix.NewBatchSource(0)
-	for _, t := range []int32{1, 2, 3, 4} {
-		fmt.Print(bs.Distance(t), " ")
+	o, _ := pll.Build(g)
+	if b, ok := o.(pll.Batcher); ok {
+		fmt.Println(b.DistanceFrom(0, []int32{1, 2, 3, 4}, nil))
 	}
-	fmt.Println()
 	// Output:
-	// 1 2 3 4
+	// [1 2 3 4]
 }

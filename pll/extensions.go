@@ -126,22 +126,48 @@ func (d *DynamicIndex) WriteTo(w io.Writer) (int64, error) { return d.di.WriteTo
 
 // BatchSource answers many queries sharing one source faster than
 // repeated Distance calls (one label scan per target instead of a merge
-// join). Not safe for concurrent use; Reset re-targets it to another
-// source.
+// join). It validates vertex IDs like Validate instead of panicking and
+// follows the Oracle convention (int64 distances, Unreachable (-1) for
+// disconnected pairs). Not safe for concurrent use; Reset re-targets it
+// to another source.
+//
+// Deprecated: use the Batcher capability — DistanceFrom pins the source
+// label once per call, works on every variant (not just *Index), is
+// safe for concurrent use, and needs no explicit lifecycle.
 type BatchSource struct {
+	ix *Index
 	bs *core.BatchSource
 }
 
-// NewBatchSource prepares batched querying from source s.
-func (ix *Index) NewBatchSource(s int32) *BatchSource {
-	return &BatchSource{bs: ix.ix.NewBatchSource(s)}
+// NewBatchSource prepares batched querying from source s, rejecting an
+// out-of-range s with an error.
+//
+// Deprecated: use the Batcher capability (DistanceFrom).
+func (ix *Index) NewBatchSource(s int32) (*BatchSource, error) {
+	if err := Validate(ix, s); err != nil {
+		return nil, err
+	}
+	return &BatchSource{ix: ix, bs: ix.ix.NewBatchSource(s)}, nil
 }
 
-// Distance returns the exact distance from the batch source to t.
-func (b *BatchSource) Distance(t int32) int { return b.bs.Query(t) }
+// Distance returns the exact distance from the batch source to t, or
+// Unreachable (-1); an out-of-range t yields an error.
+func (b *BatchSource) Distance(t int32) (int64, error) {
+	if err := Validate(b.ix, t); err != nil {
+		return 0, err
+	}
+	return int64(b.bs.Query(t)), nil
+}
 
-// Reset switches the batch to a new source vertex.
-func (b *BatchSource) Reset(s int32) { b.bs.Reset(s) }
+// Reset switches the batch to a new source vertex, rejecting an
+// out-of-range s with an error (the previous source stays active).
+func (b *BatchSource) Reset(s int32) error {
+	if err := Validate(b.ix, s); err != nil {
+		return err
+	}
+	b.bs.Reset(s)
+	return nil
+}
 
 // Source returns the current source vertex.
 func (b *BatchSource) Source() int32 { return b.bs.Source() }

@@ -84,6 +84,25 @@ func fuzzCorpus(f *testing.F) [][]byte {
 		f.Fatal(err)
 	}
 	add(marshal(pll.Oracle(di), nil))
+
+	// Flat (version-2) containers of every variant: the columnar parser
+	// behind Load's v2 branch must reject any mutation with
+	// ErrBadIndexFile, never panic.
+	marshalFlat := func(o pll.Oracle, err error) ([]byte, error) {
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if _, err := pll.WriteFlat(&buf, o); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	add(marshalFlat(pll.BuildIndex(g, pll.WithBitParallel(2))))
+	add(marshalFlat(pll.BuildIndex(g, pll.WithPaths())))
+	add(marshalFlat(pll.BuildDirected(dg)))
+	add(marshalFlat(pll.BuildWeighted(wg)))
+	add(marshalFlat(pll.Oracle(di), nil))
 	return out
 }
 

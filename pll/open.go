@@ -1,0 +1,135 @@
+package pll
+
+import (
+	"fmt"
+	"io"
+
+	"pll/internal/core"
+)
+
+// ErrNotFlat is returned by Open for index files that are valid but not
+// flat (version-2) containers: version-1 containers and bare legacy
+// payloads must be heap-loaded with LoadFile, or rewritten once with
+// WriteFlatFile (or `pll convert`) to become Open-able.
+var ErrNotFlat = core.ErrNotFlat
+
+// FlatIndex serves a flat (version-2) container zero-copy: Open
+// memory-maps the file and the query arrays alias the mapping, so
+// startup does no per-entry decoding and no label-array copies
+// regardless of index size, the kernel shares the pages across
+// processes serving the same file, and an index larger than the heap
+// still serves in microseconds.
+//
+// FlatIndex implements Oracle, Batcher and Closer. Queries answer
+// identically to the heap-loaded oracle of the same index. Any number
+// of goroutines may query concurrently; Close releases the mapping and
+// must only be called once no queries are in flight (queries after
+// Close fault).
+//
+// Open validates the container's structural metadata (section table,
+// permutation, offsets, sentinels) but trusts label contents, exactly
+// like the arrays of a freshly built index — feed untrusted files to
+// LoadFile, which fully validates every entry, instead.
+type FlatIndex struct {
+	store *core.FlatStore
+	o     Oracle // wrapper over the index aliasing the mapping
+}
+
+// Open memory-maps a flat container and returns its zero-copy oracle.
+// Non-flat index files yield ErrNotFlat; malformed files yield errors
+// wrapping ErrBadIndexFile.
+//
+// Open vs LoadFile: Open decodes, copies and allocates nothing — its
+// structural validation is O(n) in the vertex count (perm/offset
+// checks plus one sentinel probe per vertex, a single streaming sweep
+// of the mapped hub section when the page cache is cold, and
+// effectively instant when warm) and keeps the index off the heap, but
+// requires the flat format and trusts label contents. LoadFile reads
+// any supported format onto the heap with full validation, paying a
+// per-entry decode pass plus allocations proportional to the index
+// size. Serving restarts and hot reloads want Open; ad-hoc tooling and
+// untrusted input want LoadFile.
+func Open(path string) (*FlatIndex, error) {
+	st, err := core.OpenFlat(path)
+	if err != nil {
+		return nil, err
+	}
+	o, err := wrapOracle(st.Oracle())
+	if err != nil {
+		st.Close() //nolint:errcheck // the wrap error is the one to report
+		return nil, err
+	}
+	return &FlatIndex{store: st, o: o}, nil
+}
+
+// Distance returns the exact s-t distance, or Unreachable (-1).
+func (fi *FlatIndex) Distance(s, t int32) int64 { return fi.o.Distance(s, t) }
+
+// Path returns one exact shortest path, or nil for disconnected pairs.
+// The container must have been written from an index built WithPaths.
+func (fi *FlatIndex) Path(s, t int32) ([]int32, error) { return fi.o.Path(s, t) }
+
+// DistanceFrom answers a single-source batch straight from the mapping
+// (see Batcher). Safe for concurrent use.
+func (fi *FlatIndex) DistanceFrom(s int32, targets []int32, dst []int64) []int64 {
+	return fi.o.(Batcher).DistanceFrom(s, targets, dst)
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (fi *FlatIndex) NumVertices() int { return fi.o.NumVertices() }
+
+// Stats summarizes the index (the scan reads the mapped pages).
+func (fi *FlatIndex) Stats() Stats { return fi.o.Stats() }
+
+// Variant reports the container's variant tag without scanning.
+func (fi *FlatIndex) Variant() Variant { return fi.store.Header().Variant }
+
+// WriteTo serializes the index as a version-1 container (the
+// heap-loadable record format) — the inverse of `pll convert`.
+func (fi *FlatIndex) WriteTo(w io.Writer) (int64, error) { return fi.o.WriteTo(w) }
+
+// MappedBytes returns the size of the mapped file image.
+func (fi *FlatIndex) MappedBytes() int64 { return fi.store.MappedBytes() }
+
+// ZeroCopy reports whether the query arrays alias the mapping (false
+// only on big-endian hosts, where Open decodes copies instead).
+func (fi *FlatIndex) ZeroCopy() bool { return fi.store.ZeroCopy() }
+
+// Close releases the mapping. Idempotent. The index must not be
+// queried afterwards.
+func (fi *FlatIndex) Close() error { return fi.store.Close() }
+
+// WriteFlat serializes any oracle as a flat (version-2) container that
+// Open can serve zero-copy. Dynamic indexes are frozen first (like
+// WriteTo); a ConcurrentOracle writes its current snapshot. Directed
+// and weighted indexes built WithPaths cannot be serialized, matching
+// WriteTo.
+func WriteFlat(w io.Writer, o Oracle) (int64, error) {
+	switch ix := o.(type) {
+	case *Index:
+		return ix.ix.WriteFlat(w)
+	case *DirectedIndex:
+		return ix.ix.WriteFlat(w)
+	case *WeightedIndex:
+		return ix.ix.WriteFlat(w)
+	case *DynamicIndex:
+		return ix.di.WriteFlat(w)
+	case *FlatIndex:
+		return WriteFlat(w, ix.o)
+	case *ConcurrentOracle:
+		var n int64
+		err := ix.View(func(inner Oracle) error {
+			var werr error
+			n, werr = WriteFlat(w, inner)
+			return werr
+		})
+		return n, err
+	}
+	return 0, fmt.Errorf("pll: %T cannot be written as a flat container", o)
+}
+
+// WriteFlatFile writes o to path as a flat container, atomically and
+// durably (temp file, fsync, rename) like WriteFile.
+func WriteFlatFile(path string, o Oracle) error {
+	return writeFileWith(path, func(w io.Writer) (int64, error) { return WriteFlat(w, o) })
+}

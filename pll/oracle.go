@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"pll/internal/core"
 )
@@ -21,6 +22,13 @@ import (
 // Unreachable (-1) for disconnected pairs. Path requires an index built
 // WithPaths (and is unavailable on dynamic indexes). WriteTo serializes
 // the index as a self-describing container that Load reads back.
+//
+// Beyond this minimal contract, oracles advertise optional capabilities
+// through type-assertion — Batcher for amortized single-source batch
+// queries (implemented by every variant) and Closer for resource-backed
+// oracles such as the memory-mapped *FlatIndex. Probe for them instead
+// of switching on concrete types; see the Batcher documentation for the
+// pattern.
 //
 // Concurrency contract: the static variants (*Index, *DirectedIndex,
 // *WeightedIndex, and frozen dynamic snapshots) are immutable after
@@ -125,6 +133,8 @@ func variantOf(o Oracle) Variant {
 		return VariantWeighted
 	case *DynamicIndex:
 		return VariantDynamic
+	case *FlatIndex:
+		return ix.Variant()
 	}
 	return 0
 }
@@ -142,23 +152,69 @@ func wrapOracle(v any) (Oracle, error) {
 	return nil, fmt.Errorf("pll: unsupported index type %T", v)
 }
 
-// WriteFile serializes any oracle to path in the container format.
+// WriteFile serializes any oracle to path in the version-1 container
+// format, atomically and durably: the bytes land in a temp file that is
+// fsynced and renamed over path, so concurrent readers (and SIGHUP
+// reloads) never see a torn container. Use WriteFlatFile for the
+// mmap-servable flat format.
 func WriteFile(path string, o Oracle) error {
 	return writeFileWith(path, o.WriteTo)
 }
 
 // writeFileWith is the shared file lifecycle for every save entry
-// point (one place to grow fsync / atomic-rename behavior).
+// point: the container is written to a temp file in the destination
+// directory, fsynced, and renamed over path, so a concurrent reader —
+// in particular a pllserved SIGHUP reload — can never observe a torn
+// or half-written container, and a crash after return cannot lose the
+// rename. The old file, if any, stays intact until the atomic swap.
 func writeFileWith(path string, write func(io.Writer) (int64, error)) error {
-	f, err := os.Create(path)
+	f, tmp, err := createTemp(path)
 	if err != nil {
 		return err
 	}
-	if _, err := write(f); err != nil {
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if _, err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Best effort: some filesystems
+	// reject directory fsync, and the data file is already synced.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	return nil
+}
+
+// createTemp opens a fresh temp file next to path with os.Create's
+// permission semantics (0666 filtered by the umask — os.CreateTemp's
+// hardwired 0600 would silently tighten saved indexes).
+func createTemp(path string) (*os.File, string, error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	for i := 0; ; i++ {
+		tmp := filepath.Join(dir, fmt.Sprintf(".%s.tmp-%d-%d", base, os.Getpid(), i))
+		f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			return f, tmp, nil
+		}
+		if !os.IsExist(err) || i >= 10000 {
+			return nil, "", err
+		}
+	}
 }
 
 // Validate sanity-checks vertex IDs against an oracle's range, returning

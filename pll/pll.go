@@ -26,6 +26,21 @@
 // variants serialize through WriteTo into one self-describing container
 // format that Load reads back without being told the variant. The
 // per-variant Save/Load entry points remain as deprecated wrappers.
+//
+// Two ways to get an index file serving:
+//
+//   - Load / LoadFile decode any supported format (version-1
+//     containers, flat version-2 containers, bare legacy payloads)
+//     onto the heap with full validation — right for ad-hoc tooling
+//     and untrusted input.
+//   - Open memory-maps a flat (version-2) container written by
+//     WriteFlatFile and serves it zero-copy: startup is O(1) in the
+//     label count, pages are shared across processes and the index may
+//     exceed the heap — right for servers that restart or hot-reload.
+//
+// Optional query surfaces are capability interfaces discovered by
+// type-assertion: Batcher (amortized single-source batch distances,
+// implemented by every variant) and Closer (resource-backed oracles).
 package pll
 
 import (
@@ -225,14 +240,25 @@ func asIndex(o Oracle) (*Index, error) {
 	return ix, nil
 }
 
-// DiskIndex answers queries directly from an index file with two ranged
-// reads per query (paper §6, disk-based query answering). Not safe for
-// concurrent use.
+// DiskIndex answers queries directly from a version-1 index file with
+// two ranged reads per query (paper §6, disk-based query answering).
+// It validates vertex IDs (errors, not panics) and follows the Oracle
+// convention: int64 distances, Unreachable (-1) for disconnected pairs.
+// Not safe for concurrent use.
+//
+// Deprecated: convert the file to the flat format (`pll convert`, or
+// WriteFlatFile) and use Open — the memory-mapped FlatIndex also keeps
+// the labels out of the heap, but serves reads from shared page-cache
+// pages instead of issuing two syscalls per query, is safe for
+// concurrent use, and supports every variant plus batch queries.
 type DiskIndex struct {
 	di *core.DiskIndex
 }
 
-// OpenDiskIndex opens an index file for disk-resident querying.
+// OpenDiskIndex opens a version-1 index file for disk-resident
+// querying.
+//
+// Deprecated: use Open on a flat container (see DiskIndex).
 func OpenDiskIndex(path string) (*DiskIndex, error) {
 	di, err := core.OpenDiskIndex(path)
 	if err != nil {
