@@ -9,10 +9,14 @@
 //	pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp 16] [-order Degree] [-paths] [-workers 0]
 //	pll query     -index g.pll 0 42 17 99        # pairs of vertices
 //	pll query     -index g.pll -disk 0 42        # disk-resident querying
+//	pll knn       -index g.pll -k 10 0 42        # k nearest vertices per source
+//	pll knn       -index g.pll -radius 3 0       # everything within distance 3
+//	pll knn       -index g.pll -set 3,17,29 0    # nearest members of a subset
 //	pll path      -index g.pll 0 42              # index must be built with -paths
 //	pll stats     -index g.pll
 //	pll bench     -index g.pll -pairs 100000     # random-query latency
 //	pll convert   -index g.pll -out g.flat       # rewrite as flat (mmap) container
+//	pll convert   -index g.pll -out g.flat -search  # + persisted search inversion
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"pll/internal/rng"
@@ -37,6 +42,8 @@ func main() {
 		err = construct(os.Args[2:])
 	case "query":
 		err = query(os.Args[2:])
+	case "knn":
+		err = knn(os.Args[2:])
 	case "stats":
 		err = statsCmd(os.Args[2:])
 	case "bench":
@@ -63,12 +70,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths] [-workers N]
   pll query     -index g.pll [-disk|-mmap] s t [s t ...]
+  pll knn       -index g.pll [-k N] [-radius R] [-set v1,v2,...] [-mmap] s [s ...]
   pll path      -index g.pll s t          # index must be built with -paths
   pll stats     -index g.pll
   pll bench     -index g.pll [-pairs N] [-seed N]
   pll verify    -index g.pll -graph g.txt [-pairs N]   # undirected indexes
   pll compress  -index g.pll -out g.pllc               # undirected indexes
-  pll convert   -index g.pll -out g.flat [-to flat|v1] # flat = zero-copy mmap format
+  pll convert   -index g.pll -out g.flat [-to flat|v1] [-search]
 
 to serve an index over HTTP, see the pllserved command:
   go run ./cmd/pllserved -index g.pll -addr :8355`)
@@ -227,6 +235,99 @@ func query(args []string) error {
 	return nil
 }
 
+// knn answers neighborhood queries from the command line: for each
+// source vertex, the k nearest vertices (default), everything within
+// -radius, or the nearest members of a -set — all through the Searcher
+// capability, so any static index file works.
+func knn(args []string) error {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	k := fs.Int("k", 10, "number of neighbors per source")
+	radius := fs.Int64("radius", -1, "report everything within this distance instead of the k nearest")
+	setSpec := fs.String("set", "", "comma-separated vertex subset: report the k nearest members")
+	mmapped := fs.Bool("mmap", false, "memory-map a flat container instead of heap-loading it")
+	fs.Parse(args)
+	if *indexPath == "" {
+		return fmt.Errorf("knn needs -index")
+	}
+	if *radius >= 0 && *setSpec != "" {
+		return fmt.Errorf("-radius and -set are mutually exclusive")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("knn needs at least one source vertex")
+	}
+	sources := make([]int32, len(rest))
+	for i, raw := range rest {
+		v, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad vertex %q: %v", raw, err)
+		}
+		sources[i] = int32(v)
+	}
+
+	var o pll.Oracle
+	if *mmapped {
+		fi, err := pll.Open(*indexPath)
+		if err != nil {
+			return err
+		}
+		defer fi.Close()
+		o = fi
+	} else {
+		var err error
+		if o, err = pll.LoadFile(*indexPath); err != nil {
+			return err
+		}
+	}
+	sr, ok := o.(pll.Searcher)
+	if !ok {
+		return fmt.Errorf("the %T oracle does not support search queries", o)
+	}
+
+	var set *pll.VertexSet
+	if *setSpec != "" {
+		var members []int32
+		for _, raw := range strings.Split(*setSpec, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad set member %q: %v", raw, err)
+			}
+			members = append(members, int32(v))
+		}
+		var err error
+		if set, err = sr.NewVertexSet(members); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range sources {
+		if err := pll.Validate(o, s); err != nil {
+			return err
+		}
+		var (
+			res []pll.Neighbor
+			err error
+		)
+		switch {
+		case *radius >= 0:
+			res, err = sr.Range(s, *radius)
+		case set != nil:
+			res, err = sr.NearestIn(s, set, *k)
+		default:
+			res, err = sr.KNN(s, *k)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("source %d: %d neighbors\n", s, len(res))
+		for _, nb := range res {
+			fmt.Printf("  %d\t%d\n", nb.Vertex, nb.Distance)
+		}
+	}
+	return nil
+}
+
 // convert rewrites any supported index file into the flat (version-2)
 // zero-copy container served by pll.Open / pllserved mmap startup, or
 // back into the version-1 record format.
@@ -235,9 +336,13 @@ func convert(args []string) error {
 	indexPath := fs.String("index", "", "input index file (any supported format)")
 	out := fs.String("out", "", "output container file")
 	to := fs.String("to", "flat", "target format: flat (version-2, mmap-served) or v1 (record-oriented)")
+	search := fs.Bool("search", false, "persist the hub-inverted search index (flat only), so mmap serving answers /knn with no lazy build")
 	fs.Parse(args)
 	if *indexPath == "" || *out == "" {
 		return fmt.Errorf("convert needs -index and -out")
+	}
+	if *search && *to != "flat" {
+		return fmt.Errorf("-search requires -to flat")
 	}
 	o, err := pll.LoadFile(*indexPath)
 	if err != nil {
@@ -245,7 +350,11 @@ func convert(args []string) error {
 	}
 	switch *to {
 	case "flat":
-		err = pll.WriteFlatFile(*out, o)
+		var opts []pll.FlatOption
+		if *search {
+			opts = append(opts, pll.FlatSearch())
+		}
+		err = pll.WriteFlatFile(*out, o, opts...)
 	case "v1":
 		err = pll.WriteFile(*out, o)
 	default:
@@ -337,6 +446,8 @@ func statsCmd(args []string) error {
 		st.LabelSizeQuantiles[3], st.LabelSizeQuantiles[4])
 	fmt.Printf("index bytes:         %d (labels %d, bit-parallel %d)\n",
 		st.IndexBytes, st.NormalLabelBytes, st.BitParallelBytes)
+	fmt.Printf("hub occupancy:       %d distinct hubs, max load %d, avg load %.2f\n",
+		st.DistinctHubs, st.MaxHubLoad, st.AvgHubLoad)
 	fmt.Printf("path reconstruction: %v\n", st.HasParentPointers)
 	return nil
 }

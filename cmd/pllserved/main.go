@@ -56,7 +56,8 @@ func run() error {
 	dynamic := flag.Bool("dynamic", false, "with -graph: build a dynamic index that accepts POST /update")
 	addr := flag.String("addr", ":8355", "listen address")
 	cacheSize := flag.Int("cache", 0, "distance-cache capacity in entries (0 disables)")
-	maxBatch := flag.Int("maxbatch", 0, "max pairs per /batch request (0 means the default)")
+	maxBatch := flag.Int("maxbatch", 0, "max request fan-out: /batch pairs, /knn k, /nearest set size and k, /range results (0 means the default, 4096)")
+	maxBody := flag.Int64("maxbody", 0, "max POST body bytes (0 means the default, 1 MiB)")
 	workers := flag.Int("workers", 0, "construction workers for -graph builds (0 = all cores; the index is identical regardless)")
 	flag.Parse()
 
@@ -111,6 +112,7 @@ func run() error {
 		IndexPath: *indexPath,
 		CacheSize: *cacheSize,
 		MaxBatch:  *maxBatch,
+		MaxBody:   *maxBody,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -72,8 +72,12 @@ const (
 	ContainerFlagCompressed uint8 = 1 << 0
 	// ContainerFlagPaths marks a payload with per-label parent pointers.
 	ContainerFlagPaths uint8 = 1 << 1
+	// ContainerFlagSearch marks a flat (version-2) payload carrying the
+	// hub-inverted search sections (secInv*), so Open serves
+	// KNN/Range/NearestIn zero-copy with no lazy build.
+	ContainerFlagSearch uint8 = 1 << 2
 
-	containerKnownFlags = ContainerFlagCompressed | ContainerFlagPaths
+	containerKnownFlags = ContainerFlagCompressed | ContainerFlagPaths | ContainerFlagSearch
 )
 
 // containerHeaderSize is the fixed byte length of the container header.
@@ -124,6 +128,9 @@ func parseContainerHeader(b []byte) (ContainerHeader, error) {
 	}
 	if h.Version == ContainerVersionFlat && h.Flags&ContainerFlagCompressed != 0 {
 		return h, fmt.Errorf("%w: flat containers are never compressed", ErrBadIndexFile)
+	}
+	if h.Version != ContainerVersionFlat && h.Flags&ContainerFlagSearch != 0 {
+		return h, fmt.Errorf("%w: only flat containers carry inverted search sections", ErrBadIndexFile)
 	}
 	return h, nil
 }

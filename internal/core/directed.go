@@ -28,7 +28,8 @@ type DirectedIndex struct {
 	inDist   []uint8
 	inParent []int32 // predecessor from the hub (ranks); nil unless StorePaths
 
-	batchPool sync.Pool // recycles *rankScratch8 for DistanceFrom
+	batchPool sync.Pool   // recycles *rankScratch8 for DistanceFrom
+	search    searchState // lazily built hub-inverted L_IN index (search.go)
 }
 
 // DirectedOptions configures BuildDirected.
@@ -422,6 +423,7 @@ func (ix *DirectedIndex) ComputeStats() Stats {
 		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(ix.n)
 	}
 	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	applyHubStats(&st, ix.n, ix.outVertex, ix.inVertex)
 	st.NormalLabelBytes = int64(len(ix.outVertex))*4 + int64(len(ix.outDist)) +
 		int64(len(ix.inVertex))*4 + int64(len(ix.inDist))
 	if ix.outParent != nil {

@@ -291,6 +291,7 @@ func (di *DynamicIndex) ComputeStats() Stats {
 		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(di.n)
 	}
 	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	applyHubStats(&st, di.n, di.labV...)
 	st.NormalLabelBytes = st.TotalLabelEntries * 5 // int32 hub + uint8 dist per entry
 	st.IndexBytes = st.NormalLabelBytes + int64(len(di.perm))*8
 	return st

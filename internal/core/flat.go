@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"unsafe"
+
+	"pll/internal/hubsearch"
 )
 
 // Container format version 2 ("flat"): the index laid out in its
@@ -52,6 +54,9 @@ const (
 	secInVertex    uint32 = 14 // int32
 	secInDist      uint32 = 15 // uint8
 	secLabelDist32 uint32 = 16 // uint32, L       weighted distances
+	secInvOff      uint32 = 17 // int64, runs+1   hub-inverted search offsets
+	secInvVertex   uint32 = 18 // int32, L        inverted entries: vertex ranks
+	secInvDist     uint32 = 19 // uint32, L       inverted entries: distances
 )
 
 // ContainerVersionFlat is the flat (zero-copy) container format version.
@@ -195,10 +200,40 @@ func writeInts[T flatInt](w io.Writer, xs []T) error {
 	return nil
 }
 
+// FlatOption configures WriteFlat.
+type FlatOption func(*flatOptions)
+
+type flatOptions struct{ search bool }
+
+// FlatSearch makes WriteFlat persist the hub-inverted search index as
+// additional aligned sections, so a memory-mapped container answers
+// KNN/Range/NearestIn queries with zero build cost. The inverted index
+// is built first if the index has not served a search query yet.
+func FlatSearch() FlatOption {
+	return func(o *flatOptions) { o.search = true }
+}
+
+func applyFlatOptions(opts []FlatOption) flatOptions {
+	var o flatOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// addSearchSections registers the inverted-index sections.
+func (fw *flatWriter) addSearchSections(inv *hubsearch.Inverted) {
+	addInts(fw, secInvOff, inv.Off)
+	addInts(fw, secInvVertex, inv.Vertex)
+	addInts(fw, secInvDist, inv.Dist)
+}
+
 // WriteFlat writes the index as a flat (version-2) container whose
 // sections OpenFlat can serve zero-copy. Loading the result yields an
-// index answering identically to this one.
-func (ix *Index) WriteFlat(w io.Writer) (int64, error) {
+// index answering identically to this one. With FlatSearch, the
+// hub-inverted search index rides along as optional sections.
+func (ix *Index) WriteFlat(w io.Writer, opts ...FlatOption) (int64, error) {
+	o := applyFlatOptions(opts)
 	h := ContainerHeader{
 		Version:     ContainerVersionFlat,
 		Variant:     ix.Variant(),
@@ -221,15 +256,21 @@ func (ix *Index) WriteFlat(w io.Writer) (int64, error) {
 		addInts(fw, secBPS1, ix.bpS1)
 		addInts(fw, secBPS0, ix.bpS0)
 	}
+	if o.search {
+		h.Flags |= ContainerFlagSearch
+		fw.addSearchSections(ix.EnsureSearch())
+	}
 	return writeContainer(w, h, fw.writeTo)
 }
 
 // WriteFlat writes the directed index as a flat (version-2) container.
 // Parent pointers (StorePaths) are not serialized, matching WriteTo.
-func (ix *DirectedIndex) WriteFlat(w io.Writer) (int64, error) {
+// With FlatSearch, the inverted L_IN search index rides along.
+func (ix *DirectedIndex) WriteFlat(w io.Writer, opts ...FlatOption) (int64, error) {
 	if ix.outParent != nil {
 		return 0, fmt.Errorf("core: directed format does not support parent pointers")
 	}
+	o := applyFlatOptions(opts)
 	h := ContainerHeader{Version: ContainerVersionFlat, Variant: VariantDirected}
 	fw := &flatWriter{n: uint64(ix.n)}
 	addInts(fw, secPerm, ix.perm)
@@ -240,15 +281,21 @@ func (ix *DirectedIndex) WriteFlat(w io.Writer) (int64, error) {
 	addInts(fw, secInOff, ix.inOff)
 	addInts(fw, secInVertex, ix.inVertex)
 	fw.addU8(secInDist, ix.inDist)
+	if o.search {
+		h.Flags |= ContainerFlagSearch
+		fw.addSearchSections(ix.EnsureSearch())
+	}
 	return writeContainer(w, h, fw.writeTo)
 }
 
 // WriteFlat writes the weighted index as a flat (version-2) container.
 // Parent pointers (StorePaths) are not serialized, matching WriteTo.
-func (ix *WeightedIndex) WriteFlat(w io.Writer) (int64, error) {
+// With FlatSearch, the inverted search index rides along.
+func (ix *WeightedIndex) WriteFlat(w io.Writer, opts ...FlatOption) (int64, error) {
 	if ix.labelParent != nil {
 		return 0, fmt.Errorf("core: weighted format does not support parent pointers")
 	}
+	o := applyFlatOptions(opts)
 	h := ContainerHeader{Version: ContainerVersionFlat, Variant: VariantWeighted}
 	fw := &flatWriter{n: uint64(ix.n)}
 	addInts(fw, secPerm, ix.perm)
@@ -256,13 +303,17 @@ func (ix *WeightedIndex) WriteFlat(w io.Writer) (int64, error) {
 	addInts(fw, secLabelOff, ix.labelOff)
 	addInts(fw, secLabelVertex, ix.labelVertex)
 	addInts(fw, secLabelDist32, ix.labelDist)
+	if o.search {
+		h.Flags |= ContainerFlagSearch
+		fw.addSearchSections(ix.EnsureSearch())
+	}
 	return writeContainer(w, h, fw.writeTo)
 }
 
 // WriteFlat freezes the dynamic index and writes the snapshot as a flat
 // container tagged VariantDynamic (loading yields a static *Index).
-func (di *DynamicIndex) WriteFlat(w io.Writer) (int64, error) {
-	return di.Freeze().WriteFlat(w)
+func (di *DynamicIndex) WriteFlat(w io.Writer, opts ...FlatOption) (int64, error) {
+	return di.Freeze().WriteFlat(w, opts...)
 }
 
 // ---------------------------------------------------------------------
@@ -480,6 +531,29 @@ func (p *flatParser) checkLabelFamily(off []int64, vertex []int32, what string) 
 	return nil
 }
 
+// parseSearch decodes the optional hub-inverted search sections,
+// validating their structure (and, in full mode, every entry) before
+// they are attached to the index.
+func (p *flatParser) parseSearch(numBP int, bps1, bps0 []uint64) (*hubsearch.Inverted, error) {
+	off, err := flatInts[int64](p, secInvOff, "inverted search offsets")
+	if err != nil {
+		return nil, err
+	}
+	vs, err := flatInts[int32](p, secInvVertex, "inverted search vertices")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := flatInts[uint32](p, secInvDist, "inverted search distances")
+	if err != nil {
+		return nil, err
+	}
+	inv := &hubsearch.Inverted{N: p.n, NumBP: numBP, Off: off, Vertex: vs, Dist: ds, BPS1: bps1, BPS0: bps0}
+	if err := inv.Validate(p.full); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	return inv, nil
+}
+
 func (p *flatParser) parseUndirected() (*Index, error) {
 	if p.h.Flags&ContainerFlagCompressed != 0 {
 		return nil, fmt.Errorf("%w: flat containers are never compressed", ErrBadIndexFile)
@@ -541,11 +615,18 @@ func (p *flatParser) parseUndirected() (*Index, error) {
 				ErrBadIndexFile, len(ix.bpDist), len(ix.bpS1), len(ix.bpS0), want)
 		}
 	}
+	if p.h.Flags&ContainerFlagSearch != 0 {
+		inv, err := p.parseSearch(ix.numBP, ix.bpS1, ix.bpS0)
+		if err != nil {
+			return nil, err
+		}
+		ix.search.inv = inv
+	}
 	return ix, nil
 }
 
 func (p *flatParser) parseDirected() (*DirectedIndex, error) {
-	if p.h.Flags != 0 {
+	if p.h.Flags&^ContainerFlagSearch != 0 {
 		return nil, fmt.Errorf("%w: unexpected flags %#x for a flat directed container", ErrBadIndexFile, p.h.Flags)
 	}
 	perm, rank, err := p.permRank()
@@ -580,11 +661,18 @@ func (p *flatParser) parseDirected() (*DirectedIndex, error) {
 	if ix.inOff, ix.inVertex, ix.inDist, err = side(secInOff, secInVertex, secInDist, "L_IN"); err != nil {
 		return nil, err
 	}
+	if p.h.Flags&ContainerFlagSearch != 0 {
+		inv, err := p.parseSearch(0, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		ix.search.inv = inv
+	}
 	return ix, nil
 }
 
 func (p *flatParser) parseWeighted() (*WeightedIndex, error) {
-	if p.h.Flags != 0 || p.h.BitParallel != 0 {
+	if p.h.Flags&^ContainerFlagSearch != 0 || p.h.BitParallel != 0 {
 		return nil, fmt.Errorf("%w: unexpected flags/bp for a flat weighted container", ErrBadIndexFile)
 	}
 	perm, rank, err := p.permRank()
@@ -606,6 +694,13 @@ func (p *flatParser) parseWeighted() (*WeightedIndex, error) {
 	}
 	if err := p.checkLabelFamily(ix.labelOff, ix.labelVertex, "label"); err != nil {
 		return nil, err
+	}
+	if p.h.Flags&ContainerFlagSearch != 0 {
+		inv, err := p.parseSearch(0, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		ix.search.inv = inv
 	}
 	return ix, nil
 }

@@ -65,7 +65,8 @@ type Index struct {
 	bpS1   []uint64 // S^{-1} sets as 64-bit masks, same layout
 	bpS0   []uint64 // S^{0} sets, same layout
 
-	batchPool sync.Pool // recycles *BatchSource scratch for DistanceFrom
+	batchPool sync.Pool   // recycles *BatchSource scratch for DistanceFrom
+	search    searchState // lazily built hub-inverted index (search.go)
 }
 
 // NumVertices returns the number of vertices the index covers.
@@ -193,6 +194,12 @@ type Stats struct {
 	NormalLabelBytes   int64
 	HasParentPointers  bool
 	LabelSizeQuantiles [5]int // min, p25, p50, p75, max of per-vertex label sizes
+
+	// Hub-occupancy distribution: how the normal label entries spread
+	// over hubs (the inverted view behind the search subsystem).
+	DistinctHubs int     // hubs carried by at least one label entry
+	MaxHubLoad   int     // label entries carried by the most frequent hub
+	AvgHubLoad   float64 // label entries per occupied hub
 }
 
 // ComputeStats scans the index and returns summary statistics.
@@ -216,6 +223,7 @@ func (ix *Index) ComputeStats() Stats {
 		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(ix.n)
 	}
 	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	applyHubStats(&st, ix.n, ix.labelVertex)
 	st.NormalLabelBytes = int64(len(ix.labelVertex))*4 + int64(len(ix.labelDist))
 	if ix.labelParent != nil {
 		st.NormalLabelBytes += int64(len(ix.labelParent)) * 4

@@ -1,0 +1,434 @@
+package core
+
+// Hub-search capability: every immutable index variant can invert its
+// labels (internal/hubsearch) and answer neighborhood queries — k
+// nearest vertices, all vertices within a radius, and nearest members
+// of a registered subset — straight from the 2-hop cover, with no graph
+// traversal. The inverted index is built lazily on first use (O(total
+// label size) plus per-run sorting) and cached for the index lifetime;
+// flat (version-2) containers can persist it so a memory-mapped index
+// serves search queries with zero build cost (flat.go).
+//
+// DynamicIndex has no search capability: edge insertions mutate labels
+// in place and would silently invalidate the inversion.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pll/internal/hubsearch"
+)
+
+// Neighbor is one search answer: a vertex (original ID) and its exact
+// distance from the query source.
+type Neighbor struct {
+	Vertex   int32 `json:"vertex"`
+	Distance int64 `json:"distance"`
+}
+
+// ErrForeignSet is returned when a VertexSet is used with an index
+// other than the one it was registered on.
+var ErrForeignSet = errors.New("core: vertex set was registered on a different index")
+
+// VertexSet is a registered vertex subset with its own filtered
+// inverted index, sized O(total label mass of the members): nearest-in
+// queries merge only runs that can yield members, so they cost the same
+// as a kNN over an index containing just the subset. Immutable and safe
+// for concurrent use; valid only with the index that created it.
+type VertexSet struct {
+	owner any
+	inv   *hubsearch.Inverted
+	size  int
+}
+
+// Size returns the number of distinct vertices in the set.
+func (vs *VertexSet) Size() int { return vs.size }
+
+// searchState is the lazily built inverted index of one immutable
+// index plus its pooled query scratch.
+type searchState struct {
+	once sync.Once
+	inv  *hubsearch.Inverted // may be pre-populated by the flat loader
+	pool sync.Pool           // recycles *hubsearch.Scratch
+}
+
+// ensure builds the inverted index exactly once, unless the flat
+// loader already attached a persisted one.
+func (st *searchState) ensure(build func() *hubsearch.Inverted) *hubsearch.Inverted {
+	st.once.Do(func() {
+		if st.inv == nil {
+			st.inv = build()
+		}
+	})
+	return st.inv
+}
+
+func (st *searchState) getScratch(n int) *hubsearch.Scratch {
+	sc, _ := st.pool.Get().(*hubsearch.Scratch)
+	if sc == nil || !sc.Fits(n) {
+		sc = hubsearch.NewScratch(n)
+	}
+	return sc
+}
+
+// finishNeighbors maps rank-space results to vertex IDs, orders them by
+// (distance, vertex) and, when limit > 0, trims to the limit — the
+// deterministic tie-break rule shared by every variant: ties at the
+// k-th distance resolve to the smallest vertex IDs.
+func finishNeighbors(perm []int32, res []hubsearch.Result, limit int) []Neighbor {
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{Vertex: perm[r.Rank], Distance: r.Dist}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// rankMembers validates and deduplicates a member list, returning the
+// members as ranks. Costs O(len(members)), not O(n) — set
+// registration must stay cheap on huge indexes.
+func rankMembers(n int, rank []int32, members []int32) ([]int32, error) {
+	seen := make(map[int32]struct{}, len(members))
+	out := make([]int32, 0, len(members))
+	for _, v := range members {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("core: set member %d out of range [0,%d)", v, n)
+		}
+		r := rank[v]
+		if _, dup := seen[r]; !dup {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Undirected (and frozen-dynamic) Index
+// ---------------------------------------------------------------------
+
+// invertedEmit replays the label entries (and bit-parallel rows) of the
+// given ranks — or of every vertex when ranks is nil — into add.
+func (ix *Index) invertedEmit(ranks []int32) func(add func(run, vertex int32, dist uint32)) {
+	return func(add func(run, vertex int32, dist uint32)) {
+		one := func(r int32) {
+			for i := ix.labelOff[r]; i < ix.labelOff[r+1]-1; i++ {
+				add(ix.labelVertex[i], r, uint32(ix.labelDist[i]))
+			}
+			o := int(r) * ix.numBP
+			for i := 0; i < ix.numBP; i++ {
+				if d := ix.bpDist[o+i]; d != InfDist {
+					add(int32(ix.n+i), r, uint32(d))
+				}
+			}
+		}
+		if ranks == nil {
+			for r := int32(0); int(r) < ix.n; r++ {
+				one(r)
+			}
+			return
+		}
+		for _, r := range ranks {
+			one(r)
+		}
+	}
+}
+
+// EnsureSearch returns the index's inverted label index, building and
+// caching it on first call. Safe for concurrent use.
+func (ix *Index) EnsureSearch() *hubsearch.Inverted {
+	return ix.search.ensure(func() *hubsearch.Inverted {
+		return hubsearch.Build(ix.n, ix.numBP, ix.bpS1, ix.bpS0, ix.invertedEmit(nil))
+	})
+}
+
+// searchSource expands s's label (and bit-parallel rows) into merge
+// runs plus the source-side masks for §5.3 corrections.
+func (ix *Index) searchSource(rs int32) (runs []hubsearch.Run, s1, s0 []uint64) {
+	lo, hi := ix.labelOff[rs], ix.labelOff[rs+1]-1
+	runs = make([]hubsearch.Run, 0, hi-lo+int64(ix.numBP))
+	for i := lo; i < hi; i++ {
+		runs = append(runs, hubsearch.Run{ID: ix.labelVertex[i], Base: int64(ix.labelDist[i])})
+	}
+	if ix.numBP > 0 {
+		o := int(rs) * ix.numBP
+		s1 = ix.bpS1[o : o+ix.numBP]
+		s0 = ix.bpS0[o : o+ix.numBP]
+		for i := 0; i < ix.numBP; i++ {
+			if d := ix.bpDist[o+i]; d != InfDist {
+				runs = append(runs, hubsearch.Run{ID: int32(ix.n + i), Base: int64(d)})
+			}
+		}
+	}
+	return runs, s1, s0
+}
+
+// KNN returns the k nearest vertices to s (s itself excluded), sorted
+// by (distance, vertex ID); ties at the cutoff resolve to the smallest
+// IDs. Fewer than k results mean fewer than k vertices are reachable.
+// Out-of-range vertices panic, mirroring Query. Safe for concurrent
+// use.
+func (ix *Index) KNN(s int32, k int) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	runs, s1, s0 := ix.searchSource(rs)
+	sc := ix.search.getScratch(ix.n)
+	res := inv.KNN(runs, rs, s1, s0, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k)
+}
+
+// SearchRange returns every vertex within distance radius of s (s
+// itself excluded), sorted by (distance, vertex ID). Safe for
+// concurrent use.
+func (ix *Index) SearchRange(s int32, radius int64) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	runs, s1, s0 := ix.searchSource(rs)
+	sc := ix.search.getScratch(ix.n)
+	res := inv.Range(runs, rs, s1, s0, radius, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, 0)
+}
+
+// NewVertexSet registers a subset of vertices (by ID) for NearestIn
+// queries, building its filtered inverted index.
+func (ix *Index) NewVertexSet(members []int32) (*VertexSet, error) {
+	ranks, err := rankMembers(ix.n, ix.rank, members)
+	if err != nil {
+		return nil, err
+	}
+	inv := hubsearch.BuildSubset(ix.n, ix.numBP, ix.bpS1, ix.bpS0, ix.invertedEmit(ranks))
+	return &VertexSet{owner: ix, inv: inv, size: len(ranks)}, nil
+}
+
+// KNNIn returns the k members of set nearest to s (s itself excluded
+// if a member), with the KNN ordering contract. The set must have been
+// registered on this index.
+func (ix *Index) KNNIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if set == nil || set.owner != any(ix) {
+		return nil, ErrForeignSet
+	}
+	rs := ix.rank[s]
+	runs, s1, s0 := ix.searchSource(rs)
+	sc := ix.search.getScratch(ix.n)
+	res := set.inv.KNN(runs, rs, s1, s0, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k), nil
+}
+
+// ---------------------------------------------------------------------
+// DirectedIndex: forward search (distances s -> v) by inverting L_IN
+// and merging from L_OUT(s).
+// ---------------------------------------------------------------------
+
+func (ix *DirectedIndex) invertedEmit(ranks []int32) func(add func(run, vertex int32, dist uint32)) {
+	return func(add func(run, vertex int32, dist uint32)) {
+		one := func(r int32) {
+			for i := ix.inOff[r]; i < ix.inOff[r+1]-1; i++ {
+				add(ix.inVertex[i], r, uint32(ix.inDist[i]))
+			}
+		}
+		if ranks == nil {
+			for r := int32(0); int(r) < ix.n; r++ {
+				one(r)
+			}
+			return
+		}
+		for _, r := range ranks {
+			one(r)
+		}
+	}
+}
+
+// EnsureSearch returns the inverted L_IN index behind forward search
+// queries, building and caching it on first call.
+func (ix *DirectedIndex) EnsureSearch() *hubsearch.Inverted {
+	return ix.search.ensure(func() *hubsearch.Inverted {
+		return hubsearch.Build(ix.n, 0, nil, nil, ix.invertedEmit(nil))
+	})
+}
+
+func (ix *DirectedIndex) searchSource(rs int32) []hubsearch.Run {
+	lo, hi := ix.outOff[rs], ix.outOff[rs+1]-1
+	runs := make([]hubsearch.Run, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		runs = append(runs, hubsearch.Run{ID: ix.outVertex[i], Base: int64(ix.outDist[i])})
+	}
+	return runs
+}
+
+// KNN returns the k vertices nearest to s by directed distance
+// d(s, v), with the KNN ordering contract of the undirected variant.
+func (ix *DirectedIndex) KNN(s int32, k int) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := inv.KNN(ix.searchSource(rs), rs, nil, nil, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k)
+}
+
+// SearchRange returns every vertex v with d(s, v) <= radius, sorted by
+// (distance, vertex ID).
+func (ix *DirectedIndex) SearchRange(s int32, radius int64) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := inv.Range(ix.searchSource(rs), rs, nil, nil, radius, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, 0)
+}
+
+// NewVertexSet registers a subset for directed NearestIn queries.
+func (ix *DirectedIndex) NewVertexSet(members []int32) (*VertexSet, error) {
+	ranks, err := rankMembers(ix.n, ix.rank, members)
+	if err != nil {
+		return nil, err
+	}
+	inv := hubsearch.BuildSubset(ix.n, 0, nil, nil, ix.invertedEmit(ranks))
+	return &VertexSet{owner: ix, inv: inv, size: len(ranks)}, nil
+}
+
+// KNNIn returns the k members of set nearest to s by directed
+// distance.
+func (ix *DirectedIndex) KNNIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if set == nil || set.owner != any(ix) {
+		return nil, ErrForeignSet
+	}
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := set.inv.KNN(ix.searchSource(rs), rs, nil, nil, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k), nil
+}
+
+// ---------------------------------------------------------------------
+// WeightedIndex
+// ---------------------------------------------------------------------
+
+func (ix *WeightedIndex) invertedEmit(ranks []int32) func(add func(run, vertex int32, dist uint32)) {
+	return func(add func(run, vertex int32, dist uint32)) {
+		one := func(r int32) {
+			for i := ix.labelOff[r]; i < ix.labelOff[r+1]-1; i++ {
+				add(ix.labelVertex[i], r, ix.labelDist[i])
+			}
+		}
+		if ranks == nil {
+			for r := int32(0); int(r) < ix.n; r++ {
+				one(r)
+			}
+			return
+		}
+		for _, r := range ranks {
+			one(r)
+		}
+	}
+}
+
+// EnsureSearch returns the inverted label index, building and caching
+// it on first call.
+func (ix *WeightedIndex) EnsureSearch() *hubsearch.Inverted {
+	return ix.search.ensure(func() *hubsearch.Inverted {
+		return hubsearch.Build(ix.n, 0, nil, nil, ix.invertedEmit(nil))
+	})
+}
+
+func (ix *WeightedIndex) searchSource(rs int32) []hubsearch.Run {
+	lo, hi := ix.labelOff[rs], ix.labelOff[rs+1]-1
+	runs := make([]hubsearch.Run, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		runs = append(runs, hubsearch.Run{ID: ix.labelVertex[i], Base: int64(ix.labelDist[i])})
+	}
+	return runs
+}
+
+// KNN returns the k nearest vertices to s by summed edge weight, with
+// the KNN ordering contract of the undirected variant.
+func (ix *WeightedIndex) KNN(s int32, k int) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := inv.KNN(ix.searchSource(rs), rs, nil, nil, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k)
+}
+
+// SearchRange returns every vertex within weighted distance radius of
+// s, sorted by (distance, vertex ID).
+func (ix *WeightedIndex) SearchRange(s int32, radius int64) []Neighbor {
+	inv := ix.EnsureSearch()
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := inv.Range(ix.searchSource(rs), rs, nil, nil, radius, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, 0)
+}
+
+// NewVertexSet registers a subset for weighted NearestIn queries.
+func (ix *WeightedIndex) NewVertexSet(members []int32) (*VertexSet, error) {
+	ranks, err := rankMembers(ix.n, ix.rank, members)
+	if err != nil {
+		return nil, err
+	}
+	inv := hubsearch.BuildSubset(ix.n, 0, nil, nil, ix.invertedEmit(ranks))
+	return &VertexSet{owner: ix, inv: inv, size: len(ranks)}, nil
+}
+
+// KNNIn returns the k members of set nearest to s by weighted
+// distance.
+func (ix *WeightedIndex) KNNIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if set == nil || set.owner != any(ix) {
+		return nil, ErrForeignSet
+	}
+	rs := ix.rank[s]
+	sc := ix.search.getScratch(ix.n)
+	res := set.inv.KNN(ix.searchSource(rs), rs, nil, nil, k, sc)
+	ix.search.pool.Put(sc)
+	return finishNeighbors(ix.perm, res, k), nil
+}
+
+// ---------------------------------------------------------------------
+// Hub-occupancy statistics
+// ---------------------------------------------------------------------
+
+// applyHubStats fills the hub-occupancy Stats fields from one or more
+// label-hub arrays (sentinel entries, which store n, fall outside the
+// counted range and are skipped automatically).
+func applyHubStats(st *Stats, n int, families ...[]int32) {
+	if n == 0 {
+		return
+	}
+	counts := make([]int32, n)
+	for _, f := range families {
+		for _, h := range f {
+			if int(h) < n && h >= 0 {
+				counts[h]++
+			}
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		st.DistinctHubs++
+		total += int64(c)
+		if int(c) > st.MaxHubLoad {
+			st.MaxHubLoad = int(c)
+		}
+	}
+	if st.DistinctHubs > 0 {
+		st.AvgHubLoad = float64(total) / float64(st.DistinctHubs)
+	}
+}

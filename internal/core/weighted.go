@@ -31,7 +31,8 @@ type WeightedIndex struct {
 	labelDist   []uint32
 	labelParent []int32 // optional Dijkstra-tree parents (ranks); nil unless StorePaths
 
-	batchPool sync.Pool // recycles *rankScratch32 for DistanceFrom
+	batchPool sync.Pool   // recycles *rankScratch32 for DistanceFrom
+	search    searchState // lazily built hub-inverted index (search.go)
 }
 
 // WeightedOptions configures BuildWeighted.
@@ -404,6 +405,7 @@ func (ix *WeightedIndex) ComputeStats() Stats {
 		st.AvgLabelSize = float64(st.TotalLabelEntries) / float64(ix.n)
 	}
 	insertionSortQuantiles(sizes, &st.LabelSizeQuantiles)
+	applyHubStats(&st, ix.n, ix.labelVertex)
 	st.NormalLabelBytes = int64(len(ix.labelVertex))*4 + int64(len(ix.labelDist))*4
 	if ix.labelParent != nil {
 		st.NormalLabelBytes += int64(len(ix.labelParent)) * 4

@@ -1,0 +1,412 @@
+package hubsearch
+
+// Query engines over an Inverted index. Both KNN and Range merge the
+// inverted runs of the source's hubs in increasing raw key order, where
+// the raw key of an entry (v, d) in run h is base(h) + d — for normal
+// hubs exactly the two-hop distance bound d(s,h)+d(h,v), for a
+// bit-parallel root the uncorrected sum, which the §5.3 mask
+// corrections may lower by one or two. The engines therefore treat raw
+// keys as exact when no bit-parallel runs exist (slack 0) and as
+// 2-overestimates otherwise (slack 2): a candidate's tentative distance
+// is final once the smallest raw key still in the merge cannot produce
+// anything smaller.
+//
+// All inputs and outputs are in rank space. The source vertex itself is
+// never reported.
+
+// Run is one merge input: the inverted run of a source hub (ID < N,
+// Base = d(s, hub)) or of a bit-parallel root (ID = N+i, Base = the
+// root's distance from the source).
+type Run struct {
+	ID   int32
+	Base int64
+}
+
+// Result is one search answer in rank space.
+type Result struct {
+	Rank int32
+	Dist int64
+}
+
+// candidate states in Scratch.state.
+const (
+	stateNew       uint8 = 0
+	statePending   uint8 = 1
+	stateFinalized uint8 = 2
+)
+
+// Scratch is the reusable per-query workspace: O(n) arrays reset via
+// the touched list, so a pooled Scratch makes steady-state queries
+// allocation-light. A Scratch serves one query at a time; pool them for
+// concurrent use.
+type Scratch struct {
+	best    []int64 // tentative distance per rank; valid when state != stateNew
+	state   []uint8
+	touched []int32
+
+	runs cursorHeap
+	pend pendHeap
+	topk topkHeap
+}
+
+// NewScratch allocates a workspace for indexes of n vertices.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		best:  make([]int64, n),
+		state: make([]uint8, n),
+	}
+}
+
+// Fits reports whether the scratch is large enough for an index of n
+// vertices (pools share scratches across same-sized indexes).
+func (sc *Scratch) Fits(n int) bool { return len(sc.state) >= n }
+
+func (sc *Scratch) reset() {
+	for _, v := range sc.touched {
+		sc.state[v] = stateNew
+	}
+	sc.touched = sc.touched[:0]
+	sc.runs = sc.runs[:0]
+	sc.pend = sc.pend[:0]
+	sc.topk = sc.topk[:0]
+}
+
+// cursor walks one inverted run; key is Base + Dist[pos].
+type cursor struct {
+	key  int64
+	pos  int64
+	end  int64
+	base int64
+	bp   int32 // bit-parallel root index, -1 for normal runs
+}
+
+// cursorHeap is a hand-rolled min-heap over run cursors by key.
+type cursorHeap []cursor
+
+func (h *cursorHeap) push(c cursor) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].key <= (*h)[i].key {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *cursorHeap) pop() cursor {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown()
+	return top
+}
+
+func (h cursorHeap) siftDown() {
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].key < h[l].key {
+			m = r
+		}
+		if h[i].key <= h[m].key {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pendEntry is a tentative candidate awaiting finalization.
+type pendEntry struct {
+	dist int64
+	rank int32
+}
+
+// pendHeap is a min-heap by dist with lazy deletion: stale entries
+// (superseded by a smaller tentative distance, or already finalized)
+// are skipped at pop time.
+type pendHeap []pendEntry
+
+func (h *pendHeap) push(e pendEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *pendHeap) pop() pendEntry {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && old[r].dist < old[l].dist {
+			m = r
+		}
+		if old[i].dist <= old[m].dist {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+// topkHeap is a size-capped max-heap of first-sighting distances. Its
+// root, once the heap holds k entries, upper-bounds the k-th smallest
+// final distance (first sightings only overestimate), which is the
+// bound behind run pruning.
+type topkHeap []int64
+
+func (h *topkHeap) offer(d int64, k int) {
+	if len(*h) < k {
+		*h = append(*h, d)
+		i := len(*h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if (*h)[p] >= (*h)[i] {
+				break
+			}
+			(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+			i = p
+		}
+		return
+	}
+	if d >= (*h)[0] {
+		return
+	}
+	(*h)[0] = d
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(*h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(*h) && (*h)[r] > (*h)[l] {
+			m = r
+		}
+		if (*h)[i] >= (*h)[m] {
+			return
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+}
+
+// slack is how far a raw merge key may overestimate the corrected
+// distance: 2 when bit-parallel runs can apply mask corrections.
+func (inv *Inverted) slack() int64 {
+	if inv.NumBP > 0 {
+		return 2
+	}
+	return 0
+}
+
+// seed pushes every non-empty source run onto the cursor heap. On a
+// compact (subset) inversion, source hubs absent from the subset's
+// labels simply have no run.
+func (inv *Inverted) seed(sc *Scratch, src []Run) {
+	for _, r := range src {
+		slot := r.ID
+		if inv.RunIndex != nil {
+			var ok bool
+			if slot, ok = inv.RunIndex[r.ID]; !ok {
+				continue
+			}
+		}
+		lo, hi := inv.Off[slot], inv.Off[slot+1]
+		if lo == hi {
+			continue
+		}
+		bp := int32(-1)
+		if int(r.ID) >= inv.N {
+			bp = r.ID - int32(inv.N)
+		}
+		sc.runs.push(cursor{
+			key:  r.Base + int64(inv.Dist[lo]),
+			pos:  lo,
+			end:  hi,
+			base: r.Base,
+			bp:   bp,
+		})
+	}
+}
+
+// corrected applies the §5.3 mask correction of bit-parallel root bp to
+// the raw key of candidate v; srcS1/srcS0 are the source's masks.
+func (inv *Inverted) corrected(key int64, bp, v int32, srcS1, srcS0 []uint64) int64 {
+	if bp < 0 {
+		return key
+	}
+	o := int(v)*inv.NumBP + int(bp)
+	s1v, s0v := inv.BPS1[o], inv.BPS0[o]
+	if srcS1[bp]&s1v != 0 {
+		return key - 2
+	}
+	if srcS1[bp]&s0v != 0 || srcS0[bp]&s1v != 0 {
+		return key - 1
+	}
+	return key
+}
+
+// KNN returns every candidate whose exact distance from the source is
+// at most the k-th smallest (so ties at the cutoff are all included),
+// in non-decreasing distance order with ties unordered; the caller
+// applies its own tie-break and trims to k. src holds the source's
+// label runs, srcRank its own rank (excluded from results), and
+// srcS1/srcS0 its bit-parallel masks (nil when NumBP is 0).
+func (inv *Inverted) KNN(src []Run, srcRank int32, srcS1, srcS0 []uint64, k int, sc *Scratch) []Result {
+	if k <= 0 {
+		return nil
+	}
+	defer sc.reset()
+	inv.seed(sc, src)
+	slack := inv.slack()
+	var out []Result
+
+	for len(sc.runs) > 0 {
+		r := sc.runs[0].key
+		// Finalize pending candidates nothing in the merge can improve:
+		// every future corrected distance is at least r - slack.
+		for len(sc.pend) > 0 && sc.pend[0].dist+slack <= r {
+			e := sc.pend.pop()
+			if sc.state[e.rank] != statePending || sc.best[e.rank] != e.dist {
+				continue // stale: superseded or already finalized
+			}
+			sc.state[e.rank] = stateFinalized
+			out = append(out, Result{Rank: e.rank, Dist: e.dist})
+		}
+		if len(out) >= k && r-slack > out[k-1].Dist {
+			return out // every candidate at or under the cutoff is final
+		}
+		// Run-level pruning: once k candidates are known, a run whose
+		// current key cannot beat the k-th first-sighting bound is dead —
+		// keys only grow within a run.
+		if len(sc.topk) >= k && r-slack > sc.topk[0] {
+			sc.runs.pop()
+			continue
+		}
+		v := inv.Vertex[sc.runs[0].pos]
+		bp := sc.runs[0].bp
+		// The in-range guard keeps a corrupt persisted section (mmap
+		// Open trusts entry contents, like the label arrays) degrading
+		// to wrong answers instead of an index-out-of-range panic.
+		if uint32(v) < uint32(inv.N) && v != srcRank && sc.state[v] != stateFinalized {
+			d := inv.corrected(r, bp, v, srcS1, srcS0)
+			switch {
+			case sc.state[v] == stateNew:
+				sc.state[v] = statePending
+				sc.touched = append(sc.touched, v)
+				sc.best[v] = d
+				sc.pend.push(pendEntry{dist: d, rank: v})
+				sc.topk.offer(d, k)
+			case d < sc.best[v]:
+				sc.best[v] = d
+				sc.pend.push(pendEntry{dist: d, rank: v})
+			}
+		}
+		// Advance the run in place and restore the heap order.
+		c := &sc.runs[0]
+		c.pos++
+		if c.pos == c.end {
+			sc.runs.pop()
+		} else {
+			c.key = c.base + int64(inv.Dist[c.pos])
+			sc.runs.siftDown()
+		}
+	}
+	// Merge exhausted: drain the pending heap in distance order.
+	for len(sc.pend) > 0 {
+		e := sc.pend.pop()
+		if sc.state[e.rank] != statePending || sc.best[e.rank] != e.dist {
+			continue
+		}
+		sc.state[e.rank] = stateFinalized
+		out = append(out, Result{Rank: e.rank, Dist: e.dist})
+		if len(out) >= k {
+			cut := out[k-1].Dist
+			// Keep draining only while ties at the cutoff remain.
+			for len(sc.pend) > 0 && sc.pend[0].dist <= cut {
+				e := sc.pend.pop()
+				if sc.state[e.rank] != statePending || sc.best[e.rank] != e.dist {
+					continue
+				}
+				sc.state[e.rank] = stateFinalized
+				out = append(out, Result{Rank: e.rank, Dist: e.dist})
+			}
+			break
+		}
+	}
+	return out
+}
+
+// Range returns every vertex within distance radius of the source
+// (source excluded), in no particular order; the caller sorts. The
+// merge visits only entries whose raw key can still land within the
+// radius, cutting each dist-sorted run at its first out-of-range
+// entry.
+func (inv *Inverted) Range(src []Run, srcRank int32, srcS1, srcS0 []uint64, radius int64, sc *Scratch) []Result {
+	if radius < 0 {
+		return nil
+	}
+	defer sc.reset()
+	inv.seed(sc, src)
+	slack := inv.slack()
+
+	for len(sc.runs) > 0 {
+		if sc.runs[0].key-slack > radius {
+			break // smallest raw key already out of reach
+		}
+		v := inv.Vertex[sc.runs[0].pos]
+		bp := sc.runs[0].bp
+		if uint32(v) < uint32(inv.N) && v != srcRank { // in-range guard: see KNN
+
+			d := inv.corrected(sc.runs[0].key, bp, v, srcS1, srcS0)
+			if d <= radius {
+				if sc.state[v] == stateNew {
+					sc.state[v] = statePending
+					sc.touched = append(sc.touched, v)
+					sc.best[v] = d
+				} else if d < sc.best[v] {
+					sc.best[v] = d
+				}
+			}
+		}
+		c := &sc.runs[0]
+		c.pos++
+		if c.pos == c.end {
+			sc.runs.pop()
+		} else {
+			c.key = c.base + int64(inv.Dist[c.pos])
+			sc.runs.siftDown()
+		}
+	}
+	out := make([]Result, 0, len(sc.touched))
+	for _, v := range sc.touched {
+		out = append(out, Result{Rank: v, Dist: sc.best[v]})
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package server
+
+// Search endpoints over the Searcher capability: /knn, /range and
+// /nearest answer neighborhood queries straight from the served
+// index's inverted labels. Every fan-out knob a client controls — k,
+// the range result count, the POI set size — is capped by
+// Config.MaxBatch, and /nearest bodies by Config.MaxBody, so hostile
+// requests fail fast with a 4xx instead of forcing unbounded work.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pll/pll"
+)
+
+// queryInt32 parses one required int32 query parameter.
+func queryInt32(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return int32(v), nil
+}
+
+// queryInt64 parses one required int64 query parameter (weighted radii
+// can exceed int32).
+func queryInt64(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// checkFanout bounds a client-controlled count by MaxBatch.
+func (s *Server) checkFanout(w http.ResponseWriter, name string, v int) bool {
+	if v < 1 || v > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "%s=%d outside [1,%d]", name, v, s.cfg.MaxBatch)
+		return false
+	}
+	return true
+}
+
+// searchView runs f against the current snapshot's Searcher, mapping
+// the standard failure modes: 400 for bad vertices or sets, 409 when
+// the served index cannot search (a live dynamic index).
+func (s *Server) searchView(w http.ResponseWriter, src int32, f func(sr pll.Searcher) error) bool {
+	var badInput bool
+	err := s.oracle.View(func(o pll.Oracle) error {
+		if err := pll.Validate(o, src); err != nil {
+			badInput = true
+			return err
+		}
+		sr, ok := o.(pll.Searcher)
+		if !ok {
+			return pll.ErrNoSearch
+		}
+		return f(sr)
+	})
+	switch {
+	case err == nil:
+		s.searches.Add(1)
+		return true
+	case badInput:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, pll.ErrNoSearch):
+		// Deliberately no Stats() call here: naming the variant would
+		// scan the whole index under the dynamic read lock on every
+		// rejected request.
+		writeError(w, http.StatusConflict, "served index does not support search queries (a live dynamic index cannot be inverted; serve a frozen snapshot)")
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	return false
+}
+
+// neighborsOrEmpty keeps "neighbors" a JSON array even with no hits.
+func neighborsOrEmpty(ns []pll.Neighbor) []pll.Neighbor {
+	if ns == nil {
+		return []pll.Neighbor{}
+	}
+	return ns
+}
+
+// handleKNN answers GET /knn?s=V&k=N: the k nearest vertices to s,
+// sorted by (distance, vertex), ties at the cutoff resolved to the
+// smallest IDs.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	sv, err := queryInt32(r, "s")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := queryInt32(r, "k")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkFanout(w, "k", int(k)) {
+		return
+	}
+	var res []pll.Neighbor
+	if !s.searchView(w, sv, func(sr pll.Searcher) error {
+		var err error
+		res, err = sr.KNN(sv, int(k))
+		return err
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"s":         sv,
+		"k":         k,
+		"count":     len(res),
+		"neighbors": neighborsOrEmpty(res),
+	})
+}
+
+// handleRange answers GET /range?s=V&r=D[&limit=N]: every vertex
+// within distance r of s, nearest first, truncated to limit (default
+// and maximum: MaxBatch) with a "truncated" marker.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	sv, err := queryInt32(r, "s")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := queryInt64(r, "r")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if radius < 0 {
+		writeError(w, http.StatusBadRequest, "r=%d must be non-negative", radius)
+		return
+	}
+	limit := s.cfg.MaxBatch
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		if !s.checkFanout(w, "limit", v) {
+			return
+		}
+		limit = v
+	}
+	// Answer through KNN(limit+1) rather than Range: results sort by
+	// (distance, vertex), so the within-radius vertices are exactly a
+	// prefix — cutting at the radius yields the first `limit` of the
+	// full range answer plus an exact truncation marker, while the
+	// top-k pruning keeps the work bounded by the limit instead of by
+	// however many vertices a hostile radius covers.
+	var res []pll.Neighbor
+	if !s.searchView(w, sv, func(sr pll.Searcher) error {
+		got, err := sr.KNN(sv, limit+1)
+		if err != nil {
+			return err
+		}
+		for _, nb := range got {
+			if nb.Distance > radius {
+				break
+			}
+			res = append(res, nb)
+		}
+		return nil
+	}) {
+		return
+	}
+	truncated := false
+	if len(res) > limit {
+		res = res[:limit]
+		truncated = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"s":         sv,
+		"radius":    radius,
+		"count":     len(res),
+		"truncated": truncated,
+		"neighbors": neighborsOrEmpty(res),
+	})
+}
+
+// nearestRequest asks for the k members of a vertex set nearest to
+// source: POST /nearest {"source": 0, "set": [3, 17, 29], "k": 2}.
+// The set is registered per request against the current snapshot;
+// clients with a stable POI list and an embedded oracle should
+// register once with NewVertexSet instead.
+type nearestRequest struct {
+	Source int32   `json:"source"`
+	Set    []int32 `json:"set"`
+	K      int     `json:"k"`
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	var req nearestRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Set) == 0 {
+		writeError(w, http.StatusBadRequest, `nearest body needs a non-empty "set"`)
+		return
+	}
+	if !s.checkFanout(w, "set size", len(req.Set)) || !s.checkFanout(w, "k", req.K) {
+		return
+	}
+	var res []pll.Neighbor
+	var size int
+	if !s.searchView(w, req.Source, func(sr pll.Searcher) error {
+		set, err := sr.NewVertexSet(req.Set)
+		if err != nil {
+			return err
+		}
+		size = set.Size()
+		res, err = sr.NearestIn(req.Source, set, req.K)
+		return err
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"source":    req.Source,
+		"k":         req.K,
+		"set_size":  size,
+		"count":     len(res),
+		"neighbors": neighborsOrEmpty(res),
+	})
+}

@@ -21,8 +21,14 @@ type Config struct {
 	// CacheSize bounds the sharded distance cache in entries; 0
 	// disables caching.
 	CacheSize int
-	// MaxBatch caps pairs per /batch request (default 4096).
+	// MaxBatch caps the fan-out of one request: pairs per /batch, k per
+	// /knn and /nearest, members per /nearest set, results per /range
+	// (default 4096). Requests over the cap are rejected up front, so a
+	// hostile payload cannot force an unbounded allocation or scan.
 	MaxBatch int
+	// MaxBody caps the request body in bytes for every POST endpoint
+	// (default 1 MiB). Oversized bodies get 413 without being read.
+	MaxBody int64
 	// CloseGrace is the delay before a reload starts closing a
 	// swapped-out resource-backed oracle (pll.Closer, e.g. a memory-
 	// mapped pll.FlatIndex). Closing additionally waits for every HTTP
@@ -32,7 +38,10 @@ type Config struct {
 	CloseGrace time.Duration
 }
 
-const defaultMaxBatch = 4096
+const (
+	defaultMaxBatch = 4096
+	defaultMaxBody  = 1 << 20
+)
 
 // Server serves one ConcurrentOracle over HTTP. All handlers answer
 // JSON; errors arrive as {"error": "..."} with a matching status code.
@@ -53,6 +62,7 @@ type Server struct {
 
 	queries    atomic.Int64 // /distance + /path answers
 	batchPairs atomic.Int64 // pairs answered through /batch
+	searches   atomic.Int64 // /knn + /range + /nearest answers
 	updates    atomic.Int64 // edges inserted through /update
 	reloads    atomic.Int64 // successful index swaps
 }
@@ -62,6 +72,9 @@ type Server struct {
 func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = defaultMaxBody
 	}
 	s := &Server{
 		oracle: o,
@@ -78,6 +91,9 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
+	s.mux.HandleFunc("GET /knn", s.handleKNN)
+	s.mux.HandleFunc("GET /range", s.handleRange)
+	s.mux.HandleFunc("POST /nearest", s.handleNearest)
 	return s
 }
 
@@ -104,6 +120,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody reads a JSON request body under the configured size cap,
+// writing the error response itself when the body is oversized (413)
+// or malformed (400). A hostile Content-Length or an endless stream
+// can therefore never force an unbounded read or allocation.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the %d-byte limit", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		}
+		return false
+	}
+	return true
 }
 
 // queryPair parses the s and t query parameters as int32 vertex IDs.
@@ -224,8 +258,7 @@ type batchRequest struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	switch {
@@ -294,11 +327,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_label_size":     st.MaxLabelSize,
 			"index_bytes":        st.IndexBytes,
 			"has_paths":          st.HasParentPointers,
+			"distinct_hubs":      st.DistinctHubs,
+			"max_hub_load":       st.MaxHubLoad,
+			"avg_hub_load":       st.AvgHubLoad,
 		},
 		"server": map[string]any{
 			"uptime_seconds": time.Since(s.start).Seconds(),
 			"queries":        s.queries.Load(),
 			"batch_pairs":    s.batchPairs.Load(),
+			"searches":       s.searches.Load(),
 			"updates":        s.updates.Load(),
 			"reloads":        s.reloads.Load(),
 			"generation":     s.oracle.Generation(),
@@ -320,8 +357,7 @@ type updateRequest struct {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Edges) == 0 {
@@ -384,8 +420,7 @@ type reloadRequest struct {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req reloadRequest
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 	}

@@ -103,6 +103,23 @@ func fuzzCorpus(f *testing.F) [][]byte {
 	add(marshalFlat(pll.BuildDirected(dg)))
 	add(marshalFlat(pll.BuildWeighted(wg)))
 	add(marshalFlat(pll.Oracle(di), nil))
+
+	// Flat containers carrying the persisted hub-inverted search
+	// sections: the secInv* parsing and validation paths must reject
+	// truncated or misaligned mutants with ErrBadIndexFile.
+	marshalSearch := func(o pll.Oracle, err error) ([]byte, error) {
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if _, err := pll.WriteFlat(&buf, o, pll.FlatSearch()); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	add(marshalSearch(pll.BuildIndex(g, pll.WithBitParallel(2))))
+	add(marshalSearch(pll.BuildDirected(dg)))
+	add(marshalSearch(pll.BuildWeighted(wg)))
 	return out
 }
 

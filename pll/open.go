@@ -99,28 +99,38 @@ func (fi *FlatIndex) ZeroCopy() bool { return fi.store.ZeroCopy() }
 // queried afterwards.
 func (fi *FlatIndex) Close() error { return fi.store.Close() }
 
+// FlatOption configures WriteFlat and WriteFlatFile.
+type FlatOption = core.FlatOption
+
+// FlatSearch makes WriteFlat persist the hub-inverted search index
+// (see Searcher) as optional aligned sections, so Open serves
+// KNN/Range/NearestIn zero-copy with no lazy build. The inversion is
+// computed first if the oracle has not searched yet; containers grow
+// by roughly one (int32, uint32) pair per label entry.
+func FlatSearch() FlatOption { return core.FlatSearch() }
+
 // WriteFlat serializes any oracle as a flat (version-2) container that
 // Open can serve zero-copy. Dynamic indexes are frozen first (like
 // WriteTo); a ConcurrentOracle writes its current snapshot. Directed
 // and weighted indexes built WithPaths cannot be serialized, matching
-// WriteTo.
-func WriteFlat(w io.Writer, o Oracle) (int64, error) {
+// WriteTo. Pass FlatSearch() to persist the search inversion too.
+func WriteFlat(w io.Writer, o Oracle, opts ...FlatOption) (int64, error) {
 	switch ix := o.(type) {
 	case *Index:
-		return ix.ix.WriteFlat(w)
+		return ix.ix.WriteFlat(w, opts...)
 	case *DirectedIndex:
-		return ix.ix.WriteFlat(w)
+		return ix.ix.WriteFlat(w, opts...)
 	case *WeightedIndex:
-		return ix.ix.WriteFlat(w)
+		return ix.ix.WriteFlat(w, opts...)
 	case *DynamicIndex:
-		return ix.di.WriteFlat(w)
+		return ix.di.WriteFlat(w, opts...)
 	case *FlatIndex:
-		return WriteFlat(w, ix.o)
+		return WriteFlat(w, ix.o, opts...)
 	case *ConcurrentOracle:
 		var n int64
 		err := ix.View(func(inner Oracle) error {
 			var werr error
-			n, werr = WriteFlat(w, inner)
+			n, werr = WriteFlat(w, inner, opts...)
 			return werr
 		})
 		return n, err
@@ -130,6 +140,6 @@ func WriteFlat(w io.Writer, o Oracle) (int64, error) {
 
 // WriteFlatFile writes o to path as a flat container, atomically and
 // durably (temp file, fsync, rename) like WriteFile.
-func WriteFlatFile(path string, o Oracle) error {
-	return writeFileWith(path, func(w io.Writer) (int64, error) { return WriteFlat(w, o) })
+func WriteFlatFile(path string, o Oracle, opts ...FlatOption) error {
+	return writeFileWith(path, func(w io.Writer) (int64, error) { return WriteFlat(w, o, opts...) })
 }

@@ -25,10 +25,12 @@ import (
 //
 // Beyond this minimal contract, oracles advertise optional capabilities
 // through type-assertion — Batcher for amortized single-source batch
-// queries (implemented by every variant) and Closer for resource-backed
-// oracles such as the memory-mapped *FlatIndex. Probe for them instead
-// of switching on concrete types; see the Batcher documentation for the
-// pattern.
+// queries (implemented by every variant), Searcher for exact kNN /
+// range / nearest-in-subset queries over the inverted labels
+// (implemented by every immutable variant), and Closer for
+// resource-backed oracles such as the memory-mapped *FlatIndex. Probe
+// for them instead of switching on concrete types; see the Batcher
+// documentation for the pattern.
 //
 // Concurrency contract: the static variants (*Index, *DirectedIndex,
 // *WeightedIndex, and frozen dynamic snapshots) are immutable after

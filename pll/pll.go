@@ -40,7 +40,9 @@
 //
 // Optional query surfaces are capability interfaces discovered by
 // type-assertion: Batcher (amortized single-source batch distances,
-// implemented by every variant) and Closer (resource-backed oracles).
+// implemented by every variant), Searcher (exact kNN, range and
+// nearest-in-subset queries over the inverted labels, implemented by
+// every immutable variant) and Closer (resource-backed oracles).
 package pll
 
 import (

@@ -1,0 +1,328 @@
+package pll
+
+// Search capability: neighborhood queries served straight from the
+// 2-hop labels. Inverting the pruned-landmark labels (hub -> the
+// dist-sorted vertices carrying it) turns the distance oracle into a
+// search structure that answers "k nearest vertices to s", "everything
+// within distance r of s" and "nearest members of a registered subset"
+// without touching the graph — the workloads behind social search,
+// nearest-POI lookup and local centrality.
+//
+// Like Batcher, the capability is discovered by type-assertion:
+//
+//	if sr, ok := o.(pll.Searcher); ok {
+//		nearest, _ := sr.KNN(src, 10)
+//	}
+//
+// *Index, *DirectedIndex, *WeightedIndex, *FlatIndex and
+// *ConcurrentOracle implement Searcher. *DynamicIndex does not (edge
+// insertions would invalidate the inversion); a ConcurrentOracle
+// wrapping one reports ErrNoSearch. The first search query on an index
+// builds and caches the inverted index — O(total label size) plus
+// per-hub sorting — unless the index was Opened from a flat container
+// written with FlatSearch, which memory-maps a persisted inversion and
+// starts cold in O(1).
+
+import (
+	"errors"
+
+	"pll/internal/core"
+)
+
+// Neighbor is one search answer: a vertex and its exact distance from
+// the query source.
+type Neighbor = core.Neighbor
+
+// ErrNoSearch is returned by search queries on oracles without the
+// search capability (a ConcurrentOracle wrapping a *DynamicIndex).
+var ErrNoSearch = errors.New("pll: oracle does not support search queries")
+
+// ErrForeignSet is returned by NearestIn when the set was registered
+// on a different oracle (or is nil).
+var ErrForeignSet = core.ErrForeignSet
+
+// Searcher answers exact neighborhood queries over the labels. All
+// three queries exclude the source vertex itself, order results by
+// (distance, vertex ID), and resolve ties at a k-cutoff to the
+// smallest vertex IDs — so answers are deterministic and identical
+// across heap-loaded, memory-mapped and hot-swapped servings of the
+// same index. Implementations are safe for concurrent use.
+type Searcher interface {
+	// KNN returns the (up to) k nearest vertices to s. Fewer than k
+	// results mean fewer than k vertices are reachable from s.
+	KNN(s int32, k int) ([]Neighbor, error)
+	// Range returns every vertex within distance radius of s. A
+	// negative radius yields no results.
+	Range(s int32, radius int64) ([]Neighbor, error)
+	// NearestIn returns the (up to) k members of set nearest to s. The
+	// set must have been registered on this oracle with NewVertexSet.
+	NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error)
+	// NewVertexSet registers a vertex subset (the "POI" list) for
+	// NearestIn queries, building a filtered inverted index over just
+	// the members' labels — registration costs O(total label mass of
+	// the members), after which NearestIn is as cheap as a kNN over an
+	// index containing only the subset.
+	NewVertexSet(members []int32) (*VertexSet, error)
+}
+
+// VertexSet is a registered vertex subset with its own filtered
+// inverted index. It is immutable, safe for concurrent use, and valid
+// only with the oracle that created it (a ConcurrentOracle set dies
+// with the snapshot it was registered on — re-register after Swap or
+// a server reload).
+type VertexSet struct {
+	set  *core.VertexSet
+	snap Oracle // the snapshot a ConcurrentOracle registered on, else nil
+}
+
+// Size returns the number of distinct vertices in the set.
+func (vs *VertexSet) Size() int { return vs.set.Size() }
+
+// checkSource validates the query source against an oracle.
+func checkSource(o Oracle, s int32) error { return Validate(o, s) }
+
+// ---------------------------------------------------------------------
+// Undirected Index
+// ---------------------------------------------------------------------
+
+// KNN returns the k nearest vertices to s (see Searcher).
+func (ix *Index) KNN(s int32, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNN(s, k), nil
+}
+
+// Range returns every vertex within distance radius of s (see
+// Searcher).
+func (ix *Index) Range(s int32, radius int64) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.SearchRange(s, radius), nil
+}
+
+// NearestIn returns the k members of set nearest to s (see Searcher).
+func (ix *Index) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, ErrForeignSet
+	}
+	return ix.ix.KNNIn(s, set.set, k)
+}
+
+// NewVertexSet registers a vertex subset for NearestIn queries (see
+// Searcher).
+func (ix *Index) NewVertexSet(members []int32) (*VertexSet, error) {
+	set, err := ix.ix.NewVertexSet(members)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexSet{set: set}, nil
+}
+
+// ---------------------------------------------------------------------
+// DirectedIndex: queries rank candidates by the directed distance
+// d(s, v) — "which vertices does s reach fastest".
+// ---------------------------------------------------------------------
+
+// KNN returns the k vertices s reaches with the smallest directed
+// distance (see Searcher).
+func (ix *DirectedIndex) KNN(s int32, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNN(s, k), nil
+}
+
+// Range returns every vertex v with directed d(s, v) <= radius (see
+// Searcher).
+func (ix *DirectedIndex) Range(s int32, radius int64) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.SearchRange(s, radius), nil
+}
+
+// NearestIn returns the k members of set with the smallest directed
+// distance from s (see Searcher).
+func (ix *DirectedIndex) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, ErrForeignSet
+	}
+	return ix.ix.KNNIn(s, set.set, k)
+}
+
+// NewVertexSet registers a vertex subset for NearestIn queries (see
+// Searcher).
+func (ix *DirectedIndex) NewVertexSet(members []int32) (*VertexSet, error) {
+	set, err := ix.ix.NewVertexSet(members)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexSet{set: set}, nil
+}
+
+// ---------------------------------------------------------------------
+// WeightedIndex
+// ---------------------------------------------------------------------
+
+// KNN returns the k nearest vertices to s by summed edge weight (see
+// Searcher).
+func (ix *WeightedIndex) KNN(s int32, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNN(s, k), nil
+}
+
+// Range returns every vertex within weighted distance radius of s
+// (see Searcher).
+func (ix *WeightedIndex) Range(s int32, radius int64) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.SearchRange(s, radius), nil
+}
+
+// NearestIn returns the k members of set nearest to s by weighted
+// distance (see Searcher).
+func (ix *WeightedIndex) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, ErrForeignSet
+	}
+	return ix.ix.KNNIn(s, set.set, k)
+}
+
+// NewVertexSet registers a vertex subset for NearestIn queries (see
+// Searcher).
+func (ix *WeightedIndex) NewVertexSet(members []int32) (*VertexSet, error) {
+	set, err := ix.ix.NewVertexSet(members)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexSet{set: set}, nil
+}
+
+// ---------------------------------------------------------------------
+// FlatIndex: the wrapped oracle is always one of the variants above,
+// so search queries run straight off the mapping — and when the
+// container was written with FlatSearch, the inverted index itself is
+// served zero-copy (no lazy build, O(1) cold start).
+// ---------------------------------------------------------------------
+
+// KNN returns the k nearest vertices to s straight from the mapping
+// (see Searcher).
+func (fi *FlatIndex) KNN(s int32, k int) ([]Neighbor, error) {
+	return fi.o.(Searcher).KNN(s, k)
+}
+
+// Range returns every vertex within distance radius of s straight
+// from the mapping (see Searcher).
+func (fi *FlatIndex) Range(s int32, radius int64) ([]Neighbor, error) {
+	return fi.o.(Searcher).Range(s, radius)
+}
+
+// NearestIn returns the k members of set nearest to s (see Searcher).
+func (fi *FlatIndex) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	return fi.o.(Searcher).NearestIn(s, set, k)
+}
+
+// NewVertexSet registers a vertex subset for NearestIn queries (see
+// Searcher). The set references the mapping and must not outlive
+// Close.
+func (fi *FlatIndex) NewVertexSet(members []int32) (*VertexSet, error) {
+	return fi.o.(Searcher).NewVertexSet(members)
+}
+
+// ---------------------------------------------------------------------
+// ConcurrentOracle: search queries run against a consistent snapshot
+// under View; a wrapped *DynamicIndex yields ErrNoSearch.
+// ---------------------------------------------------------------------
+
+// KNN returns the k nearest vertices to s on the current snapshot (see
+// Searcher); ErrNoSearch if the snapshot cannot search.
+func (c *ConcurrentOracle) KNN(s int32, k int) ([]Neighbor, error) {
+	var out []Neighbor
+	err := c.View(func(o Oracle) error {
+		sr, ok := o.(Searcher)
+		if !ok {
+			return ErrNoSearch
+		}
+		var err error
+		out, err = sr.KNN(s, k)
+		return err
+	})
+	return out, err
+}
+
+// Range returns every vertex within distance radius of s on the
+// current snapshot (see Searcher).
+func (c *ConcurrentOracle) Range(s int32, radius int64) ([]Neighbor, error) {
+	var out []Neighbor
+	err := c.View(func(o Oracle) error {
+		sr, ok := o.(Searcher)
+		if !ok {
+			return ErrNoSearch
+		}
+		var err error
+		out, err = sr.Range(s, radius)
+		return err
+	})
+	return out, err
+}
+
+// ErrStaleSet is returned by ConcurrentOracle.NearestIn when the set
+// was registered on a snapshot that a Swap (hot reload) has since
+// retired; re-register with NewVertexSet.
+var ErrStaleSet = errors.New("pll: vertex set was registered on a retired snapshot; re-register after Swap")
+
+// NearestIn returns the k members of set nearest to s (see Searcher).
+// The set must have been registered on the *current* snapshot: after a
+// Swap, previously registered sets yield ErrStaleSet.
+func (c *ConcurrentOracle) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
+	var out []Neighbor
+	err := c.View(func(o Oracle) error {
+		sr, ok := o.(Searcher)
+		if !ok {
+			return ErrNoSearch
+		}
+		if set == nil {
+			return ErrForeignSet
+		}
+		if set.snap != o {
+			return ErrStaleSet
+		}
+		var err error
+		out, err = sr.NearestIn(s, set, k)
+		return err
+	})
+	return out, err
+}
+
+// NewVertexSet registers a vertex subset on the current snapshot (see
+// Searcher and NearestIn for the staleness contract).
+func (c *ConcurrentOracle) NewVertexSet(members []int32) (*VertexSet, error) {
+	var out *VertexSet
+	err := c.View(func(o Oracle) error {
+		sr, ok := o.(Searcher)
+		if !ok {
+			return ErrNoSearch
+		}
+		var err error
+		out, err = sr.NewVertexSet(members)
+		if out != nil {
+			out.snap = o
+		}
+		return err
+	})
+	return out, err
+}
