@@ -1,0 +1,108 @@
+// Command pllvet runs the project's static-analysis suite
+// (internal/lint) over Go packages, in the manner of go vet: findings
+// go to stderr as file:line:col: message, and any finding (or any
+// malformed //pllvet:ignore directive) exits nonzero so CI can gate on
+// a clean run.
+//
+// Usage:
+//
+//	go run ./cmd/pllvet [flags] [packages]
+//
+//	-run list     comma-separated analyzer names (default: all)
+//	-fix          apply the first suggested fix of each finding,
+//	              gofmt the touched files in place
+//	-list         print the analyzers and exit
+//
+// Packages default to ./... resolved from the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pll/internal/lint"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		fix  = flag.Bool("fix", false, "apply suggested fixes in place")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(dir, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	var fset = pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if *fix {
+		files, err := lint.ApplyFixes(fset, diags)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, files[name], 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "fixed %s\n", name)
+		}
+	}
+	os.Exit(1)
+}
+
+func selectAnalyzers(run string) ([]*lint.Analyzer, error) {
+	if run == "" {
+		return lint.All, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pllvet:", err)
+	os.Exit(2)
+}

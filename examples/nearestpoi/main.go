@@ -86,7 +86,11 @@ func main() {
 		// Cross-check against the brute-force plan: batch-compute the
 		// distance to every station and scan. Same answers, much more
 		// work per query.
-		dists := ix.(pll.Batcher).DistanceFrom(u, pois, nil)
+		batcher, ok := ix.(pll.Batcher)
+		if !ok {
+			log.Fatal("index does not support batched distance queries")
+		}
+		dists := batcher.DistanceFrom(u, pois, nil)
 		for _, nb := range nearest {
 			for i, p := range pois {
 				if p == nb.Vertex && dists[i] != nb.Distance {

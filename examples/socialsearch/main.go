@@ -70,7 +70,11 @@ func main() {
 		score float64
 	}
 	begin := time.Now()
-	dists := ix.(pll.Batcher).DistanceFrom(user, authors, nil)
+	batcher, ok := ix.(pll.Batcher)
+	if !ok {
+		log.Fatal("index does not support batched distance queries")
+	}
+	dists := batcher.DistanceFrom(user, authors, nil)
 	ranked := make([]scored, 0, len(candidates))
 	for i, c := range candidates {
 		d := dists[i]

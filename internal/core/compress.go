@@ -131,6 +131,7 @@ func loadCompressedPayload(br *bufio.Reader) (*Index, error) {
 	if ix.perm, ix.rank, err = permFromRaw(rawPerm, n); err != nil {
 		return nil, err
 	}
+	//pllvet:ignore untrustedalloc n is paid for: the permutation loop above read n uvarints
 	ix.labelOff = make([]int64, n+1)
 	// Two passes are avoided by growing slices; labels are modest.
 	ix.labelVertex = make([]int32, 0, min(n*2, allocChunk/4))

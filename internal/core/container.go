@@ -84,6 +84,9 @@ const (
 const containerHeaderSize = 16
 
 // ContainerHeader is the parsed fixed-size container prefix.
+//
+// pllvet:untrusted — fields come straight from the file; any
+// allocation they size must be capped or grown behind reads.
 type ContainerHeader struct {
 	Version     uint16
 	Variant     Variant

@@ -91,6 +91,7 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 	// counts(4n) bytes past the (possibly empty) container prefix; label
 	// blocks start right after.
 	labelStart := base + int64(8+20+8*hdr.n)
+	//pllvet:ignore untrustedalloc hdr.n is paid for: loadHeader read 8n bytes of perm+counts before returning
 	di.blockOff = make([]int64, hdr.n+1)
 	off := labelStart
 	for v := 0; v < hdr.n; v++ {
@@ -99,31 +100,22 @@ func OpenDiskIndex(path string) (*DiskIndex, error) {
 	}
 	di.blockOff[hdr.n] = off
 	// Bit-parallel arrays follow the label region; load them in memory.
-	di.bpDist = make([]uint8, hdr.numBP*hdr.n)
-	if _, err := f.ReadAt(di.bpDist, off); err != nil && !(err == io.EOF && len(di.bpDist) == 0) {
+	// The capped readers grow behind actual reads, so a hostile header
+	// (numBP*n in the billions backed by a kilobyte of file) costs at
+	// most allocChunk of memory before the truncation is detected.
+	nbp := int64(hdr.numBP) * int64(hdr.n)
+	sr := io.NewSectionReader(f, off, 17*nbp) // 1 dist byte + two 8-byte words per entry
+	if di.bpDist, err = readBytesCapped(sr, nbp, "bit-parallel distances"); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: truncated bit-parallel distances: %v", ErrBadIndexFile, err)
+		return nil, err
 	}
-	off += int64(len(di.bpDist))
-	di.bpS1 = make([]uint64, hdr.numBP*hdr.n)
-	di.bpS0 = make([]uint64, hdr.numBP*hdr.n)
-	wordBuf := make([]byte, 8*len(di.bpS1))
-	if len(wordBuf) > 0 {
-		if _, err := f.ReadAt(wordBuf, off); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("%w: truncated S-1 sets: %v", ErrBadIndexFile, err)
-		}
-		for i := range di.bpS1 {
-			di.bpS1[i] = binary.LittleEndian.Uint64(wordBuf[8*i:])
-		}
-		off += int64(len(wordBuf))
-		if _, err := f.ReadAt(wordBuf, off); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("%w: truncated S0 sets: %v", ErrBadIndexFile, err)
-		}
-		for i := range di.bpS0 {
-			di.bpS0[i] = binary.LittleEndian.Uint64(wordBuf[8*i:])
-		}
+	if di.bpS1, err = readU64sCapped(sr, nbp, "S-1 sets"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if di.bpS0, err = readU64sCapped(sr, nbp, "S0 sets"); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return di, nil
 }

@@ -77,6 +77,9 @@ const (
 )
 
 // flatSection is one entry of the section table.
+//
+// pllvet:untrusted — id/elem/off/count are decoded file bytes; parseFlat
+// bounds-checks them against len(data) before any section is touched.
 type flatSection struct {
 	id    uint32
 	elem  uint32
@@ -328,6 +331,10 @@ func (di *DynamicIndex) WriteFlat(w io.Writer, opts ...FlatOption) (int64, error
 // out of bounds — the heap loader (LoadAny) always validates fully,
 // the mmap path (OpenFlat) trusts label contents and checks structure
 // only.
+//
+// pllvet:sharedro — data may be a memory mapping shared read-only with
+// every process serving the same file; slices derived from it (the
+// section views) must never be written.
 type flatParser struct {
 	data     []byte
 	h        ContainerHeader
@@ -361,7 +368,7 @@ func parseFlat(data []byte, h ContainerHeader, alias, full bool) (any, bool, err
 		alias:    alias,
 		full:     full,
 		zeroCopy: alias,
-		secs:     make(map[uint32]flatSection, nsec),
+		secs:     make(map[uint32]flatSection, nsec), //pllvet:ignore untrustedalloc nsec validated against flatMaxSections (32) above
 	}
 	for i := uint64(0); i < uint64(nsec); i++ {
 		b := data[containerHeaderSize+flatHeaderSize+i*flatSectionSize:]
@@ -425,6 +432,10 @@ func (p *flatParser) section(id, elem uint32, what string) (flatSection, error) 
 // the parser may alias (and the platform allows), and decode a copy
 // otherwise. Bounds were established by parseFlat.
 
+// u8s returns one byte section.
+//
+// pllvet:roview — the result may alias read-only mapped pages; treat
+// it as immutable even on the copying path.
 func (p *flatParser) u8s(id uint32, what string) ([]uint8, error) {
 	s, err := p.section(id, 1, what)
 	if err != nil {
@@ -432,6 +443,7 @@ func (p *flatParser) u8s(id uint32, what string) ([]uint8, error) {
 	}
 	out := p.data[s.off : s.off+s.count : s.off+s.count]
 	if !p.alias {
+		//pllvet:ignore untrustedalloc s.count bounds-checked against len(data) by parseFlat
 		out = append(make([]uint8, 0, s.count), out...)
 	}
 	return out, nil
@@ -440,6 +452,9 @@ func (p *flatParser) u8s(id uint32, what string) ([]uint8, error) {
 // flatInts returns one integer section, aliased in place when the
 // parser may alias and the platform allows, decoded into a copy
 // otherwise (element size and alignment inferred from T).
+//
+// pllvet:roview — the result may alias read-only mapped pages; treat
+// it as immutable even on the copying path.
 func flatInts[T flatInt](p *flatParser, id uint32, what string) ([]T, error) {
 	var zero T
 	size := uintptr(unsafe.Sizeof(zero))
@@ -455,6 +470,7 @@ func flatInts[T flatInt](p *flatParser, id uint32, what string) ([]T, error) {
 		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), int(s.count)), nil
 	}
 	p.zeroCopy = false
+	//pllvet:ignore untrustedalloc s.count bounds-checked against len(data) by parseFlat
 	out := make([]T, s.count)
 	for i := range out {
 		if size == 4 {

@@ -191,13 +191,14 @@ func loadPlain(br *bufio.Reader) (*Index, error) {
 	}
 	// Label arrays grow by append, capacity-capped: the declared total is
 	// only trusted once the corresponding entries actually arrive.
+	//pllvet:ignore untrustedalloc n is paid for: loadHeader read 8n bytes of perm+counts before this point
 	ix.labelOff = make([]int64, n+1)
 	ix.labelVertex = make([]int32, 0, min(total, allocChunk/4))
 	ix.labelDist = make([]uint8, 0, min(total, allocChunk))
 	if hdr.hasParents {
 		ix.labelParent = make([]int32, 0, min(total, allocChunk/4))
 	}
-	entry := make([]byte, hdr.entrySize)
+	entry := make([]byte, hdr.entrySize) //pllvet:ignore untrustedalloc entrySize is 5 or 9 by construction, set from flags, never file-sized
 	for v := 0; v < n; v++ {
 		ix.labelOff[v] = int64(len(ix.labelVertex))
 		prev := int32(-1)
@@ -250,6 +251,10 @@ func LoadFile(path string) (*Index, error) {
 }
 
 // header is the parsed fixed-size prefix plus the perm and counts tables.
+//
+// pllvet:untrusted — n, numBP and counts are decoded file bytes
+// (sanity-capped, but still sized by the file, not by memory actually
+// read); allocations they size must be capped or grown behind reads.
 type header struct {
 	hasParents bool
 	n          int

@@ -204,6 +204,7 @@ func loadDirectedPayload(br *bufio.Reader) (*DirectedIndex, error) {
 			}
 			total += int64(c) + 1
 		}
+		//pllvet:ignore untrustedalloc n is paid for: readU32sCapped read 4n count bytes above
 		off := make([]int64, n+1)
 		vs := make([]int32, 0, min(total, allocChunk/4))
 		ds := make([]uint8, 0, min(total, allocChunk))

@@ -34,6 +34,10 @@ import (
 //
 // An Inverted is immutable after Build (or after being decoded from a
 // flat container) and safe for concurrent queries.
+//
+// pllvet:sharedro — the arrays may alias read-only mapped flat-container
+// sections; only the builders below (marked ignore) fill them, before
+// publication.
 type Inverted struct {
 	N     int // vertices (and normal-hub runs)
 	NumBP int // bit-parallel runs appended after the N hub runs
@@ -77,6 +81,8 @@ func (inv *Inverted) Entries() int64 { return int64(len(inv.Vertex)) }
 // result is deterministic regardless of emission order: entries are
 // grouped by run and each run is sorted by (dist, vertex), a total
 // order because a vertex appears at most once per run.
+//
+//pllvet:ignore mmapwrite builder fills freshly allocated arrays before the Inverted is published
 func Build(n, numBP int, bps1, bps0 []uint64, emit func(add func(run, vertex int32, dist uint32))) *Inverted {
 	runs := n + numBP
 	off := make([]int64, runs+1)
@@ -114,6 +120,8 @@ func Build(n, numBP int, bps1, bps0 []uint64, emit func(add func(run, vertex int
 // emitted entries, addressed through RunIndex, so a small vertex
 // subset costs O(its label mass) — not O(n) — to register. emit has
 // the Build contract.
+//
+//pllvet:ignore mmapwrite builder fills freshly allocated arrays before the Inverted is published
 func BuildSubset(n, numBP int, bps1, bps0 []uint64, emit func(add func(run, vertex int32, dist uint32))) *Inverted {
 	counts := map[int32]int64{}
 	emit(func(run, vertex int32, dist uint32) { counts[run]++ })
@@ -169,6 +177,8 @@ func (s runSorter) Less(i, j int) bool {
 	}
 	return s.inv.Vertex[a] < s.inv.Vertex[b]
 }
+
+//pllvet:ignore mmapwrite sorts runs during Build, before the Inverted is published
 func (s runSorter) Swap(i, j int) {
 	a, b := s.lo+int64(i), s.lo+int64(j)
 	s.inv.Dist[a], s.inv.Dist[b] = s.inv.Dist[b], s.inv.Dist[a]

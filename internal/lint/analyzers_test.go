@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUntrustedAlloc(t *testing.T) { RunTest(t, UntrustedAlloc, "untrustedalloc") }
+func TestMmapWrite(t *testing.T)      { RunTest(t, MmapWrite, "mmapwrite") }
+func TestDistSentinel(t *testing.T)   { RunTest(t, DistSentinel, "distsentinel") }
+func TestCapAssert(t *testing.T)      { RunTest(t, CapAssert, "capassert") }
+func TestHandlerLimits(t *testing.T)  { RunTest(t, HandlerLimits, "handlerlimits") }
+
+// TestCapAssertFix applies the comma-ok rewrite and checks the result
+// both contains the guard and still formats.
+func TestCapAssertFix(t *testing.T) {
+	fset, diags := RunTestDiags(t, CapAssert, "capassert")
+	fixed, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("expected at least one fixed file")
+	}
+	for name, src := range fixed {
+		s := string(src)
+		if !strings.Contains(s, "b, ok := o.(pll.Batcher)") {
+			t.Errorf("%s: fix did not rewrite to the two-result form:\n%s", name, s)
+		}
+		if !strings.Contains(s, `panic("oracle does not implement pll.Batcher")`) {
+			t.Errorf("%s: fix did not insert the capability guard:\n%s", name, s)
+		}
+	}
+}
+
+// TestHandlerLimitsFix applies the MaxBytesReader insertion and checks
+// the cap lands at the top of the flagged handler.
+func TestHandlerLimitsFix(t *testing.T) {
+	fset, diags := RunTestDiags(t, HandlerLimits, "handlerlimits")
+	fixed, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("expected at least one fixed file")
+	}
+	for name, src := range fixed {
+		if !strings.Contains(string(src), "r.Body = http.MaxBytesReader(w, r.Body, 1<<20)") {
+			t.Errorf("%s: fix did not insert the body cap:\n%s", name, src)
+		}
+	}
+}

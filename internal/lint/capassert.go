@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CapAssert enforces the capability-discovery protocol around the
+// optional query interfaces (pll.Batcher, pll.Searcher, pll.Closer).
+//
+// Capabilities are probed, never assumed: an oracle that arrived
+// through the generic constructors may be any variant, so a
+// single-result assertion o.(pll.Batcher) is a latent panic the first
+// time a non-batching oracle (or a future variant) flows through.
+// The analyzer reports every single-result assertion to a capability
+// interface and suggests the two-result form with an explicit guard.
+//
+// It also polices the error half of the protocol: search queries (KNN,
+// Range, NearestIn) report missing capabilities through their error
+// result (ErrNoSearch, ErrStaleSet) rather than by panicking, so a
+// discarded error silently converts "this oracle cannot search" into
+// "no neighbors found". Calls whose error result is dropped — an
+// expression statement or a blank-identifier assignment — are flagged.
+var CapAssert = &Analyzer{
+	Name: "capassert",
+	Doc: "flag single-result assertions to capability interfaces and " +
+		"discarded search errors (ErrNoSearch, ErrStaleSet)",
+	Run: runCapAssert,
+}
+
+// searcherMethods are the pll.Searcher methods whose error result
+// carries the capability signal.
+var searcherMethods = map[string]bool{
+	"KNN":       true,
+	"Range":     true,
+	"NearestIn": true,
+}
+
+func runCapAssert(pass *Pass) error {
+	// Assertions already in a two-result (comma-ok) context.
+	checked := map[*ast.TypeAssertExpr]bool{}
+	// Single-LHS definitions v := x.(T), eligible for the mechanical
+	// comma-ok rewrite.
+	defines := map[*ast.TypeAssertExpr]*ast.AssignStmt{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				if ta, ok := ast.Unparen(s.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					if len(s.Lhs) == 2 {
+						checked[ta] = true
+					} else if len(s.Lhs) == 1 {
+						defines[ta] = s
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Values) == 1 && len(s.Names) == 2 {
+					if ta, ok := ast.Unparen(s.Values[0]).(*ast.TypeAssertExpr); ok {
+						checked[ta] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.TypeAssertExpr:
+				if x.Type == nil || checked[x] { // x.(type) belongs to a type switch
+					return true
+				}
+				name := capabilityName(pass.TypesInfo.Types[x.Type].Type)
+				if name == "" {
+					return true
+				}
+				d := Diagnostic{
+					Pos: x.Pos(),
+					Message: fmt.Sprintf(
+						"single-result assertion to capability interface pll.%s panics on oracles without it; use the two-result form",
+						name),
+				}
+				if def, ok := defines[x]; ok {
+					d.SuggestedFixes = []SuggestedFix{commaOKFix(def, name)}
+				}
+				pass.Report(d)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+					if m := searchCallee(pass.TypesInfo, call); m != "" {
+						pass.Reportf(x.Pos(),
+							"result of %s discarded: its error reports missing capabilities (ErrNoSearch, ErrStaleSet)", m)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(x.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				m := searchCallee(pass.TypesInfo, call)
+				if m == "" {
+					return true
+				}
+				// The error is the last result; a blank there drops the
+				// capability signal.
+				if last := x.Lhs[len(x.Lhs)-1]; isBlank(last) {
+					pass.Reportf(last.Pos(),
+						"error of %s assigned to _: it reports missing capabilities (ErrNoSearch, ErrStaleSet)", m)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// capabilityName returns the bare interface name if t is one of the
+// pll capability interfaces, "" otherwise.
+func capabilityName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	obj := namedObj(t)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "pll" {
+		return ""
+	}
+	if _, ok := obj.Type().Underlying().(*types.Interface); !ok {
+		return ""
+	}
+	switch obj.Name() {
+	case "Batcher", "Searcher", "Closer":
+		return obj.Name()
+	}
+	return ""
+}
+
+// searchCallee returns "Method" when call invokes a Searcher-protocol
+// method (by name, method receiver, error last result), "" otherwise.
+func searchCallee(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || !searcherMethods[fn.Name()] {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return ""
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// commaOKFix rewrites `v := x.(T)` into the two-result form with an
+// explicit guard. The inserted text leans on gofmt (the fix applier
+// formats whole files) rather than reproducing indentation.
+func commaOKFix(def *ast.AssignStmt, iface string) SuggestedFix {
+	return SuggestedFix{
+		Message: "use the two-result form and guard the missing capability",
+		TextEdits: []TextEdit{
+			{Pos: def.Lhs[0].End(), NewText: []byte(", ok")},
+			{Pos: def.End(), NewText: []byte(fmt.Sprintf(
+				"\nif !ok {\npanic(\"oracle does not implement pll.%s\")\n}", iface))},
+		},
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression and marker directives. Three forms, all mandatory-reason:
+//
+//	//pllvet:ignore <analyzer> <reason>    on or above the flagged line
+//	                                       (or in a func doc comment to
+//	                                       cover the whole function)
+//	// pllvet:untrusted                    in a struct type's doc: its
+//	                                       fields hold decoded input
+//	                                       (untrustedalloc taint source)
+//	// pllvet:roview                       in a function's doc: its
+//	                                       result slices alias shared
+//	                                       read-only pages (mmapwrite
+//	                                       taint source)
+//	// pllvet:sharedro                     in a struct type's doc: its
+//	                                       slice fields are read-only
+//	                                       once published (mmapwrite)
+//
+// ignore directives bind tightly: an analyzer name that matches nothing
+// still suppresses only that analyzer, and a missing reason is itself
+// reported so suppressions stay documented.
+
+const (
+	directiveIgnore    = "pllvet:ignore"
+	markerUntrusted    = "pllvet:untrusted"
+	markerReadOnlyView = "pllvet:roview"
+	markerSharedRO     = "pllvet:sharedro"
+)
+
+// ignoreDirective is one parsed //pllvet:ignore.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	// lines the directive covers (file-scoped); for function-level
+	// directives start/end span the whole body.
+	file       *token.File
+	start, end int // line range, inclusive
+	malformed  string
+}
+
+// directiveIndex resolves whether a diagnostic position is suppressed.
+type directiveIndex struct {
+	fset    *token.FileSet
+	ignores []*ignoreDirective
+}
+
+func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{fset: fset}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		// Function-doc directives cover the whole function body.
+		funcDocs := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			fd := funcDocs[cg]
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directiveIgnore) {
+					continue
+				}
+				d := parseIgnore(text, c.Pos())
+				d.file = tf
+				line := tf.Line(c.Pos())
+				if fd != nil && fd.Body != nil {
+					d.start, d.end = tf.Line(fd.Body.Lbrace), tf.Line(fd.Body.Rbrace)
+				} else {
+					// A directive covers its own line (the trailing
+					// form) and the next (the line-above form).
+					d.start, d.end = line, line+1
+				}
+				idx.ignores = append(idx.ignores, d)
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnore splits "pllvet:ignore analyzer reason..." and records
+// what is missing.
+func parseIgnore(text string, pos token.Pos) *ignoreDirective {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, directiveIgnore))
+	d := &ignoreDirective{pos: pos}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		d.malformed = "pllvet:ignore needs an analyzer name and a reason"
+	case len(fields) == 1:
+		d.analyzer = fields[0]
+		d.malformed = "pllvet:ignore " + fields[0] + " needs a reason"
+	default:
+		d.analyzer = fields[0]
+		d.reason = strings.Join(fields[1:], " ")
+	}
+	return d
+}
+
+// suppressed reports whether a diagnostic of analyzer name at pos is
+// covered by a well-formed ignore directive.
+func (idx *directiveIndex) suppressed(name string, pos token.Pos) bool {
+	tf := idx.fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, d := range idx.ignores {
+		if d.malformed != "" || d.analyzer != name || d.file != tf {
+			continue
+		}
+		if line >= d.start && line <= d.end {
+			return true
+		}
+	}
+	return false
+}
+
+// problems reports malformed directives as diagnostics of the "pllvet"
+// pseudo-analyzer, so an undocumented suppression fails the build.
+func (idx *directiveIndex) problems() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range idx.ignores {
+		if d.malformed != "" {
+			out = append(out, Diagnostic{Analyzer: "pllvet", Pos: d.pos, Message: d.malformed})
+		}
+	}
+	return out
+}
+
+// hasMarker reports whether a doc comment group carries the given
+// marker directive (pllvet:untrusted, pllvet:roview, pllvet:sharedro).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

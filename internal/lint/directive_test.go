@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestIgnoreDirectiveRanges(t *testing.T) {
+	src := `package d
+
+func a() {
+	x := 1 //pllvet:ignore fake trailing form covers its own line
+	_ = x
+	//pllvet:ignore fake line-above form covers the next line
+	y := 2
+	_ = y
+}
+
+//pllvet:ignore fake doc form covers the whole body
+func b() {
+	z := 3
+	_ = z
+}
+`
+	fset, f := parseOne(t, src)
+	idx := newDirectiveIndex(fset, []*ast.File{f})
+	if got := len(idx.problems()); got != 0 {
+		t.Fatalf("well-formed directives reported %d problems", got)
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{4, true},  // trailing: own line
+		{5, true},  // a directive also covers the following line
+		{7, true},  // line above
+		{8, false}, // coverage stops after one line
+		{13, true}, // inside b's body, via doc directive
+		{14, true}, // still inside b
+	}
+	for _, c := range cases {
+		if got := idx.suppressed("fake", pos(c.line)); got != c.want {
+			t.Errorf("line %d: suppressed = %v, want %v", c.line, got, c.want)
+		}
+	}
+	if idx.suppressed("other", pos(4)) {
+		t.Error("directive for one analyzer suppressed another")
+	}
+}
+
+func TestMalformedIgnoresReported(t *testing.T) {
+	src := `package d
+
+func a() {
+	x := 1 //pllvet:ignore
+	y := 2 //pllvet:ignore mmapwrite
+	_, _ = x, y
+}
+`
+	fset, f := parseOne(t, src)
+	idx := newDirectiveIndex(fset, []*ast.File{f})
+	probs := idx.problems()
+	if len(probs) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(probs), probs)
+	}
+	if !strings.Contains(probs[0].Message, "needs an analyzer name") {
+		t.Errorf("bare directive: %q", probs[0].Message)
+	}
+	if !strings.Contains(probs[1].Message, "needs a reason") {
+		t.Errorf("reasonless directive: %q", probs[1].Message)
+	}
+	// A malformed directive must not suppress anything.
+	pos := fset.File(f.Pos()).LineStart(5)
+	if idx.suppressed("mmapwrite", pos) {
+		t.Error("reasonless directive still suppressed its line")
+	}
+}
+
+func TestHasMarker(t *testing.T) {
+	src := `package d
+
+// header holds decoded fields.
+//
+// pllvet:untrusted — straight from the file.
+type header struct{ n int }
+
+// plain is unmarked; its doc mentions pllvet:untrustedish prose that
+// must not count.
+type plain struct{ n int }
+`
+	_, f := parseOne(t, src)
+	var hdr, pln *ast.GenDecl
+	for _, d := range f.Decls {
+		gd := d.(*ast.GenDecl)
+		switch gd.Specs[0].(*ast.TypeSpec).Name.Name {
+		case "header":
+			hdr = gd
+		case "plain":
+			pln = gd
+		}
+	}
+	if !hasMarker(hdr.Doc, markerUntrusted) {
+		t.Error("marker on header not detected")
+	}
+	if hasMarker(pln.Doc, markerUntrusted) {
+		t.Error("prose mention counted as a marker")
+	}
+}

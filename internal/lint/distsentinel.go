@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// DistSentinel enforces the distance contract: every public distance
+// is an int64 and Unreachable == -1 marks disconnected pairs.
+//
+// Two bug families follow from the sentinel. Narrowing a distance
+// (int32(d), uint8(d)) silently corrupts -1 (uint conversions turn it
+// into MaxUint); and ordering comparisons (d < best, min(d1, d2))
+// sort -1 *below* every real distance, so an unreachable pair wins
+// every "nearest" contest unless the code guards the sentinel first.
+// The analyzer taints results of Distance/DistanceFrom calls (the
+// int64 contract surface) and reports (a) conversions of tainted
+// values to narrower or unsigned integer types and (b) </<=/>/>=
+// comparisons and min()/max() calls on tainted values in functions
+// that never compare the value against the sentinel (d != Unreachable,
+// d >= 0, d == -1 and friends count as guards).
+var DistSentinel = &Analyzer{
+	Name: "distsentinel",
+	Doc: "flag narrowing conversions of int64 distances and unguarded " +
+		"orderings that mis-rank the -1 unreachable sentinel",
+	Run: runDistSentinel,
+}
+
+func runDistSentinel(pass *Pass) error {
+	cfg := taintConfig{
+		binary: true,
+		index:  true,
+	}
+	cfg.source = func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return false
+		}
+		res := sig.Results().At(0).Type()
+		switch fn.Name() {
+		case "Distance":
+			return isInt64(res)
+		case "DistanceFrom", "BatchDistances":
+			s, ok := res.Underlying().(*types.Slice)
+			return ok && isInt64(s.Elem())
+		}
+		return false
+	}
+	eachFunc(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		t := newTainter(pass, body, cfg)
+		guarded := sentinelGuards(pass, body)
+		safe := func(e ast.Expr) bool {
+			// A tainted operand is safe when it is a variable the
+			// function sentinel-checks somewhere.
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && guarded[obj] {
+					return true
+				}
+			}
+			return !t.tainted(e)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				switch x.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				// Comparisons against the sentinel or zero ARE the
+				// guard, never a finding.
+				if isSentinelValue(pass, x.X) || isSentinelValue(pass, x.Y) {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if t.tainted(side) && !safe(side) {
+						pass.Reportf(x.Pos(),
+							"ordering %s on a distance mis-ranks the -1 unreachable sentinel; guard with >= 0 or != Unreachable first",
+							types.ExprString(x))
+						break
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, x, "min") || isBuiltin(pass.TypesInfo, x, "max") {
+					for _, a := range x.Args {
+						if t.tainted(a) && !safe(a) {
+							pass.Reportf(x.Pos(),
+								"%s on distances picks the -1 unreachable sentinel as smallest; guard the sentinel first",
+								types.ExprString(x.Fun))
+							break
+						}
+					}
+					return true
+				}
+				// Narrowing / sign-losing conversions of distances.
+				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+					if t.tainted(x.Args[0]) && narrowsInt64(tv.Type) {
+						pass.Reportf(x.Pos(),
+							"conversion %s(...) cannot represent the int64/-1 distance contract",
+							types.ExprString(x.Fun))
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// sentinelGuards collects objects the function compares against the
+// sentinel (-1, Unreachable) or against zero anywhere in its body.
+func sentinelGuards(pass *Pass, body ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for e, other := range map[ast.Expr]ast.Expr{be.X: be.Y, be.Y: be.X} {
+			if !isSentinelValue(pass, other) {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSentinelValue matches -1, 0 and anything named Unreachable.
+func isSentinelValue(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok && (v == -1 || v == 0) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "Unreachable"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "Unreachable"
+	}
+	return false
+}
+
+// isInt64 reports whether t's underlying type is exactly int64.
+func isInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// narrowsInt64 reports whether converting an int64 distance to t can
+// corrupt values under the contract (narrower than 64 bits, or
+// unsigned, which maps -1 to MaxUint).
+func narrowsInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// All is the suite in reporting order; cmd/pllvet and the tests share
+// this registry.
+var All = []*Analyzer{
+	UntrustedAlloc,
+	MmapWrite,
+	DistSentinel,
+	CapAssert,
+	HandlerLimits,
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic and
+// returns the rewritten files, gofmt-formatted, keyed by filename.
+// Overlapping edits are rejected rather than silently merged —
+// diagnostics close enough to collide deserve a human.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int // byte offsets
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			end := pos.Offset
+			if te.End.IsValid() {
+				end = fset.Position(te.End).Offset
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename],
+				edit{start: pos.Offset, end: end, text: te.NewText})
+		}
+	}
+	out := map[string][]byte{}
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i, e := range edits {
+			if i > 0 && e.end > edits[i-1].start {
+				return nil, fmt.Errorf("%s: overlapping fixes around byte %d; apply manually", name, e.start)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fixed source does not format: %w", name, err)
+		}
+		out[name] = formatted
+	}
+	return out, nil
+}

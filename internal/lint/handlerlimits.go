@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HandlerLimits checks that every POST handler is registered with its
+// resource caps wired in.
+//
+// The serving surface is exposed to untrusted clients, so two limits
+// are load-bearing: the request body must pass through
+// http.MaxBytesReader before any decoder touches it (Server.decodeBody
+// is the blessed wrapper), and any client-controlled fan-out — a
+// decoded slice, a count — must be bounded by Config.MaxBatch (via
+// Server.checkFanout or an explicit comparison). The analyzer resolves
+// each mux registration whose pattern carries the POST method, walks
+// the handler's same-package call closure, and reports
+//
+//	(a) closures that never reach http.MaxBytesReader, with a fix that
+//	    inserts the cap at the top of the handler, and
+//	(b) closures that decode a slice-bearing request type but never
+//	    consult MaxBatch/checkFanout.
+var HandlerLimits = &Analyzer{
+	Name: "handlerlimits",
+	Doc: "flag POST handlers registered without http.MaxBytesReader " +
+		"or MaxBatch fan-out caps",
+	Run: runHandlerLimits,
+}
+
+func runHandlerLimits(pass *Pass) error {
+	decls := funcDecls(pass)
+	reach := newReachability(pass, decls)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pattern, handler := registration(pass, call)
+			if handler == nil || !strings.HasPrefix(strings.Trim(pattern, `"`), "POST ") {
+				return true
+			}
+			bodies := reach.bodies(handler)
+			if len(bodies) == 0 {
+				return true
+			}
+			if !reach.callsMaxBytesReader(bodies) {
+				d := Diagnostic{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf(
+						"POST handler %s never wires http.MaxBytesReader; an unbounded body reaches the decoder",
+						handlerName(handler)),
+				}
+				if fix, ok := maxBytesFix(pass, handler); ok {
+					d.SuggestedFixes = []SuggestedFix{fix}
+				}
+				pass.Report(d)
+			}
+			if reach.decodesSlice(bodies) && !reach.capsFanout(bodies) {
+				pass.Reportf(call.Pos(),
+					"POST handler %s decodes a slice-bearing request but never caps its length against MaxBatch (checkFanout)",
+					handlerName(handler))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registration recognizes mux.HandleFunc/Handle calls and returns the
+// raw pattern literal plus the handler expression (http.HandlerFunc
+// conversions unwrapped). handler == nil when call is not one.
+func registration(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "HandleFunc" && fn.Name() != "Handle") || len(call.Args) != 2 {
+		return "", nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return "", nil
+	}
+	h := ast.Unparen(call.Args[1])
+	if conv, ok := h.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			h = ast.Unparen(conv.Args[0])
+		}
+	}
+	return lit.Value, h
+}
+
+// handlerName renders the handler expression for diagnostics.
+func handlerName(h ast.Expr) string {
+	switch x := h.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	case *ast.FuncLit:
+		return "(func literal)"
+	}
+	return types.ExprString(h)
+}
+
+// funcDecls maps the package's function objects to their declarations.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// reachability computes, memoized, the same-package call closure of a
+// handler so transitive wrappers (decodeBody → MaxBytesReader) count.
+type reachability struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func][]*ast.BlockStmt
+}
+
+func newReachability(pass *Pass, decls map[*types.Func]*ast.FuncDecl) *reachability {
+	return &reachability{pass: pass, decls: decls, memo: map[*types.Func][]*ast.BlockStmt{}}
+}
+
+// bodies returns the bodies of every same-package function reachable
+// from the handler expression, the handler itself first.
+func (r *reachability) bodies(h ast.Expr) []*ast.BlockStmt {
+	if lit, ok := h.(*ast.FuncLit); ok {
+		seen := map[*types.Func]bool{}
+		return r.closure(lit.Body, seen)
+	}
+	var id *ast.Ident
+	switch x := h.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, ok := r.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return r.funcBodies(fn, map[*types.Func]bool{})
+}
+
+func (r *reachability) funcBodies(fn *types.Func, seen map[*types.Func]bool) []*ast.BlockStmt {
+	if seen[fn] {
+		return nil
+	}
+	seen[fn] = true
+	if cached, ok := r.memo[fn]; ok {
+		return cached
+	}
+	decl, ok := r.decls[fn]
+	if !ok {
+		return nil
+	}
+	out := r.closure(decl.Body, seen)
+	r.memo[fn] = out
+	return out
+}
+
+func (r *reachability) closure(body *ast.BlockStmt, seen map[*types.Func]bool) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(r.pass.TypesInfo, call); fn != nil {
+			out = append(out, r.funcBodies(fn, seen)...)
+		}
+		return true
+	})
+	return out
+}
+
+// callsMaxBytesReader reports whether any reachable body calls
+// net/http.MaxBytesReader.
+func (r *reachability) callsMaxBytesReader(bodies []*ast.BlockStmt) bool {
+	return r.anyCall(bodies, func(fn *types.Func) bool {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "MaxBytesReader"
+	})
+}
+
+// decodesSlice reports whether any reachable body decodes JSON into a
+// value whose struct type carries a slice field (a client-controlled
+// fan-out).
+func (r *reachability) decodesSlice(bodies []*ast.BlockStmt) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(r.pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			var target ast.Expr
+			switch {
+			case fn.Name() == "Decode" && len(call.Args) == 1:
+				target = call.Args[0]
+			case fn.Name() == "Unmarshal" && len(call.Args) == 2:
+				target = call.Args[1]
+			case fn.Name() == "decodeBody" && len(call.Args) == 3:
+				target = call.Args[2]
+			default:
+				return true
+			}
+			if tv, ok := r.pass.TypesInfo.Types[target]; ok && hasSliceField(tv.Type) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// capsFanout reports whether any reachable body consults the fan-out
+// cap: a checkFanout call or a MaxBatch field read.
+func (r *reachability) capsFanout(bodies []*ast.BlockStmt) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(r.pass.TypesInfo, x); fn != nil && fn.Name() == "checkFanout" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if x.Sel.Name == "MaxBatch" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *reachability) anyCall(bodies []*ast.BlockStmt, match func(*types.Func) bool) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(r.pass.TypesInfo, call); fn != nil && match(fn) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSliceField reports whether t (struct or pointer-to-struct) has a
+// slice-typed field, directly or one level of embedding down.
+func hasSliceField(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type().Underlying()
+		if _, ok := ft.(*types.Slice); ok {
+			return true
+		}
+		if st.Field(i).Embedded() {
+			if es, ok := ft.(*types.Struct); ok {
+				for j := 0; j < es.NumFields(); j++ {
+					if _, ok := es.Field(j).Type().Underlying().(*types.Slice); ok {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// maxBytesFix inserts the body cap at the top of the handler when the
+// declaration has the canonical (w http.ResponseWriter, r *http.Request)
+// shape with named parameters.
+func maxBytesFix(pass *Pass, h ast.Expr) (SuggestedFix, bool) {
+	var id *ast.Ident
+	switch x := h.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return SuggestedFix{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	decl, ok := funcDecls(pass)[fn]
+	if !ok || decl.Type.Params == nil || len(decl.Type.Params.List) != 2 {
+		return SuggestedFix{}, false
+	}
+	p := decl.Type.Params.List
+	if len(p[0].Names) != 1 || len(p[1].Names) != 1 {
+		return SuggestedFix{}, false
+	}
+	w, r := p[0].Names[0].Name, p[1].Names[0].Name
+	return SuggestedFix{
+		Message: "cap the request body with http.MaxBytesReader",
+		TextEdits: []TextEdit{{
+			Pos: decl.Body.Lbrace + 1,
+			NewText: []byte(fmt.Sprintf(
+				"\n%s.Body = http.MaxBytesReader(%s, %s.Body, 1<<20)", r, w, r)),
+		}},
+	}, true
+}

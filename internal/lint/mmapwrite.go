@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MmapWrite flags writes through slices that alias memory-mapped flat
+// container sections.
+//
+// pll.Open serves a flat container zero-copy: the query arrays of the
+// returned index are unsafe.Slice views over the mapped file image,
+// whose pages the kernel shares read-only across every process serving
+// the same file. A single write through such a view faults (PROT_READ)
+// or, worse, corrupts the file for every reader if the mapping is ever
+// widened — so views must be treated as immutable everywhere.
+//
+// The contract is declared in source and enforced here: functions
+// whose doc carries `pllvet:roview` return aliasing views (flatInts,
+// (*flatParser).u8s), and struct types marked `pllvet:sharedro` hold
+// slice fields that may alias a mapping once published
+// (core.flatParser, hubsearch.Inverted). The analyzer taints those
+// values and reports element assignments, copy() into them, and
+// append() onto them. Builders that legitimately fill the arrays
+// before publication carry function-level
+// //pllvet:ignore mmapwrite <reason> directives.
+var MmapWrite = &Analyzer{
+	Name: "mmapwrite",
+	Doc: "flag writes into slices derived from flat-section accessors " +
+		"(shared read-only mapped pages)",
+	Run: runMmapWrite,
+}
+
+func runMmapWrite(pass *Pass) error {
+	shared := markedStructs(pass, markerSharedRO)
+	roFuncs := markedFuncs(pass, markerReadOnlyView)
+	cfg := taintConfig{
+		binary: false,
+		index:  false, // elements are scalar copies; only the slice matters
+		call: func(t *tainter, call *ast.CallExpr) (bool, bool) {
+			// unsafe.Slice(&view[0], n) re-derives a view over the
+			// same backing array. (unsafe builtins resolve to
+			// *types.Builtin, not *types.Func, hence no calleeFunc.)
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Slice" {
+				if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Builtin); ok &&
+					len(call.Args) > 0 && t.tainted(pointerBase(call.Args[0])) {
+					return true, true
+				}
+			}
+			return false, false
+		},
+	}
+	cfg.source = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, x)
+			return fn != nil && roFuncs[fn]
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return false
+			}
+			if !shared[namedObj(sel.Recv())] {
+				return false
+			}
+			// Only the slice fields alias the mapping; scalar fields
+			// (lengths, flags) are free to use.
+			_, isSlice := sel.Obj().Type().Underlying().(*types.Slice)
+			return isSlice
+		}
+		return false
+	}
+	eachFunc(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		t := newTainter(pass, body, cfg)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && t.tainted(ix.X) {
+						pass.Reportf(lhs.Pos(),
+							"write into %s, a slice aliasing read-only mapped flat-container pages",
+							types.ExprString(ix.X))
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok && t.tainted(ix.X) {
+					pass.Reportf(s.Pos(),
+						"write into %s, a slice aliasing read-only mapped flat-container pages",
+						types.ExprString(ix.X))
+				}
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, s, "copy") && len(s.Args) == 2 && t.tainted(s.Args[0]) {
+					pass.Reportf(s.Pos(),
+						"copy into %s, a slice aliasing read-only mapped flat-container pages",
+						types.ExprString(s.Args[0]))
+				}
+				if isBuiltin(pass.TypesInfo, s, "append") && len(s.Args) > 0 && t.tainted(s.Args[0]) {
+					pass.Reportf(s.Pos(),
+						"append to %s may write into the mapped backing array; copy the view first",
+						types.ExprString(s.Args[0]))
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// pointerBase unwraps &x[i], (*unsafe.Pointer-ish conversions aside)
+// to the expression whose backing array a pointer argument addresses.
+func pointerBase(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.UnaryExpr:
+			e = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			// unsafe.Pointer(...) / (*T)(...) conversion chains.
+			if len(x.Args) == 1 {
+				e = ast.Unparen(x.Args[0])
+				continue
+			}
+			return e
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			return ast.Unparen(x.X)
+		default:
+			return e
+		}
+	}
+}
+
+// markedFuncs collects the functions of this package whose doc comment
+// carries the given marker directive.
+func markedFuncs(pass *Pass, marker string) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasMarker(fd.Doc, marker) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = true
+			}
+		}
+	}
+	return out
+}

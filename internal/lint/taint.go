@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Intra-procedural taint tracking shared by the data-flow analyzers
+// (untrustedalloc, mmapwrite, distsentinel). Each analyzer declares
+// what a source looks like; the tracker computes, per function body, a
+// fixed point of local variables reached by source values through
+// assignments, arithmetic, slicing and range statements. The analysis
+// is deliberately function-local: values escaping through calls or
+// struct fields are handled by the analyzers' marker directives
+// (pllvet:untrusted, pllvet:roview, pllvet:sharedro), which turn the
+// relevant cross-function boundaries into declared sources.
+
+// taintConfig declares analyzer-specific taint behavior.
+type taintConfig struct {
+	// source reports whether e is a direct taint source (a decoding
+	// call, a marked field read, ...). It is consulted before the
+	// structural rules.
+	source func(e ast.Expr) bool
+	// tupleResults reports per-result taint for a multi-result call
+	// used as the RHS of a tuple assignment (nil = no taint).
+	tupleResults func(call *ast.CallExpr) []bool
+	// call decides taint for a call expression that is not a source,
+	// not a conversion and not handled structurally. handled=false
+	// falls through to "untainted".
+	call func(t *tainter, call *ast.CallExpr) (tainted, handled bool)
+	// binary propagates taint through arithmetic (d1+d2).
+	binary bool
+	// index propagates taint from a slice to its elements (counts[v]).
+	index bool
+}
+
+// tainter holds the per-function fixed point.
+type tainter struct {
+	pass *Pass
+	cfg  taintConfig
+	objs map[types.Object]bool
+}
+
+// newTainter computes the taint fixed point over one function body.
+func newTainter(pass *Pass, body ast.Node, cfg taintConfig) *tainter {
+	t := &tainter{pass: pass, cfg: cfg, objs: map[types.Object]bool{}}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				changed = t.assign(s.Lhs, s.Rhs) || changed
+			case *ast.ValueSpec:
+				if len(s.Values) > 0 {
+					lhs := make([]ast.Expr, len(s.Names))
+					for i, name := range s.Names {
+						lhs[i] = name
+					}
+					changed = t.assign(lhs, s.Values) || changed
+				}
+			case *ast.RangeStmt:
+				// Ranging over a tainted slice taints the value
+				// variable (the index stays clean).
+				if t.cfg.index && s.Value != nil && t.tainted(s.X) {
+					changed = t.mark(s.Value) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			return t
+		}
+	}
+}
+
+// assign propagates RHS taint to LHS objects; reports any change.
+func (t *tainter) assign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// Tuple assignment from one multi-result call.
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !ok || t.cfg.tupleResults == nil {
+			return false
+		}
+		results := t.cfg.tupleResults(call)
+		for i, l := range lhs {
+			if i < len(results) && results[i] {
+				changed = t.mark(l) || changed
+			}
+		}
+		return changed
+	}
+	for i, l := range lhs {
+		if i < len(rhs) && t.tainted(rhs[i]) {
+			changed = t.mark(l) || changed
+		}
+	}
+	return changed
+}
+
+// mark taints the object behind an assignable expression.
+func (t *tainter) mark(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := t.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = t.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || t.objs[obj] {
+		return false
+	}
+	t.objs[obj] = true
+	return true
+}
+
+// tainted reports whether the value of e derives from a source.
+func (t *tainter) tainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.cfg.source != nil && t.cfg.source(e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := t.pass.TypesInfo.Uses[x]
+		return obj != nil && t.objs[obj]
+	case *ast.ParenExpr:
+		return t.tainted(x.X)
+	case *ast.BinaryExpr:
+		return t.cfg.binary && (t.tainted(x.X) || t.tainted(x.Y))
+	case *ast.UnaryExpr:
+		return t.tainted(x.X)
+	case *ast.StarExpr:
+		return t.tainted(x.X)
+	case *ast.IndexExpr:
+		// Generic instantiation (f[T]) shares this node; element taint
+		// only applies to genuine indexing of a tainted slice.
+		if t.cfg.index && t.tainted(x.X) {
+			if tv, ok := t.pass.TypesInfo.Types[x.X]; ok && !tv.IsType() {
+				return true
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return t.tainted(x.X)
+	case *ast.SelectorExpr:
+		// A field read of a tainted struct value stays tainted; the
+		// source hook has already had its chance to match marked types.
+		return t.tainted(x.X)
+	case *ast.CallExpr:
+		if tv, ok := t.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+			// Conversion: taint follows the operand.
+			return len(x.Args) == 1 && t.tainted(x.Args[0])
+		}
+		if t.cfg.call != nil {
+			if tainted, handled := t.cfg.call(t, x); handled {
+				return tainted
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// calleeFunc resolves a call's target to its types.Func, unwrapping
+// parens and generic instantiations. nil for builtins, func values and
+// indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// eachFunc visits every function with a body: declarations and
+// package-level function literals alike. Nested literals are reached
+// by the analyzers' own traversal of the enclosing body.
+func eachFunc(files []*ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd, fd.Body)
+			}
+		}
+	}
+}

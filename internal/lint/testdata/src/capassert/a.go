@@ -1,0 +1,46 @@
+// Fixture for the capassert analyzer: capabilities are probed with the
+// two-result form, and search errors carry the capability signal.
+package capassert
+
+import "pll/pll"
+
+func singleResult(o pll.Oracle) {
+	b := o.(pll.Batcher) // want `single-result assertion to capability interface pll\.Batcher`
+	_ = b
+	o.(pll.Closer).Close()                // want `single-result assertion to capability interface pll\.Closer`
+	var s pll.Searcher = o.(pll.Searcher) // want `single-result assertion to capability interface pll\.Searcher`
+	_ = s
+}
+
+func discarded(s pll.Searcher, set *pll.VertexSet) {
+	s.KNN(1, 2)             // want `result of KNN discarded`
+	ns, _ := s.Range(1, 10) // want `error of Range assigned to _`
+	_ = ns
+	_, _ = s.NearestIn(1, set, 3) // want `error of NearestIn assigned to _`
+}
+
+func probed(o pll.Oracle) {
+	if b, ok := o.(pll.Batcher); ok {
+		_ = b
+	}
+	var c, ok = o.(pll.Closer)
+	if ok {
+		_ = c.Close()
+	}
+	switch v := o.(type) { // type switches are inherently checked
+	case pll.Searcher:
+		if _, err := v.KNN(1, 2); err != nil {
+			return
+		}
+	}
+	_ = o.(pll.Oracle) // not a capability interface
+}
+
+func handled(s pll.Searcher) error {
+	ns, err := s.Range(1, 10)
+	if err != nil {
+		return err
+	}
+	_ = ns
+	return nil
+}

@@ -1,0 +1,60 @@
+// Fixture for the distsentinel analyzer: int64 distances carry the
+// Unreachable == -1 sentinel, so narrowing and unguarded ordering are
+// bugs.
+package distsentinel
+
+type oracle struct{}
+
+func (oracle) Distance(s, t int32) int64                             { return 0 }
+func (oracle) DistanceFrom(s int32, ts []int32, dst []int64) []int64 { return dst }
+
+const Unreachable int64 = -1
+
+func narrowing(o oracle) {
+	d := o.Distance(1, 2)
+	_ = int32(d)  // want `conversion int32`
+	_ = uint64(d) // want `conversion uint64`
+	_ = uint8(d)  // want `conversion uint8`
+	_ = int64(d)  // same width, signed: fine
+	_ = float64(d)
+}
+
+func ordering(o oracle, ts []int32) {
+	d := o.Distance(1, 2)
+	best := o.Distance(1, 3)
+	if d < best { // want `ordering d < best`
+		_ = d
+	}
+	_ = min(d, best) // want `min on distances`
+	ds := o.DistanceFrom(1, ts, nil)
+	_ = uint16(ds[0]) // want `conversion uint16`
+}
+
+func guarded(o oracle) {
+	d := o.Distance(1, 2)
+	e := o.Distance(3, 4)
+	if d == Unreachable || e == Unreachable {
+		return
+	}
+	if d < e { // both sentinel-checked above: fine
+		_ = d
+	}
+	_ = min(d, e)
+}
+
+func guardedByZero(o oracle) {
+	d := o.Distance(1, 2)
+	e := o.Distance(3, 4)
+	if d >= 0 && e >= 0 {
+		if e > d { // fine
+			_ = e
+		}
+	}
+}
+
+func untouched(a, b int64) {
+	if a < b { // not distances: fine
+		_ = a
+	}
+	_ = int32(a)
+}

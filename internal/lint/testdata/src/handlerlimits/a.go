@@ -1,0 +1,90 @@
+// Fixture for the handlerlimits analyzer: POST handlers must wire
+// http.MaxBytesReader and cap decoded fan-out against MaxBatch.
+package handlerlimits
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type config struct {
+	MaxBatch int
+	MaxBody  int64
+}
+
+type server struct {
+	cfg config
+}
+
+type batchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+type scalarRequest struct {
+	S int32 `json:"s"`
+	T int32 `json:"t"`
+}
+
+// decodeBody mirrors the real blessed wrapper: body cap, then decode.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	return json.NewDecoder(r.Body).Decode(v) == nil
+}
+
+func (s *server) checkFanout(w http.ResponseWriter, v int) bool {
+	return v >= 1 && v <= s.cfg.MaxBatch
+}
+
+func (s *server) handleGood(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !s.checkFanout(w, len(req.Pairs)) {
+		return
+	}
+}
+
+func (s *server) handleNoBodyCap(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	if !s.checkFanout(w, len(req.Pairs)) {
+		return
+	}
+}
+
+func (s *server) handleNoFanout(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	_ = req.Pairs
+}
+
+func (s *server) handleScalar(w http.ResponseWriter, r *http.Request) {
+	var req scalarRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+}
+
+func (s *server) handleInline(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		return
+	}
+}
+
+func register(s *server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /good", s.handleGood)
+	mux.HandleFunc("POST /nobodycap", s.handleNoBodyCap)         // want `never wires http\.MaxBytesReader`
+	mux.HandleFunc("POST /nofanout", s.handleNoFanout)           // want `never caps its length against MaxBatch`
+	mux.HandleFunc("POST /scalar", s.handleScalar)               // scalar body: fanout rule does not apply
+	mux.HandleFunc("POST /inline", s.handleInline)               // explicit MaxBatch comparison counts
+	mux.HandleFunc("GET /read", s.handleNoBodyCap)               // GET: body limits not required
+	mux.Handle("POST /conv", http.HandlerFunc(s.handleNoFanout)) // want `never caps its length against MaxBatch`
+}

@@ -1,0 +1,53 @@
+// Fixture for the mmapwrite analyzer: views over shared read-only
+// mapped pages must never be written.
+package mmapwrite
+
+import "unsafe"
+
+// parser mirrors the real flat parser over a mapped file image.
+//
+// pllvet:sharedro
+type parser struct {
+	data []byte
+	n    int
+}
+
+// view returns a typed window over the mapping.
+//
+// pllvet:roview
+func view(p *parser) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&p.data[0])), p.n)
+}
+
+func writes(p *parser) {
+	v := view(p)
+	v[0] = 1      // want `write into v`
+	v[1]++        // want `write into v`
+	p.data[0] = 9 // want `write into p\.data`
+	fresh := make([]uint32, 4)
+	copy(v, fresh)   // want `copy into v`
+	_ = append(v, 7) // want `append to v`
+}
+
+func derived(p *parser) {
+	w := unsafe.Slice((*uint32)(unsafe.Pointer(&p.data[0])), p.n)
+	w[0] = 1 // want `write into w`
+	sub := w[1:3]
+	sub[0] = 2 // want `write into sub`
+}
+
+func clean(p *parser) {
+	cp := append([]uint32(nil), view(p)...) // copy first: fine
+	cp[0] = 1
+	n := p.n // scalar fields are free to use
+	buf := make([]byte, n)
+	buf[0] = 1
+	copy(buf, p.data) // reading the mapping is fine
+}
+
+// fill is a builder: it owns the arrays until it returns.
+//
+//pllvet:ignore mmapwrite fixture builder fills before publication
+func fill(p *parser) {
+	p.data[0] = 1
+}

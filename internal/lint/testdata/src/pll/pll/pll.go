@@ -1,0 +1,43 @@
+// Package pll is a fixture stand-in for the real pll package: just
+// enough surface (capability interfaces, search errors) for the
+// capassert fixtures to type-check against import path "pll/pll".
+package pll
+
+import "errors"
+
+// Oracle is the minimal distance contract.
+type Oracle interface {
+	Distance(s, t int32) int64
+}
+
+// Neighbor mirrors the real search result entry.
+type Neighbor struct {
+	Vertex   int32
+	Distance int64
+}
+
+// VertexSet mirrors the real registered-subset handle.
+type VertexSet struct{}
+
+// Batcher is the batched-distance capability.
+type Batcher interface {
+	DistanceFrom(s int32, targets []int32, dst []int64) []int64
+}
+
+// Searcher is the search capability.
+type Searcher interface {
+	KNN(s int32, k int) ([]Neighbor, error)
+	Range(s int32, radius int64) ([]Neighbor, error)
+	NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error)
+}
+
+// Closer marks resource-backed oracles.
+type Closer interface {
+	Close() error
+}
+
+// ErrNoSearch mirrors the real capability-miss error.
+var ErrNoSearch = errors.New("pll: oracle does not support search queries")
+
+// ErrStaleSet mirrors the real retired-snapshot error.
+var ErrStaleSet = errors.New("pll: vertex set was registered on a retired snapshot")

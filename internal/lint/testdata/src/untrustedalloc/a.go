@@ -1,0 +1,52 @@
+// Fixture for the untrustedalloc analyzer: allocations sized by
+// decoded input must be capped or suppressed with a documented reason.
+package untrustedalloc
+
+import (
+	"bufio"
+	"encoding/binary"
+)
+
+const allocChunk = 1 << 20
+
+// header mirrors the real parsed file prefix.
+//
+// pllvet:untrusted
+type header struct {
+	n      int
+	counts []uint32
+}
+
+func direct(b []byte, br *bufio.Reader) {
+	n := int(binary.LittleEndian.Uint32(b))
+	_ = make([]int64, n) // want `allocation sized by untrusted input n`
+	m, _ := binary.ReadUvarint(br)
+	_ = make([]byte, m)       // want `allocation sized by untrusted input m`
+	_ = make([]int32, 0, n+1) // want `allocation sized by untrusted input n \+ 1`
+}
+
+func fields(h *header) {
+	_ = make([]uint32, h.n*2) // want `allocation sized by untrusted input h\.n \* 2`
+	for _, c := range h.counts {
+		_ = make([]byte, c) // want `allocation sized by untrusted input c`
+	}
+}
+
+func capped(b []byte, h *header) {
+	n := int(binary.LittleEndian.Uint32(b))
+	_ = make([]byte, 0, min(n, allocChunk))     // sanitized by min
+	_ = make([]uint32, 0, min(h.n, allocChunk)) // sanitized by min
+	_ = make([]byte, len(b))                    // trusted size
+	k := cap(b)
+	_ = make([]byte, k) // trusted size
+}
+
+func suppressed(h *header) {
+	//pllvet:ignore untrustedalloc fixture: n is backed by bytes already read
+	_ = make([]int64, h.n+1)
+	_ = make([]int64, h.n) // want `allocation sized by untrusted input h\.n`
+}
+
+func unsanitized(h *header) {
+	_ = make([]byte, max(h.n, 16)) // want `allocation sized by untrusted input`
+}

@@ -1,0 +1,34 @@
+package untrustedalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// readBytesCapped mirrors the real loader idiom verbatim: the
+// speculative allocation is capped and growth happens behind actual
+// reads, so the whole function is clean under the analyzer.
+func readBytesCapped(r io.Reader, n int64, what string) ([]byte, error) {
+	out := make([]byte, 0, min(n, allocChunk))
+	for int64(len(out)) < n {
+		k := min(n-int64(len(out)), allocChunk)
+		start := len(out)
+		out = append(out, make([]byte, k)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, fmt.Errorf("truncated %s: %v", what, err)
+		}
+	}
+	return out, nil
+}
+
+// loadClean mirrors the real header loader: decoded sizes only ever
+// reach capped readers.
+func loadClean(r io.Reader) ([]byte, error) {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(fixed[:])
+	return readBytesCapped(r, int64(n), "payload")
+}

@@ -364,6 +364,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `update body needs a non-empty "edges" list`)
 		return
 	}
+	if !s.checkFanout(w, "edges", len(req.Edges)) {
+		return
+	}
 	// Validate and insert the whole batch under one write-locked Update,
 	// so the bounds check, every insert, and nothing else all see the
 	// same oracle even if a hot-reload swaps it mid-request, and readers

@@ -30,6 +30,13 @@ var ErrNotFlat = core.ErrNotFlat
 // permutation, offsets, sentinels) but trusts label contents, exactly
 // like the arrays of a freshly built index — feed untrusted files to
 // LoadFile, which fully validates every entry, instead.
+//
+// Aliasing contract: the query arrays are unsafe.Slice views over the
+// mapped file image, whose pages the kernel shares read-only with
+// every process serving the same file. They must be treated as
+// immutable everywhere; writes through such a view are flagged
+// mechanically by `go run ./cmd/pllvet ./...` (the mmapwrite
+// analyzer).
 type FlatIndex struct {
 	store *core.FlatStore
 	o     Oracle // wrapper over the index aliasing the mapping
@@ -71,6 +78,8 @@ func (fi *FlatIndex) Path(s, t int32) ([]int32, error) { return fi.o.Path(s, t) 
 
 // DistanceFrom answers a single-source batch straight from the mapping
 // (see Batcher). Safe for concurrent use.
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all Batcher by construction
 func (fi *FlatIndex) DistanceFrom(s int32, targets []int32, dst []int64) []int64 {
 	return fi.o.(Batcher).DistanceFrom(s, targets, dst)
 }

@@ -32,6 +32,13 @@ import (
 // for them instead of switching on concrete types; see the Batcher
 // documentation for the pattern.
 //
+// Distance contract: distances are int64 end to end and Unreachable
+// (-1) marks disconnected pairs. Narrowing a distance (int32(d),
+// uint8(d)) corrupts the sentinel, and ordering comparisons (d < best,
+// min) rank -1 below every real distance — guard with d >= 0 or
+// d != Unreachable first. Both mistakes are flagged mechanically by
+// `go run ./cmd/pllvet ./...` (the distsentinel analyzer).
+//
 // Concurrency contract: the static variants (*Index, *DirectedIndex,
 // *WeightedIndex, and frozen dynamic snapshots) are immutable after
 // construction, so any number of goroutines may call Distance, Path,

@@ -221,17 +221,23 @@ func (ix *WeightedIndex) NewVertexSet(members []int32) (*VertexSet, error) {
 
 // KNN returns the k nearest vertices to s straight from the mapping
 // (see Searcher).
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all Searcher by construction
 func (fi *FlatIndex) KNN(s int32, k int) ([]Neighbor, error) {
 	return fi.o.(Searcher).KNN(s, k)
 }
 
 // Range returns every vertex within distance radius of s straight
 // from the mapping (see Searcher).
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all Searcher by construction
 func (fi *FlatIndex) Range(s int32, radius int64) ([]Neighbor, error) {
 	return fi.o.(Searcher).Range(s, radius)
 }
 
 // NearestIn returns the k members of set nearest to s (see Searcher).
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all Searcher by construction
 func (fi *FlatIndex) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error) {
 	return fi.o.(Searcher).NearestIn(s, set, k)
 }
@@ -239,6 +245,8 @@ func (fi *FlatIndex) NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, erro
 // NewVertexSet registers a vertex subset for NearestIn queries (see
 // Searcher). The set references the mapping and must not outlive
 // Close.
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all Searcher by construction
 func (fi *FlatIndex) NewVertexSet(members []int32) (*VertexSet, error) {
 	return fi.o.(Searcher).NewVertexSet(members)
 }
