@@ -14,6 +14,7 @@ package benches
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -678,5 +679,96 @@ func BenchmarkRange_Inverted(b *testing.B) {
 		if _, err := ix.Range(sources[i%len(sources)], 2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Composite queries: streaming engine vs materialize-and-intersect ----
+//
+// BenchmarkComposite* compare one composite query — "within 1 of A AND
+// within 4 of B", ranked by the summed legs — answered by the streaming
+// engine (internal/runquery: selectivity-ordered constraints, cutoffs
+// pushed into the label-run scans, point probes for the non-driver
+// constraint) against the plan it replaces: materialize each
+// neighborhood with Range, hash-intersect, score and sort. The top-k
+// variant additionally stops the ranked scan once the k-th best score
+// is out of reach. Same graph and sources as the KNN benches (BA
+// n=20000, bp=16, 64 rotating source pairs).
+
+// The constraints are asymmetric on purpose: real fences usually pair
+// a tight constraint with a loose one, and the planner's selectivity
+// ordering turns the tight side into the driver — the loose
+// neighborhood is never materialized, only point-probed. A symmetric
+// pair degrades both plans to roughly the same two-scan cost.
+func compositeBenchRequest(a, c int32, k int) *pll.CompositeRequest {
+	return &pll.CompositeRequest{
+		Where: &pll.CompositeClause{And: []*pll.CompositeClause{
+			{Near: &pll.NearClause{Source: a, MaxDist: 1}},
+			{Near: &pll.NearClause{Source: c, MaxDist: 4}},
+		}},
+		K: k,
+	}
+}
+
+func BenchmarkCompositeAND(b *testing.B) {
+	ix, sources := knnBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := sources[i%len(sources)], sources[(i+1)%len(sources)]
+		if _, err := ix.Composite(compositeBenchRequest(a, c, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompositeTopK(b *testing.B) {
+	ix, sources := knnBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := sources[i%len(sources)], sources[(i+1)%len(sources)]
+		if _, err := ix.Composite(compositeBenchRequest(a, c, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompositeAND_Materialize is the baseline the engine
+// replaces: one Range per constraint, hash-intersect, score and sort.
+func BenchmarkCompositeAND_Materialize(b *testing.B) {
+	ix, sources := knnBenchSetup(b)
+	type match struct {
+		v     int32
+		score int64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := sources[i%len(sources)], sources[(i+1)%len(sources)]
+		nearA, err := ix.Range(a, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nearC, err := ix.Range(c, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		distA := make(map[int32]int64, len(nearA)+1)
+		distA[a] = 0
+		for _, nb := range nearA {
+			distA[nb.Vertex] = nb.Distance
+		}
+		var ms []match
+		if dc, ok := distA[c]; ok {
+			ms = append(ms, match{c, dc})
+		}
+		for _, nb := range nearC {
+			if da, ok := distA[nb.Vertex]; ok {
+				ms = append(ms, match{nb.Vertex, da + nb.Distance})
+			}
+		}
+		sort.Slice(ms, func(x, y int) bool {
+			if ms[x].score != ms[y].score {
+				return ms[x].score < ms[y].score
+			}
+			return ms[x].v < ms[y].v
+		})
 	}
 }

@@ -1,0 +1,220 @@
+package main
+
+// The constraint mini-syntax behind `pll query -expr`: a compact infix
+// form of the composite-query AST, with ! binding tighter than &,
+// & tighter than |, and parentheses for grouping.
+//
+//	near(3,4) & near(9,2)            within 4 of 3 AND within 2 of 9
+//	near(0,5) & !near(7,1)           ... excluding 7's 1-neighborhood
+//	(near(2,3) | near(4,3)) & in(1,5,9)
+//
+// The parser only builds the pll.CompositeClause tree; structural rules
+// (e.g. ! only directly under &) are enforced by Validate, so the CLI
+// reports the same errors the HTTP endpoint would.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pll/pll"
+)
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+// parseExpr parses the full mini-syntax expression.
+func parseExpr(s string) (*pll.CompositeClause, error) {
+	p := &exprParser{s: s}
+	c, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.s[p.pos:], p.pos)
+	}
+	return c, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it, or 0.
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *exprParser) orExpr() (*pll.CompositeClause, error) {
+	first, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*pll.CompositeClause{first}
+	for p.peek() == '|' {
+		p.pos++
+		k, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &pll.CompositeClause{Or: kids}, nil
+}
+
+func (p *exprParser) andExpr() (*pll.CompositeClause, error) {
+	first, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*pll.CompositeClause{first}
+	for p.peek() == '&' {
+		p.pos++
+		k, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &pll.CompositeClause{And: kids}, nil
+}
+
+func (p *exprParser) notExpr() (*pll.CompositeClause, error) {
+	if p.peek() == '!' {
+		p.pos++
+		k, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &pll.CompositeClause{Not: k}, nil
+	}
+	return p.primary()
+}
+
+func (p *exprParser) primary() (*pll.CompositeClause, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case c >= 'a' && c <= 'z':
+		name := p.ident()
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "near":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("near wants (vertex,maxdist), got %d args", len(args))
+			}
+			if args[0] != int64(int32(args[0])) {
+				return nil, fmt.Errorf("near vertex %d overflows int32", args[0])
+			}
+			return &pll.CompositeClause{Near: &pll.NearClause{Source: int32(args[0]), MaxDist: args[1]}}, nil
+		case "in":
+			if len(args) == 0 {
+				return nil, fmt.Errorf("in wants at least one vertex")
+			}
+			members := make([]int32, len(args))
+			for i, a := range args {
+				if a != int64(int32(a)) {
+					return nil, fmt.Errorf("in vertex %d overflows int32", a)
+				}
+				members[i] = int32(a)
+			}
+			return &pll.CompositeClause{In: members}, nil
+		default:
+			return nil, fmt.Errorf("unknown constraint %q (want near or in)", name)
+		}
+	default:
+		return nil, fmt.Errorf("expected a constraint at offset %d", p.pos)
+	}
+}
+
+func (p *exprParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= 'a' && p.s[p.pos] <= 'z' {
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+// argList parses a parenthesized comma-separated integer list.
+func (p *exprParser) argList() ([]int64, error) {
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("missing '(' at offset %d", p.pos)
+	}
+	p.pos++
+	var args []int64
+	for {
+		p.skipSpace()
+		start := p.pos
+		if p.pos < len(p.s) && p.s[p.pos] == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.s[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number at offset %d", start)
+		}
+		args = append(args, v)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return args, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')' at offset %d", p.pos)
+		}
+	}
+}
+
+// parseTerms parses the -terms spec: comma-separated source vertices,
+// each optionally weighted as src*weight (e.g. "5*2,13").
+func parseTerms(spec string) ([]pll.CompositeTerm, error) {
+	var terms []pll.CompositeTerm
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		src, weightSpec, weighted := strings.Cut(raw, "*")
+		v, err := strconv.ParseInt(src, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad term source %q", raw)
+		}
+		t := pll.CompositeTerm{Source: int32(v)}
+		if weighted {
+			w, err := strconv.ParseInt(weightSpec, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad term weight %q", raw)
+			}
+			t.Weight = w
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}

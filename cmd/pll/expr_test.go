@@ -1,0 +1,83 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"pll/pll"
+)
+
+func near(s int32, d int64) *pll.CompositeClause {
+	return &pll.CompositeClause{Near: &pll.NearClause{Source: s, MaxDist: d}}
+}
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *pll.CompositeClause
+	}{
+		{"near(3,4)", near(3, 4)},
+		{"in(1,5,9)", &pll.CompositeClause{In: []int32{1, 5, 9}}},
+		{"near(3,4) & near(9,2)", &pll.CompositeClause{And: []*pll.CompositeClause{near(3, 4), near(9, 2)}}},
+		{"near(0,5) & !near(7,1)", &pll.CompositeClause{And: []*pll.CompositeClause{
+			near(0, 5), {Not: near(7, 1)},
+		}}},
+		// & binds tighter than |.
+		{"near(1,1) | near(2,2) & near(3,3)", &pll.CompositeClause{Or: []*pll.CompositeClause{
+			near(1, 1),
+			{And: []*pll.CompositeClause{near(2, 2), near(3, 3)}},
+		}}},
+		// Parens override precedence.
+		{"(near(1,1) | near(2,2)) & in(4)", &pll.CompositeClause{And: []*pll.CompositeClause{
+			{Or: []*pll.CompositeClause{near(1, 1), near(2, 2)}},
+			{In: []int32{4}},
+		}}},
+		{" near( 10 , 20 ) ", near(10, 20)},
+	}
+	for _, tc := range cases {
+		got, err := parseExpr(tc.in)
+		if err != nil {
+			t.Fatalf("parseExpr(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("parseExpr(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"near(3)",
+		"near(3,4,5)",
+		"in()",
+		"far(3,4)",
+		"near(3,4) &",
+		"near(3,4) near(5,6)",
+		"(near(3,4)",
+		"near(3,4))",
+		"near(x,4)",
+		"near(99999999999,4)",
+		"& near(3,4)",
+	} {
+		if _, err := parseExpr(in); err == nil {
+			t.Fatalf("parseExpr(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseTerms(t *testing.T) {
+	got, err := parseTerms("5*2, 13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pll.CompositeTerm{{Source: 5, Weight: 2}, {Source: 13}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseTerms = %+v, want %+v", got, want)
+	}
+	for _, in := range []string{"", "x", "5*", "5*x", "5**2"} {
+		if _, err := parseTerms(in); err == nil {
+			t.Fatalf("parseTerms(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp 16] [-order Degree] [-paths] [-workers 0]
 //	pll query     -index g.pll 0 42 17 99        # pairs of vertices
 //	pll query     -index g.pll -disk 0 42        # disk-resident querying
+//	pll query     -index g.pll -expr "near(3,4) & near(9,2)" -k 10  # composite constraints
 //	pll knn       -index g.pll -k 10 0 42        # k nearest vertices per source
 //	pll knn       -index g.pll -radius 3 0       # everything within distance 3
 //	pll knn       -index g.pll -set 3,17,29 0    # nearest members of a subset
@@ -70,6 +71,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pll construct -graph g.txt -index g.pll [-kind undirected|directed|weighted] [-bp N] [-order Degree|Random|Closeness] [-seed N] [-paths] [-workers N]
   pll query     -index g.pll [-disk|-mmap] s t [s t ...]
+  pll query     -index g.pll [-mmap] -expr "near(3,4) & !near(9,1)" [-rank sum|max] [-terms src[*w],...] [-k N]
   pll knn       -index g.pll [-k N] [-radius R] [-set v1,v2,...] [-mmap] s [s ...]
   pll path      -index g.pll s t          # index must be built with -paths
   pll stats     -index g.pll
@@ -176,12 +178,25 @@ func query(args []string) error {
 	indexPath := fs.String("index", "", "index file")
 	disk := fs.Bool("disk", false, "answer from disk without loading labels (version-1 files)")
 	mmapped := fs.Bool("mmap", false, "memory-map a flat container instead of heap-loading it")
+	expr := fs.String("expr", "", `composite constraint expression, e.g. "near(3,4) & !near(9,1)"`)
+	rankBy := fs.String("rank", "sum", "composite ranking: sum or max of the weighted term distances")
+	terms := fs.String("terms", "", "composite ranking terms: src[*weight],... (default: the near sources)")
+	topK := fs.Int("k", 0, "keep only the k best-ranked composite matches (0 = all)")
 	fs.Parse(args)
 	if *indexPath == "" {
 		return fmt.Errorf("query needs -index")
 	}
 	if *disk && *mmapped {
 		return fmt.Errorf("-disk and -mmap are mutually exclusive")
+	}
+	if *expr != "" {
+		if *disk {
+			return fmt.Errorf("-expr needs the in-memory or mmap engine; drop -disk")
+		}
+		if len(fs.Args()) != 0 {
+			return fmt.Errorf("-expr takes no vertex arguments")
+		}
+		return compositeQuery(*indexPath, *mmapped, *expr, *rankBy, *terms, *topK)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 || len(rest)%2 != 0 {
@@ -231,6 +246,57 @@ func query(args []string) error {
 			return err
 		}
 		printDistance(p[0], p[1], o.Distance(p[0], p[1]))
+	}
+	return nil
+}
+
+// compositeQuery answers `pll query -expr`: parse the constraint
+// mini-syntax, attach ranking, and run it through the CompositeSearcher
+// capability of the loaded (or memory-mapped) index.
+func compositeQuery(indexPath string, mmapped bool, expr, rankBy, termSpec string, topK int) error {
+	where, err := parseExpr(expr)
+	if err != nil {
+		return fmt.Errorf("bad -expr: %v", err)
+	}
+	req := &pll.CompositeRequest{Where: where, K: topK}
+	if rankBy != "sum" || termSpec != "" {
+		req.Rank = &pll.CompositeRank{By: rankBy}
+		if termSpec != "" {
+			if req.Rank.Terms, err = parseTerms(termSpec); err != nil {
+				return err
+			}
+		}
+	}
+	var o pll.Oracle
+	if mmapped {
+		fi, err := pll.Open(indexPath)
+		if err != nil {
+			return err
+		}
+		defer fi.Close()
+		o = fi
+	} else if o, err = pll.LoadFile(indexPath); err != nil {
+		return err
+	}
+	cs, ok := o.(pll.CompositeSearcher)
+	if !ok {
+		return fmt.Errorf("the %T oracle does not support composite queries", o)
+	}
+	res, err := cs.Composite(req)
+	if err != nil {
+		return err
+	}
+	exactness := "exactly"
+	if !res.Exact {
+		exactness = "at least"
+	}
+	fmt.Printf("%d matches (%s %d satisfy the constraints)\n", len(res.Matches), exactness, res.Total)
+	for _, m := range res.Matches {
+		if m.Score < 0 {
+			fmt.Printf("  %d\tscore=unreachable\n", m.Vertex)
+			continue
+		}
+		fmt.Printf("  %d\tscore=%d\tterms=%v\n", m.Vertex, m.Score, m.Terms)
 	}
 	return nil
 }

@@ -1,0 +1,171 @@
+package hubsearch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// completeCover builds the trivial all-hubs 2-hop cover of a random
+// undirected graph: every vertex stores its BFS distance to every
+// reachable vertex, so every source run merge is exact by construction.
+// Returns the inversion, per-source runs, and the distance matrix
+// (-1 = unreachable).
+func completeCover(n int, edges [][2]int32) (*Inverted, [][]Run, [][]int64) {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	dist := make([][]int64, n)
+	for s := 0; s < n; s++ {
+		d := make([]int64, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if d[w] < 0 {
+					d[w] = d[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		dist[s] = d
+	}
+	inv := Build(n, 0, nil, nil, func(add func(run, vertex int32, dist uint32)) {
+		for v := 0; v < n; v++ {
+			for h := 0; h < n; h++ {
+				if dist[v][h] >= 0 {
+					add(int32(h), int32(v), uint32(dist[v][h]))
+				}
+			}
+		}
+	})
+	src := make([][]Run, n)
+	for s := 0; s < n; s++ {
+		for h := 0; h < n; h++ {
+			if dist[s][h] >= 0 {
+				src[s] = append(src[s], Run{ID: int32(h), Base: dist[s][h]})
+			}
+		}
+	}
+	return inv, src, dist
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) [][2]int32 {
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int32{int32(u), int32(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// TestStreamMatchesRange checks the pull-based merge against Range on
+// random graphs: same vertex set, exact distances, nondecreasing yield
+// order, cutoff respected, each vertex at most once.
+func TestStreamMatchesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{1, 0}, {8, 0.3}, {25, 0.12}, {40, 0.05}, {40, 0.3}} {
+		inv, src, dist := completeCover(tc.n, randomGraph(rng, tc.n, tc.p))
+		sc := NewScratch(tc.n)
+		for s := 0; s < tc.n; s++ {
+			for _, cutoff := range []int64{-1, 0, 1, 2, 5, int64(tc.n)} {
+				want := inv.Range(src[s], int32(s), nil, nil, cutoff, sc)
+				st := inv.NewStream(src[s], int32(s), nil, nil, cutoff, sc)
+				var got []Result
+				prev := int64(-1)
+				seen := map[int32]bool{}
+				for {
+					r, ok := st.Next()
+					if !ok {
+						break
+					}
+					if r.Dist < prev {
+						t.Fatalf("n=%d s=%d cutoff=%d: distances not nondecreasing (%d after %d)", tc.n, s, cutoff, r.Dist, prev)
+					}
+					prev = r.Dist
+					if seen[r.Rank] {
+						t.Fatalf("n=%d s=%d cutoff=%d: vertex %d yielded twice", tc.n, s, cutoff, r.Rank)
+					}
+					seen[r.Rank] = true
+					if r.Dist > cutoff {
+						t.Fatalf("n=%d s=%d cutoff=%d: yielded dist %d beyond cutoff", tc.n, s, cutoff, r.Dist)
+					}
+					if r.Dist != dist[s][r.Rank] {
+						t.Fatalf("n=%d s=%d: stream says d(%d)=%d, matrix says %d", tc.n, s, r.Rank, r.Dist, dist[s][r.Rank])
+					}
+					got = append(got, r)
+				}
+				st.Close()
+				byRank := func(rs []Result) {
+					sort.Slice(rs, func(i, j int) bool { return rs[i].Rank < rs[j].Rank })
+				}
+				byRank(got)
+				byRank(want)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d s=%d cutoff=%d: stream yielded %d vertices, Range %d", tc.n, s, cutoff, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d s=%d cutoff=%d: stream[%d]=%v, Range=%v", tc.n, s, cutoff, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEarlyClose checks that abandoning a stream mid-iteration
+// leaves the scratch reusable.
+func TestStreamEarlyClose(t *testing.T) {
+	inv, src := buildToy()
+	sc := NewScratch(5)
+	st := inv.NewStream(src[0], 0, nil, nil, 10, sc)
+	if _, ok := st.Next(); !ok {
+		t.Fatal("stream from vertex 0 yielded nothing")
+	}
+	st.Close()
+	// The scratch must be clean: a full Range over it sees all 4.
+	if got := inv.Range(src[0], 0, nil, nil, 10, sc); len(got) != 4 {
+		t.Fatalf("Range after early Close found %d vertices, want 4", len(got))
+	}
+}
+
+func TestPrefixWithin(t *testing.T) {
+	inv, _ := buildToy()
+	// Run 0 of the toy path graph holds dists 0,1,2,3,4.
+	for maxDist, want := range map[int64]int64{-1: 0, 0: 1, 2: 3, 4: 5, 100: 5, int64(^uint32(0)) + 7: 5} {
+		if got := inv.PrefixWithin(0, maxDist); got != want {
+			t.Fatalf("PrefixWithin(0, %d) = %d, want %d", maxDist, got, want)
+		}
+	}
+	if got := inv.PrefixWithin(4, 0); got != 1 {
+		t.Fatalf("PrefixWithin(4, 0) = %d, want 1", got)
+	}
+	if got := inv.PrefixWithin(99, 5); got != 0 {
+		t.Fatalf("PrefixWithin on out-of-range run = %d, want 0", got)
+	}
+	// Compact inversions answer through RunIndex; absent runs are empty.
+	sub := BuildSubset(5, 0, nil, nil, func(add func(run, vertex int32, dist uint32)) {
+		add(2, 3, 1)
+		add(2, 4, 2)
+	})
+	if got := sub.PrefixWithin(2, 1); got != 1 {
+		t.Fatalf("subset PrefixWithin(2, 1) = %d, want 1", got)
+	}
+	if got := sub.PrefixWithin(0, 5); got != 0 {
+		t.Fatalf("subset PrefixWithin on absent run = %d, want 0", got)
+	}
+}

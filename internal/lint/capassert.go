@@ -7,7 +7,8 @@ import (
 )
 
 // CapAssert enforces the capability-discovery protocol around the
-// optional query interfaces (pll.Batcher, pll.Searcher, pll.Closer).
+// optional query interfaces (pll.Batcher, pll.Searcher,
+// pll.CompositeSearcher, pll.Closer).
 //
 // Capabilities are probed, never assumed: an oracle that arrived
 // through the generic constructors may be any variant, so a
@@ -17,11 +18,12 @@ import (
 // interface and suggests the two-result form with an explicit guard.
 //
 // It also polices the error half of the protocol: search queries (KNN,
-// Range, NearestIn) report missing capabilities through their error
-// result (ErrNoSearch, ErrStaleSet) rather than by panicking, so a
-// discarded error silently converts "this oracle cannot search" into
-// "no neighbors found". Calls whose error result is dropped — an
-// expression statement or a blank-identifier assignment — are flagged.
+// Range, NearestIn, Composite) report missing capabilities through
+// their error result (ErrNoSearch, ErrStaleSet) rather than by
+// panicking, so a discarded error silently converts "this oracle
+// cannot search" into "no neighbors found". Calls whose error result
+// is dropped — an expression statement or a blank-identifier
+// assignment — are flagged.
 var CapAssert = &Analyzer{
 	Name: "capassert",
 	Doc: "flag single-result assertions to capability interfaces and " +
@@ -29,12 +31,13 @@ var CapAssert = &Analyzer{
 	Run: runCapAssert,
 }
 
-// searcherMethods are the pll.Searcher methods whose error result
-// carries the capability signal.
+// searcherMethods are the pll.Searcher and pll.CompositeSearcher
+// methods whose error result carries the capability signal.
 var searcherMethods = map[string]bool{
 	"KNN":       true,
 	"Range":     true,
 	"NearestIn": true,
+	"Composite": true,
 }
 
 func runCapAssert(pass *Pass) error {
@@ -134,7 +137,7 @@ func capabilityName(t types.Type) string {
 		return ""
 	}
 	switch obj.Name() {
-	case "Batcher", "Searcher", "Closer":
+	case "Batcher", "Searcher", "CompositeSearcher", "Closer":
 		return obj.Name()
 	}
 	return ""

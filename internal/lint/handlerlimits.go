@@ -276,27 +276,40 @@ func (r *reachability) anyCall(bodies []*ast.BlockStmt, match func(*types.Func) 
 }
 
 // hasSliceField reports whether t (struct or pointer-to-struct) has a
-// slice-typed field, directly or one level of embedding down.
+// slice-typed field anywhere in its reachable shape: directly, through
+// embedding, or nested inside named struct or pointer fields. The
+// recursion matters for tree-shaped request types (a composite query's
+// clause tree holds its fan-out in nested []*Clause and []int32
+// fields, none of them at the top level); a seen-set keeps recursive
+// types from looping.
 func hasSliceField(t types.Type) bool {
+	return hasSliceFieldRec(t, map[types.Type]bool{})
+}
+
+func hasSliceFieldRec(t types.Type, seen map[types.Type]bool) bool {
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
 	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
 	st, ok := t.Underlying().(*types.Struct)
 	if !ok {
 		return false
 	}
 	for i := 0; i < st.NumFields(); i++ {
-		ft := st.Field(i).Type().Underlying()
-		if _, ok := ft.(*types.Slice); ok {
+		ft := st.Field(i).Type()
+		switch u := ft.Underlying().(type) {
+		case *types.Slice:
 			return true
-		}
-		if st.Field(i).Embedded() {
-			if es, ok := ft.(*types.Struct); ok {
-				for j := 0; j < es.NumFields(); j++ {
-					if _, ok := es.Field(j).Type().Underlying().(*types.Slice); ok {
-						return true
-					}
-				}
+		case *types.Pointer:
+			if hasSliceFieldRec(u.Elem(), seen) {
+				return true
+			}
+		case *types.Struct:
+			if hasSliceFieldRec(ft, seen) {
+				return true
 			}
 		}
 	}

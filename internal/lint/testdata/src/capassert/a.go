@@ -10,13 +10,19 @@ func singleResult(o pll.Oracle) {
 	o.(pll.Closer).Close()                // want `single-result assertion to capability interface pll\.Closer`
 	var s pll.Searcher = o.(pll.Searcher) // want `single-result assertion to capability interface pll\.Searcher`
 	_ = s
+	cs := o.(pll.CompositeSearcher) // want `single-result assertion to capability interface pll\.CompositeSearcher`
+	_ = cs
 }
 
-func discarded(s pll.Searcher, set *pll.VertexSet) {
+func discarded(s pll.Searcher, cs pll.CompositeSearcher, set *pll.VertexSet) {
 	s.KNN(1, 2)             // want `result of KNN discarded`
 	ns, _ := s.Range(1, 10) // want `error of Range assigned to _`
 	_ = ns
 	_, _ = s.NearestIn(1, set, 3) // want `error of NearestIn assigned to _`
+	req := &pll.CompositeRequest{}
+	cs.Composite(req)           // want `result of Composite discarded`
+	res, _ := cs.Composite(req) // want `error of Composite assigned to _`
+	_ = res
 }
 
 func probed(o pll.Oracle) {

@@ -25,6 +25,18 @@ type scalarRequest struct {
 	T int32 `json:"t"`
 }
 
+// clause mirrors a composite-query constraint tree: the client-
+// controlled fan-out hides in slices nested below pointer fields.
+type clause struct {
+	Kids []*clause `json:"kids"`
+	In   []int32   `json:"in"`
+}
+
+type nestedRequest struct {
+	Where *clause `json:"where"`
+	K     int     `json:"k"`
+}
+
 // decodeBody mirrors the real blessed wrapper: body cap, then decode.
 func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
@@ -68,6 +80,24 @@ func (s *server) handleScalar(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *server) handleNestedNoFanout(w http.ResponseWriter, r *http.Request) {
+	var req nestedRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	_ = req.Where
+}
+
+func (s *server) handleNestedGood(w http.ResponseWriter, r *http.Request) {
+	var req nestedRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !s.checkFanout(w, len(req.Where.Kids)) {
+		return
+	}
+}
+
 func (s *server) handleInline(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !s.decodeBody(w, r, &req) {
@@ -87,4 +117,8 @@ func register(s *server) {
 	mux.HandleFunc("POST /inline", s.handleInline)               // explicit MaxBatch comparison counts
 	mux.HandleFunc("GET /read", s.handleNoBodyCap)               // GET: body limits not required
 	mux.Handle("POST /conv", http.HandlerFunc(s.handleNoFanout)) // want `never caps its length against MaxBatch`
+	// Fan-out nested below pointer fields (a composite clause tree)
+	// counts as slice-bearing too.
+	mux.HandleFunc("POST /nested", s.handleNestedNoFanout) // want `never caps its length against MaxBatch`
+	mux.HandleFunc("POST /nestedgood", s.handleNestedGood)
 }

@@ -31,6 +31,30 @@ type Searcher interface {
 	NearestIn(s int32, set *VertexSet, k int) ([]Neighbor, error)
 }
 
+// CompositeClause mirrors the real constraint-tree node: the request's
+// fan-out lives in slices nested below pointer fields, never at the
+// top level.
+type CompositeClause struct {
+	And []*CompositeClause
+	In  []int32
+}
+
+// CompositeRequest mirrors the real composite-query request.
+type CompositeRequest struct {
+	Where *CompositeClause
+	K     int
+}
+
+// CompositeResult mirrors the real composite-query answer.
+type CompositeResult struct {
+	Total int
+}
+
+// CompositeSearcher is the composite-query capability.
+type CompositeSearcher interface {
+	Composite(req *CompositeRequest) (*CompositeResult, error)
+}
+
 // Closer marks resource-backed oracles.
 type Closer interface {
 	Close() error

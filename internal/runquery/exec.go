@@ -1,0 +1,488 @@
+package runquery
+
+import "sort"
+
+// Execute answers a query against a backend. The query is validated
+// first; execution then follows one of two plans:
+//
+//   - Ranked streaming, when a top-k limit is set and the cheapest
+//     positive root conjunct is a near-constraint whose source carries a
+//     positive ranking weight: that constraint's neighborhood streams
+//     lazily in distance order (hubsearch.Stream), remaining conjuncts
+//     are answered by label probes per candidate, and the scan stops as
+//     soon as the weighted driver distance alone exceeds the current
+//     k-th best score.
+//   - Boolean enumeration otherwise: the tree is materialized bottom-up
+//     with cutoff-pushed Range scans at the leaves, galloping
+//     intersections driven by the most selective conjunct, and probe
+//     fallback for wide conjuncts; every match is then scored.
+//
+// Both plans yield the same match set up to the documented trim rule.
+func Execute(b Backend, q *Query) (*ResultSet, error) {
+	if err := q.Validate(b.NumVertices()); err != nil {
+		return nil, err
+	}
+	e := &exec{b: b, q: q}
+	defer e.release()
+	if drv := e.streamDriver(); drv != nil {
+		return e.executeStreamed(drv), nil
+	}
+	return e.executeBool(), nil
+}
+
+// exec carries one execution's state: the backend, the query, and the
+// probers pinned so far (one label expansion per distinct source, reused
+// across every candidate probe).
+type exec struct {
+	b       Backend
+	q       *Query
+	probers map[int32]Prober
+}
+
+func (e *exec) prober(rs int32) Prober {
+	if e.probers == nil {
+		e.probers = make(map[int32]Prober)
+	}
+	p, ok := e.probers[rs]
+	if !ok {
+		p = e.b.NewProber(rs)
+		e.probers[rs] = p
+	}
+	return p
+}
+
+func (e *exec) release() {
+	for _, p := range e.probers {
+		p.Release()
+	}
+}
+
+func (e *exec) termWeight(src int32) (int64, bool) {
+	for _, t := range e.q.Terms {
+		if t.Source == src {
+			return t.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// streamDriver picks the constraint whose neighborhood should stream
+// lazily, or nil when the query must run in boolean mode. Streaming
+// needs a top-k limit, a near-constraint as the cheapest positive root
+// conjunct, and a positive ranking weight on its source — the weight is
+// what ties the stream's distance order to a lower bound on the score.
+func (e *exec) streamDriver() *Node {
+	if e.q.K <= 0 {
+		return nil
+	}
+	var drv *Node
+	switch root := e.q.Root; root.Op {
+	case OpNear:
+		drv = root
+	case OpAnd:
+		best := unbounded
+		for _, k := range root.Kids {
+			if k.Op == OpNot {
+				continue
+			}
+			if v := e.estimate(k); drv == nil || v < best {
+				best, drv = v, k
+			}
+		}
+		if drv == nil || drv.Op != OpNear {
+			return nil
+		}
+	default:
+		return nil
+	}
+	if w, ok := e.termWeight(drv.Source); !ok || w <= 0 {
+		return nil
+	}
+	return drv
+}
+
+// executeStreamed runs the ranked plan: pull candidates off the driver
+// stream in nondecreasing distance order, filter through the sibling
+// conjuncts, score, and stop once the k-th best score cannot be beaten
+// or tied by anything still in the stream.
+func (e *exec) executeStreamed(drv *Node) *ResultSet {
+	b := e.b
+	wDrv, _ := e.termWeight(drv.Source)
+	k := e.q.K
+	var (
+		matches []Match
+		reach   scoreHeap // k smallest reachable scores so far
+		stopped bool
+	)
+	consider := func(v int32, d int64) {
+		if !e.passesSiblings(drv, v) {
+			return
+		}
+		m := e.score(v, drv.Source, d)
+		matches = append(matches, m)
+		if m.Score >= 0 {
+			reach.offer(m.Score, k)
+		}
+	}
+	runs, s1, s0 := b.SourceRuns(drv.Source)
+	sc := b.GetScratch()
+	st := b.Inverted().NewStream(runs, drv.Source, s1, s0, drv.Cutoff, sc)
+	consider(drv.Source, 0) // the stream excludes the source itself
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		if len(reach) >= k && wDrv*r.Dist > reach[0] {
+			// Upper-bound pruning: every future candidate is at least
+			// this far from the driver source, so it scores at least
+			// wDrv*dist — strictly beyond the current k-th best, with no
+			// possible tie. The trim rule stays exact; only Total
+			// degrades to a lower bound.
+			stopped = true
+			break
+		}
+		consider(r.Rank, r.Dist)
+	}
+	st.Close()
+	b.PutScratch(sc)
+	return e.finish(matches, !stopped)
+}
+
+// passesSiblings checks every root conjunct other than the driver.
+func (e *exec) passesSiblings(drv *Node, v int32) bool {
+	root := e.q.Root
+	if root == drv {
+		return true
+	}
+	for _, k := range root.Kids {
+		if k == drv {
+			continue
+		}
+		if k.Op == OpNot {
+			if e.eval(k.Kids[0], v) {
+				return false
+			}
+		} else if !e.eval(k, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// executeBool runs the enumeration plan and scores every match.
+func (e *exec) executeBool() *ResultSet {
+	cands := e.enumerate(e.q.Root)
+	matches := make([]Match, 0, len(cands))
+	for _, v := range cands {
+		matches = append(matches, e.score(v, -1, 0))
+	}
+	return e.finish(matches, true)
+}
+
+// enumFanout is how much larger a conjunct's estimate may be than the
+// current candidate list before per-candidate probing beats enumerating
+// and intersecting it: a probe costs one label scan, an enumeration
+// costs the conjunct's whole scan mass.
+const enumFanout = 8
+
+// enumerate materializes a subtree's match set as a strictly ascending
+// rank slice. The result never aliases query-owned memory.
+func (e *exec) enumerate(nd *Node) []int32 {
+	switch nd.Op {
+	case OpNear:
+		return e.enumerateNear(nd)
+	case OpIn:
+		return append([]int32(nil), nd.Members...)
+	case OpOr:
+		var acc []int32
+		for _, k := range nd.Kids {
+			acc = unionSorted(acc, e.enumerate(k))
+		}
+		return acc
+	case OpAnd:
+		// The cheapest positive conjunct drives; validation guarantees
+		// one exists.
+		var drv *Node
+		best := unbounded
+		for _, k := range nd.Kids {
+			if k.Op == OpNot {
+				continue
+			}
+			if v := e.estimate(k); drv == nil || v < best {
+				best, drv = v, k
+			}
+		}
+		cands := e.enumerate(drv)
+		for _, k := range nd.Kids {
+			if k == drv {
+				continue
+			}
+			if len(cands) == 0 {
+				break
+			}
+			switch {
+			case k.Op == OpNot:
+				cands = filterInPlace(cands, func(v int32) bool { return !e.eval(k.Kids[0], v) })
+			case k.Op == OpIn:
+				cands = gallopIntersect(cands, k.Members)
+			case e.estimate(k) <= enumFanout*int64(len(cands)):
+				cands = gallopIntersect(cands, e.enumerate(k))
+			default:
+				cands = filterInPlace(cands, func(v int32) bool { return e.eval(k, v) })
+			}
+		}
+		return cands
+	}
+	return nil
+}
+
+// enumerateNear materializes one near-constraint via a cutoff-pushed
+// Range scan, adding the source itself (d(s,s)=0, and cutoffs are
+// non-negative, so the source always matches its own constraint).
+func (e *exec) enumerateNear(nd *Node) []int32 {
+	b := e.b
+	runs, s1, s0 := b.SourceRuns(nd.Source)
+	sc := b.GetScratch()
+	res := b.Inverted().Range(runs, nd.Source, s1, s0, nd.Cutoff, sc)
+	out := make([]int32, 0, len(res)+1)
+	out = append(out, nd.Source)
+	for _, r := range res {
+		out = append(out, r.Rank)
+	}
+	b.PutScratch(sc)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// eval answers one membership test by point probes — no enumeration.
+func (e *exec) eval(nd *Node, v int32) bool {
+	switch nd.Op {
+	case OpNear:
+		if v == nd.Source {
+			return true
+		}
+		d := e.prober(nd.Source).Dist(v)
+		return d >= 0 && d <= nd.Cutoff
+	case OpIn:
+		i := sort.Search(len(nd.Members), func(i int) bool { return nd.Members[i] >= v })
+		return i < len(nd.Members) && nd.Members[i] == v
+	case OpAnd:
+		for _, k := range nd.Kids {
+			if k.Op == OpNot {
+				if e.eval(k.Kids[0], v) {
+					return false
+				}
+			} else if !e.eval(k, v) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range nd.Kids {
+			if e.eval(k, v) {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return !e.eval(nd.Kids[0], v)
+	}
+	return false
+}
+
+// score computes v's ranking-term distances and combined score.
+// knownSrc/knownDist short-circuit the term matching the driver stream
+// (pass knownSrc -1 when there is none). An unreachable term makes the
+// whole score -1; its raw distance stays -1 in Terms.
+func (e *exec) score(v int32, knownSrc int32, knownDist int64) Match {
+	m := Match{Rank: v}
+	if len(e.q.Terms) == 0 {
+		return m
+	}
+	m.Terms = make([]int64, len(e.q.Terms))
+	for i, t := range e.q.Terms {
+		var d int64
+		switch {
+		case t.Source == v:
+			d = 0
+		case t.Source == knownSrc:
+			d = knownDist
+		default:
+			d = e.prober(t.Source).Dist(v)
+		}
+		m.Terms[i] = d
+		if d < 0 {
+			m.Score = -1
+		} else if m.Score >= 0 {
+			if w := t.Weight * d; e.q.Agg == AggMax {
+				if w > m.Score {
+					m.Score = w
+				}
+			} else {
+				m.Score += w
+			}
+		}
+	}
+	return m
+}
+
+// finish sorts the match set, records totals and applies the K trim,
+// keeping every tie at the k-th score for the caller's own tie-break.
+func (e *exec) finish(matches []Match, exact bool) *ResultSet {
+	sortMatches(matches)
+	if len(matches) == 0 {
+		matches = nil // empty and nil answers marshal identically
+	}
+	rs := &ResultSet{Total: len(matches), Exact: exact}
+	if k := e.q.K; k > 0 && len(matches) > k {
+		end := k
+		for end < len(matches) && matches[end].Score == matches[k-1].Score {
+			end++
+		}
+		matches = matches[:end]
+	}
+	rs.Matches = matches
+	return rs
+}
+
+// sortMatches orders by (reachability class, score, rank): every fully
+// reachable match before any -1-scored one, then ascending score, then
+// ascending rank.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if (a.Score < 0) != (b.Score < 0) {
+			return b.Score < 0
+		}
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Rank < b.Rank
+	})
+}
+
+// filterInPlace keeps the elements satisfying keep, reusing s's backing
+// array (s must not alias query-owned memory).
+func filterInPlace(s []int32, keep func(int32) bool) []int32 {
+	out := s[:0]
+	for _, v := range s {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// unionSorted merges two strictly ascending slices. Inputs must not
+// alias query-owned memory (one of them may be returned as-is).
+func unionSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// gallopIntersect intersects two strictly ascending slices into a fresh
+// slice, walking the smaller one and galloping (exponential probe +
+// binary search) through the larger — O(|small| · log |large|) when the
+// sizes are lopsided, never worse than a linear merge.
+func gallopIntersect(a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int32, 0, len(a))
+	i := 0
+	for _, v := range a {
+		// Exponential probe for a window containing the first b >= v.
+		step := 1
+		j := i
+		for j < len(b) && b[j] < v {
+			i = j + 1
+			j = i + step
+			step <<= 1
+		}
+		end := j + 1
+		if end > len(b) {
+			end = len(b)
+		}
+		lo, hi := i, end
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		i = lo
+		if i >= len(b) {
+			break
+		}
+		if b[i] == v {
+			out = append(out, v)
+			i++
+		}
+	}
+	return out
+}
+
+// scoreHeap is a size-capped max-heap holding the k smallest reachable
+// scores seen so far; once full, its root is the pruning bound.
+type scoreHeap []int64
+
+func (h *scoreHeap) offer(s int64, k int) {
+	if len(*h) < k {
+		*h = append(*h, s)
+		i := len(*h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if (*h)[p] >= (*h)[i] {
+				break
+			}
+			(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+			i = p
+		}
+		return
+	}
+	if s >= (*h)[0] {
+		return
+	}
+	(*h)[0] = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(*h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(*h) && (*h)[r] > (*h)[l] {
+			m = r
+		}
+		if (*h)[i] >= (*h)[m] {
+			return
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+}

@@ -1,0 +1,317 @@
+// Package runquery is a streaming multi-constraint query engine over
+// the hub-inverted label runs of internal/hubsearch. A query is a small
+// boolean algebra over distance constraints —
+//
+//	near(s, d)   every vertex within distance d of source s
+//	in(V)        membership in an explicit vertex set
+//	and / or     intersection and union of subtrees
+//	not          exclusion (only inside an and, next to a positive term)
+//
+// — plus a ranking expression (sum, max or weighted sum of distances to
+// named sources) and an optional top-k limit. One request can therefore
+// express "vertices within d₁ of A and d₂ of B, not within d₃ of C,
+// ranked by combined distance, top k" without materializing any
+// intermediate neighborhood.
+//
+// The engine works entirely in rank space (the construction order of
+// the owning index); internal/core adapts each index variant through
+// the Backend interface and maps ranks back to vertex IDs. Execution
+// follows three ideas borrowed from clause-based datalog planners:
+//
+//   - Predicate pushdown: every leaf scan pushes its distance cutoff
+//     into the inverted runs (hubsearch.Range / hubsearch.Stream), so a
+//     leaf costs its cutoff-bounded scan mass, never O(n).
+//   - Selectivity-ordered evaluation: a tiny planner estimates each
+//     subtree's cardinality from run-prefix lengths (PrefixWithin) and
+//     lets the smallest stream drive; the remaining conjuncts are
+//     either gallop-intersected (when enumerably small) or answered by
+//     pinned-label probes that cost one label scan per candidate.
+//   - Top-k upper-bound pruning: when the driver constraint's source
+//     participates in the ranking with positive weight, the driver
+//     streams candidates in nondecreasing distance order and the scan
+//     stops as soon as the weighted driver distance alone exceeds the
+//     current k-th best score — the composition never looks at the far
+//     tail of the neighborhood.
+package runquery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pll/internal/hubsearch"
+)
+
+// Op identifies a constraint-tree node kind.
+type Op uint8
+
+const (
+	// OpNear matches vertices within Cutoff of Source.
+	OpNear Op = iota
+	// OpIn matches the explicit Members set.
+	OpIn
+	// OpAnd intersects its children; OpNot children act as exclusions.
+	OpAnd
+	// OpOr unions its children.
+	OpOr
+	// OpNot negates its single child; valid only directly under OpAnd.
+	OpNot
+)
+
+// Node is one constraint-tree node in rank space.
+type Node struct {
+	Op      Op
+	Source  int32   // OpNear: source rank
+	Cutoff  int64   // OpNear: maximum distance, inclusive
+	Members []int32 // OpIn: member ranks, strictly ascending
+	Kids    []*Node // OpAnd/OpOr children; OpNot's single child
+}
+
+// Agg selects how ranked term distances combine into one score.
+type Agg uint8
+
+const (
+	// AggSum scores by the weighted sum of term distances.
+	AggSum Agg = iota
+	// AggMax scores by the maximum weighted term distance.
+	AggMax
+)
+
+// Term is one ranking term: the distance from Source scaled by Weight.
+type Term struct {
+	Source int32
+	Weight int64
+}
+
+// Query is a full rank-space request: the constraint tree, the ranking
+// expression and the result limit.
+type Query struct {
+	Root *Node
+	Agg  Agg
+	// Terms are the ranking terms; distinct sources only. Empty terms
+	// score every match 0, ordering results by rank alone.
+	Terms []Term
+	// K trims the result to the k best scores, keeping ties at the
+	// k-th score (the caller applies the final tie-break); 0 keeps all.
+	K int
+}
+
+// Match is one query answer in rank space.
+type Match struct {
+	Rank  int32
+	Score int64 // -1 when a ranked term is unreachable; sorts last
+	Terms []int64
+}
+
+// MaxWeight caps ranking weights and MaxTerms caps the term count so a
+// weighted sum of label distances (each under 2^33) stays well inside
+// int64: 64 · 2^20 · 2^33 < 2^60.
+const (
+	MaxWeight = 1 << 20
+	MaxTerms  = 64
+)
+
+// ResultSet is the engine's answer: matches sorted by (score, rank)
+// with unreachable-scored matches last, ties at the k-th score kept.
+type ResultSet struct {
+	Matches []Match
+	// Total counts the matches found before the K trim — exact when
+	// Exact is set, a lower bound when top-k pruning stopped the scan.
+	Total int
+	Exact bool
+}
+
+// Backend adapts one index variant to the engine. All methods are in
+// rank space and must be safe for concurrent use.
+type Backend interface {
+	// NumVertices returns the vertex count n; ranks are [0, n).
+	NumVertices() int
+	// Inverted returns the hub-inverted label index.
+	Inverted() *hubsearch.Inverted
+	// SourceRuns expands source rs into merge runs plus the source-side
+	// bit-parallel masks (nil when the variant has none).
+	SourceRuns(rs int32) (runs []hubsearch.Run, s1, s0 []uint64)
+	// NewProber pins rs's label for repeated point probes. Callers
+	// Release probers when done.
+	NewProber(rs int32) Prober
+	// GetScratch and PutScratch recycle merge workspaces.
+	GetScratch() *hubsearch.Scratch
+	PutScratch(sc *hubsearch.Scratch)
+}
+
+// Prober answers exact distance probes from one pinned source:
+// Dist(rv) = d(source, rv), -1 when unreachable.
+type Prober interface {
+	Dist(rv int32) int64
+	Release()
+}
+
+// Validate checks a query against an index of n vertices: tree shape
+// (see the package comment for the not-placement rule), vertex ranges,
+// member ordering, and ranking sanity. Execution assumes a validated
+// query.
+func (q *Query) Validate(n int) error {
+	if q.Root == nil {
+		return errors.New("runquery: empty constraint tree")
+	}
+	if q.K < 0 {
+		return fmt.Errorf("runquery: negative k %d", q.K)
+	}
+	if err := validateNode(q.Root, n, false); err != nil {
+		return err
+	}
+	if len(q.Terms) > MaxTerms {
+		return fmt.Errorf("runquery: %d rank terms exceed the limit of %d", len(q.Terms), MaxTerms)
+	}
+	seen := make(map[int32]struct{}, len(q.Terms))
+	for _, t := range q.Terms {
+		if t.Source < 0 || int(t.Source) >= n {
+			return fmt.Errorf("runquery: rank term source %d out of range [0,%d)", t.Source, n)
+		}
+		if t.Weight < 0 || t.Weight > MaxWeight {
+			return fmt.Errorf("runquery: rank weight %d for source %d outside [0,%d]", t.Weight, t.Source, MaxWeight)
+		}
+		if _, dup := seen[t.Source]; dup {
+			return fmt.Errorf("runquery: duplicate rank term for source %d", t.Source)
+		}
+		seen[t.Source] = struct{}{}
+	}
+	return nil
+}
+
+// validateNode checks one subtree. underAnd reports whether the parent
+// is an OpAnd — the only place OpNot may appear: anywhere else a
+// negation would make the subtree's match set unbounded (the complement
+// of a neighborhood), which no cutoff-pushed scan can enumerate.
+func validateNode(nd *Node, n int, underAnd bool) error {
+	switch nd.Op {
+	case OpNear:
+		if nd.Source < 0 || int(nd.Source) >= n {
+			return fmt.Errorf("runquery: near source %d out of range [0,%d)", nd.Source, n)
+		}
+		if nd.Cutoff < 0 {
+			return fmt.Errorf("runquery: negative near cutoff %d", nd.Cutoff)
+		}
+	case OpIn:
+		if len(nd.Members) == 0 {
+			return errors.New("runquery: empty in-set")
+		}
+		prev := int32(-1)
+		for _, m := range nd.Members {
+			if m < 0 || int(m) >= n {
+				return fmt.Errorf("runquery: in-set member %d out of range [0,%d)", m, n)
+			}
+			if m <= prev {
+				return errors.New("runquery: in-set members must be strictly ascending")
+			}
+			prev = m
+		}
+	case OpAnd:
+		positive := 0
+		for _, k := range nd.Kids {
+			if k.Op != OpNot {
+				positive++
+			}
+			if err := validateNode(k, n, true); err != nil {
+				return err
+			}
+		}
+		if positive == 0 {
+			return errors.New("runquery: and-clause needs at least one positive child")
+		}
+	case OpOr:
+		if len(nd.Kids) == 0 {
+			return errors.New("runquery: empty or-clause")
+		}
+		for _, k := range nd.Kids {
+			if k.Op == OpNot {
+				return errors.New("runquery: not-clause must sit directly under an and-clause")
+			}
+			if err := validateNode(k, n, false); err != nil {
+				return err
+			}
+		}
+	case OpNot:
+		if !underAnd {
+			return errors.New("runquery: not-clause must sit directly under an and-clause")
+		}
+		if len(nd.Kids) != 1 {
+			return errors.New("runquery: not-clause needs exactly one child")
+		}
+		if nd.Kids[0].Op == OpNot {
+			return errors.New("runquery: nested not-clauses are not supported")
+		}
+		return validateNode(nd.Kids[0], n, false)
+	default:
+		return fmt.Errorf("runquery: unknown node op %d", nd.Op)
+	}
+	return nil
+}
+
+// NearSources appends, in tree order without duplicates, every OpNear
+// source in the tree — the default ranking terms when a request names
+// none.
+func (nd *Node) NearSources(dst []int32) []int32 {
+	switch nd.Op {
+	case OpNear:
+		for _, s := range dst {
+			if s == nd.Source {
+				return dst
+			}
+		}
+		return append(dst, nd.Source)
+	case OpNot:
+		return nd.Kids[0].NearSources(dst)
+	default:
+		for _, k := range nd.Kids {
+			dst = k.NearSources(dst)
+		}
+		return dst
+	}
+}
+
+// unbounded is the planner's "don't pick me" cardinality estimate.
+const unbounded = int64(math.MaxInt64)
+
+// estimate upper-bounds a subtree's match count without scanning:
+// leaves from run-prefix lengths (duplicates included) or member
+// counts, intersections by their cheapest positive child, unions by the
+// sum of their children.
+func (e *exec) estimate(nd *Node) int64 {
+	switch nd.Op {
+	case OpNear:
+		runs, _, _ := e.b.SourceRuns(nd.Source)
+		inv := e.b.Inverted()
+		total := int64(1) // the source itself, absent from its own runs
+		for _, r := range runs {
+			total += inv.PrefixWithin(r.ID, nd.Cutoff-r.Base)
+			if total < 0 {
+				return unbounded // overflow on a pathological cutoff
+			}
+		}
+		return total
+	case OpIn:
+		return int64(len(nd.Members))
+	case OpAnd:
+		best := unbounded
+		for _, k := range nd.Kids {
+			if k.Op == OpNot {
+				continue
+			}
+			if v := e.estimate(k); v < best {
+				best = v
+			}
+		}
+		return best
+	case OpOr:
+		var sum int64
+		for _, k := range nd.Kids {
+			v := e.estimate(k)
+			if sum += v; sum < 0 || v == unbounded {
+				return unbounded
+			}
+		}
+		return sum
+	}
+	return unbounded
+}

@@ -1,0 +1,382 @@
+package runquery
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pll/internal/hubsearch"
+)
+
+// matrixBackend adapts an all-pairs distance matrix to the engine: the
+// label family is the trivial complete cover (every vertex stores its
+// distance to every reachable vertex), so merges and probes are exact
+// by construction and the engine's answers can be checked against plain
+// matrix arithmetic.
+type matrixBackend struct {
+	n    int
+	dist [][]int64 // -1 = unreachable
+	inv  *hubsearch.Inverted
+	src  [][]hubsearch.Run
+}
+
+func newMatrixBackend(rng *rand.Rand, n int, p float64) *matrixBackend {
+	adj := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				adj[u] = append(adj[u], int32(v))
+				adj[v] = append(adj[v], int32(u))
+			}
+		}
+	}
+	dist := make([][]int64, n)
+	for s := 0; s < n; s++ {
+		d := make([]int64, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if d[w] < 0 {
+					d[w] = d[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		dist[s] = d
+	}
+	inv := hubsearch.Build(n, 0, nil, nil, func(add func(run, vertex int32, dist uint32)) {
+		for v := 0; v < n; v++ {
+			for h := 0; h < n; h++ {
+				if dist[v][h] >= 0 {
+					add(int32(h), int32(v), uint32(dist[v][h]))
+				}
+			}
+		}
+	})
+	src := make([][]hubsearch.Run, n)
+	for s := 0; s < n; s++ {
+		for h := 0; h < n; h++ {
+			if dist[s][h] >= 0 {
+				src[s] = append(src[s], hubsearch.Run{ID: int32(h), Base: dist[s][h]})
+			}
+		}
+	}
+	return &matrixBackend{n: n, dist: dist, inv: inv, src: src}
+}
+
+func (b *matrixBackend) NumVertices() int               { return b.n }
+func (b *matrixBackend) Inverted() *hubsearch.Inverted  { return b.inv }
+func (b *matrixBackend) GetScratch() *hubsearch.Scratch { return hubsearch.NewScratch(b.n) }
+func (b *matrixBackend) PutScratch(*hubsearch.Scratch)  {}
+
+func (b *matrixBackend) SourceRuns(rs int32) ([]hubsearch.Run, []uint64, []uint64) {
+	return b.src[rs], nil, nil
+}
+
+type matrixProber struct {
+	row []int64
+}
+
+func (p matrixProber) Dist(rv int32) int64 { return p.row[rv] }
+func (p matrixProber) Release()            {}
+
+func (b *matrixBackend) NewProber(rs int32) Prober { return matrixProber{row: b.dist[rs]} }
+
+// naiveExecute answers a query by scanning every vertex against the
+// matrix — the reference the engine must match exactly.
+func naiveExecute(b *matrixBackend, q *Query) *ResultSet {
+	var matches []Match
+	for v := 0; v < b.n; v++ {
+		if !naiveEval(b, q.Root, int32(v)) {
+			continue
+		}
+		m := Match{Rank: int32(v)}
+		if len(q.Terms) > 0 {
+			m.Terms = make([]int64, len(q.Terms))
+		}
+		for i, t := range q.Terms {
+			d := b.dist[t.Source][v]
+			m.Terms[i] = d
+			if d < 0 {
+				m.Score = -1
+			} else if m.Score >= 0 {
+				if w := t.Weight * d; q.Agg == AggMax {
+					if w > m.Score {
+						m.Score = w
+					}
+				} else {
+					m.Score += w
+				}
+			}
+		}
+		matches = append(matches, m)
+	}
+	sortMatches(matches)
+	rs := &ResultSet{Total: len(matches), Exact: true}
+	if q.K > 0 && len(matches) > q.K {
+		end := q.K
+		for end < len(matches) && matches[end].Score == matches[q.K-1].Score {
+			end++
+		}
+		matches = matches[:end]
+	}
+	rs.Matches = matches
+	return rs
+}
+
+func naiveEval(b *matrixBackend, nd *Node, v int32) bool {
+	switch nd.Op {
+	case OpNear:
+		d := b.dist[nd.Source][v]
+		return d >= 0 && d <= nd.Cutoff
+	case OpIn:
+		for _, m := range nd.Members {
+			if m == v {
+				return true
+			}
+		}
+		return false
+	case OpAnd:
+		for _, k := range nd.Kids {
+			if !naiveEval(b, k, v) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range nd.Kids {
+			if naiveEval(b, k, v) {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return !naiveEval(b, nd.Kids[0], v)
+	}
+	return false
+}
+
+// randomTree builds a valid random constraint tree. underAnd permits an
+// OpNot result.
+func randomTree(rng *rand.Rand, n int, depth int, underAnd bool) *Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		// Leaf.
+		if rng.Intn(4) == 0 {
+			k := 1 + rng.Intn(5)
+			seen := map[int32]bool{}
+			var members []int32
+			for len(members) < k {
+				m := int32(rng.Intn(n))
+				if !seen[m] {
+					seen[m] = true
+					members = append(members, m)
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			return &Node{Op: OpIn, Members: members}
+		}
+		return &Node{Op: OpNear, Source: int32(rng.Intn(n)), Cutoff: int64(rng.Intn(7))}
+	}
+	switch rng.Intn(3) {
+	case 0: // and, possibly with nots
+		kids := []*Node{randomTree(rng, n, depth-1, false)} // guaranteed positive child
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			if rng.Intn(3) == 0 {
+				kids = append(kids, &Node{Op: OpNot, Kids: []*Node{randomTree(rng, n, depth-1, false)}})
+			} else {
+				kids = append(kids, randomTree(rng, n, depth-1, true))
+			}
+		}
+		// A directly generated child can itself be OpNot only when we
+		// asked for one; randomTree(underAnd=true) never returns OpNot,
+		// so positivity holds via kids[0].
+		return &Node{Op: OpAnd, Kids: kids}
+	case 1:
+		kids := []*Node{randomTree(rng, n, depth-1, false)}
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			kids = append(kids, randomTree(rng, n, depth-1, false))
+		}
+		return &Node{Op: OpOr, Kids: kids}
+	default:
+		return randomTree(rng, n, depth-1, underAnd)
+	}
+}
+
+func randomQuery(rng *rand.Rand, n int) *Query {
+	q := &Query{Root: randomTree(rng, n, 3, false)}
+	if rng.Intn(2) == 0 {
+		q.Agg = AggMax
+	}
+	// Ranking terms: usually the tree's near sources, sometimes extras,
+	// sometimes none.
+	switch rng.Intn(4) {
+	case 0: // none
+	case 1:
+		for _, s := range q.Root.NearSources(nil) {
+			q.Terms = append(q.Terms, Term{Source: s, Weight: 1})
+		}
+	default:
+		seen := map[int32]bool{}
+		for _, s := range q.Root.NearSources(nil) {
+			if !seen[s] {
+				seen[s] = true
+				q.Terms = append(q.Terms, Term{Source: s, Weight: int64(1 + rng.Intn(4))})
+			}
+		}
+		for extra := rng.Intn(2); extra > 0; extra-- {
+			s := int32(rng.Intn(n))
+			if !seen[s] {
+				seen[s] = true
+				q.Terms = append(q.Terms, Term{Source: s, Weight: int64(rng.Intn(3))})
+			}
+		}
+	}
+	q.K = rng.Intn(8) // 0 = unbounded
+	return q
+}
+
+// TestExecuteMatchesNaive is the core conformance property: on random
+// graphs and random valid trees, the engine's matches must equal the
+// full-scan reference exactly — same vertices, scores, term distances
+// and order — and Total must be exact whenever the engine says so.
+func TestExecuteMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{5, 0.5}, {18, 0.15}, {30, 0.08}, {30, 0.25}, {12, 0.02}} {
+		b := newMatrixBackend(rng, tc.n, tc.p)
+		for trial := 0; trial < 300; trial++ {
+			q := randomQuery(rng, tc.n)
+			got, err := Execute(b, q)
+			if err != nil {
+				t.Fatalf("n=%d trial %d: Execute failed on a valid query: %v", tc.n, trial, err)
+			}
+			want := naiveExecute(b, q)
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				t.Fatalf("n=%d trial %d: matches diverge\nquery: %+v\ngot:  %+v\nwant: %+v",
+					tc.n, trial, q, got.Matches, want.Matches)
+			}
+			if got.Exact && got.Total != want.Total {
+				t.Fatalf("n=%d trial %d: exact Total = %d, want %d", tc.n, trial, got.Total, want.Total)
+			}
+			if !got.Exact && got.Total > want.Total {
+				t.Fatalf("n=%d trial %d: lower-bound Total %d exceeds true %d", tc.n, trial, got.Total, want.Total)
+			}
+		}
+	}
+}
+
+// TestStreamedPruningTriggers pins down that the ranked fast path both
+// engages and actually stops early on a graph where k is much smaller
+// than the neighborhood.
+func TestStreamedPruningTriggers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := newMatrixBackend(rng, 60, 0.2)
+	q := &Query{
+		Root:  &Node{Op: OpNear, Source: 0, Cutoff: 50},
+		Terms: []Term{{Source: 0, Weight: 1}},
+		K:     3,
+	}
+	e := &exec{b: b, q: q}
+	if e.streamDriver() == nil {
+		t.Fatal("ranked fast path did not engage for a near-root top-k query")
+	}
+	got, err := Execute(b, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exact {
+		t.Fatal("expected top-k pruning to stop the scan early (Exact=false)")
+	}
+	want := naiveExecute(b, q)
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("pruned matches diverge: got %+v want %+v", got.Matches, want.Matches)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	near := func(s int32, c int64) *Node { return &Node{Op: OpNear, Source: s, Cutoff: c} }
+	cases := []struct {
+		name string
+		q    *Query
+	}{
+		{"nil root", &Query{}},
+		{"negative k", &Query{Root: near(0, 1), K: -1}},
+		{"source out of range", &Query{Root: near(99, 1)}},
+		{"negative cutoff", &Query{Root: near(0, -1)}},
+		{"empty in-set", &Query{Root: &Node{Op: OpIn}}},
+		{"unsorted in-set", &Query{Root: &Node{Op: OpIn, Members: []int32{3, 1}}}},
+		{"duplicate in-set", &Query{Root: &Node{Op: OpIn, Members: []int32{1, 1}}}},
+		{"member out of range", &Query{Root: &Node{Op: OpIn, Members: []int32{12}}}},
+		{"empty or", &Query{Root: &Node{Op: OpOr}}},
+		{"top-level not", &Query{Root: &Node{Op: OpNot, Kids: []*Node{near(0, 1)}}}},
+		{"not under or", &Query{Root: &Node{Op: OpOr, Kids: []*Node{&Node{Op: OpNot, Kids: []*Node{near(0, 1)}}}}}},
+		{"and without positive child", &Query{Root: &Node{Op: OpAnd, Kids: []*Node{&Node{Op: OpNot, Kids: []*Node{near(0, 1)}}}}}},
+		{"nested not", &Query{Root: &Node{Op: OpAnd, Kids: []*Node{near(0, 1),
+			&Node{Op: OpNot, Kids: []*Node{&Node{Op: OpNot, Kids: []*Node{near(1, 1)}}}}}}}},
+		{"term out of range", &Query{Root: near(0, 1), Terms: []Term{{Source: 50, Weight: 1}}}},
+		{"negative weight", &Query{Root: near(0, 1), Terms: []Term{{Source: 0, Weight: -1}}}},
+		{"oversized weight", &Query{Root: near(0, 1), Terms: []Term{{Source: 0, Weight: MaxWeight + 1}}}},
+		{"duplicate term", &Query{Root: near(0, 1), Terms: []Term{{Source: 0, Weight: 1}, {Source: 0, Weight: 2}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.q.Validate(10); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	ok := &Query{
+		Root: &Node{Op: OpAnd, Kids: []*Node{
+			near(0, 2),
+			&Node{Op: OpOr, Kids: []*Node{near(1, 3), &Node{Op: OpIn, Members: []int32{2, 5}}}},
+			&Node{Op: OpNot, Kids: []*Node{near(3, 1)}},
+		}},
+		Terms: []Term{{Source: 0, Weight: 1}, {Source: 1, Weight: 2}},
+		K:     4,
+	}
+	if err := ok.Validate(10); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestGallopIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		mk := func(max, count int) []int32 {
+			seen := map[int32]bool{}
+			var s []int32
+			for i := 0; i < count; i++ {
+				v := int32(rng.Intn(max))
+				if !seen[v] {
+					seen[v] = true
+					s = append(s, v)
+				}
+			}
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			return s
+		}
+		a, b := mk(50, rng.Intn(20)), mk(50, rng.Intn(40))
+		want := []int32{}
+		for _, v := range a {
+			for _, w := range b {
+				if v == w {
+					want = append(want, v)
+				}
+			}
+		}
+		got := gallopIntersect(a, b)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("gallopIntersect(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}

@@ -110,6 +110,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !s.checkFanout(w, "k", int(k)) {
 		return
 	}
+	// kNN answers are deterministic for a fixed index, so the marshaled
+	// response is cached whole, keyed by the canonical (s, k) pair;
+	// /update and /reload purge it.
+	key := queryCacheKeyKNN(sv, k)
+	if body, ok := s.results.get("knn", key); ok {
+		s.searches.Add(1)
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
+	epoch := s.results.currentEpoch()
 	var res []pll.Neighbor
 	if !s.searchView(w, sv, func(sr pll.Searcher) error {
 		var err error
@@ -118,17 +128,25 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body, err := marshalResponse(map[string]any{
 		"s":         sv,
 		"k":         k,
 		"count":     len(res),
 		"neighbors": neighborsOrEmpty(res),
 	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.results.put(epoch, key, body)
+	writeJSONBytes(w, http.StatusOK, body)
 }
 
 // handleRange answers GET /range?s=V&r=D[&limit=N]: every vertex
 // within distance r of s, nearest first, truncated to limit (default
-// and maximum: MaxBatch) with a "truncated" marker.
+// and maximum: MaxBatch) with a "truncated" marker and a "total"
+// within-radius count ("total_exact" says whether the scan completed
+// or total is only a lower bound).
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	sv, err := queryInt32(r, "s")
 	if err != nil {
@@ -178,17 +196,24 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
+	// total counts the within-radius vertices before the limit cut: when
+	// the scan completed (fewer than limit+1 hits inside the radius) it
+	// is exact; when truncated, limit+1 hits were seen, so total is a
+	// lower bound and total_exact is false.
+	total := len(res)
 	truncated := false
 	if len(res) > limit {
 		res = res[:limit]
 		truncated = true
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"s":         sv,
-		"radius":    radius,
-		"count":     len(res),
-		"truncated": truncated,
-		"neighbors": neighborsOrEmpty(res),
+		"s":           sv,
+		"radius":      radius,
+		"count":       len(res),
+		"total":       total,
+		"total_exact": !truncated,
+		"truncated":   truncated,
+		"neighbors":   neighborsOrEmpty(res),
 	})
 }
 

@@ -47,9 +47,10 @@ const (
 // JSON; errors arrive as {"error": "..."} with a matching status code.
 // The zero value is not usable; call New.
 type Server struct {
-	oracle *pll.ConcurrentOracle
-	cache  *pairCache
-	cfg    Config
+	oracle  *pll.ConcurrentOracle
+	cache   *pairCache
+	results *resultCache
+	cfg     Config
 	start  time.Time
 	mux    *http.ServeMux
 
@@ -63,6 +64,7 @@ type Server struct {
 	queries    atomic.Int64 // /distance + /path answers
 	batchPairs atomic.Int64 // pairs answered through /batch
 	searches   atomic.Int64 // /knn + /range + /nearest answers
+	composites atomic.Int64 // /query answers
 	updates    atomic.Int64 // edges inserted through /update
 	reloads    atomic.Int64 // successful index swaps
 }
@@ -77,11 +79,12 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 		cfg.MaxBody = defaultMaxBody
 	}
 	s := &Server{
-		oracle: o,
-		cache:  newPairCache(cfg.CacheSize),
-		cfg:    cfg,
-		start:  time.Now(),
-		mux:    http.NewServeMux(),
+		oracle:  o,
+		cache:   newPairCache(cfg.CacheSize),
+		results: newResultCache(cfg.CacheSize),
+		cfg:     cfg,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
 	}
 	s.inflight.Store(new(sync.WaitGroup))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -94,6 +97,7 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 	s.mux.HandleFunc("GET /knn", s.handleKNN)
 	s.mux.HandleFunc("GET /range", s.handleRange)
 	s.mux.HandleFunc("POST /nearest", s.handleNearest)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	return s
 }
 
@@ -336,6 +340,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":        s.queries.Load(),
 			"batch_pairs":    s.batchPairs.Load(),
 			"searches":       s.searches.Load(),
+			"composites":     s.composites.Load(),
 			"updates":        s.updates.Load(),
 			"reloads":        s.reloads.Load(),
 			"generation":     s.oracle.Generation(),
@@ -346,6 +351,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries":  s.cache.len(),
 			"hits":     hits,
 			"misses":   misses,
+			"results":  s.results.stats(),
 		},
 	})
 }
@@ -393,9 +399,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 	if inserted > 0 {
 		// Inserted edges can only shorten distances; drop every cached
-		// pair even when a later edge of the batch failed.
+		// pair and search result even when a later edge of the batch
+		// failed.
 		s.updates.Add(int64(inserted))
 		s.cache.purge()
+		s.results.purge()
 	}
 	if err != nil {
 		switch {
@@ -469,6 +477,7 @@ func (s *Server) Reload(path string) (pll.Stats, error) {
 	// them too), requests in the new group can only see the new one.
 	oldInflight := s.inflight.Swap(new(sync.WaitGroup))
 	s.cache.purge()
+	s.results.purge()
 	s.reloads.Add(1)
 	s.retire(old, oldInflight)
 	return st, nil

@@ -1,0 +1,359 @@
+package pll_test
+
+// CompositeSearcher conformance: composite answers must be exact (vs
+// the materialize-and-compose reference over BFS/Dijkstra ground truth)
+// and byte-identical across every serving form of the same index —
+// heap-built, heap-loaded, memory-mapped flat (lazy inversion),
+// memory-mapped flat with persisted search sections, and behind a
+// ConcurrentOracle — because the (score, vertex ID) ordering contract
+// leaves no room for implementation-defined variation.
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pll/internal/gen"
+	"pll/pll"
+)
+
+// naivePllComposite is the materialize-and-compose reference: evaluate
+// the clause tree per vertex against ground-truth rows, score, sort by
+// (reachability class, score, vertex), trim to exactly k.
+func naivePllComposite(n int, rows [][]int64, req *pll.CompositeRequest) *pll.CompositeResult {
+	var ms []pll.CompositeMatch
+	for v := int32(0); int(v) < n; v++ {
+		if !naivePllClause(rows, req.Where, v) {
+			continue
+		}
+		m := pll.CompositeMatch{Vertex: v}
+		if len(req.Rank.Terms) > 0 {
+			m.Terms = make([]int64, len(req.Rank.Terms))
+		}
+		for i, t := range req.Rank.Terms {
+			d := rows[t.Source][v]
+			m.Terms[i] = d
+			if d < 0 {
+				m.Score = -1
+			} else if m.Score >= 0 {
+				if w := t.Weight * d; req.Rank.By == "max" {
+					if w > m.Score {
+						m.Score = w
+					}
+				} else {
+					m.Score += w
+				}
+			}
+		}
+		ms = append(ms, m)
+	}
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ms[j], ms[j-1]
+			less := false
+			if (a.Score < 0) != (b.Score < 0) {
+				less = b.Score < 0
+			} else if a.Score != b.Score {
+				less = a.Score < b.Score
+			} else {
+				less = a.Vertex < b.Vertex
+			}
+			if !less {
+				break
+			}
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	out := &pll.CompositeResult{Total: len(ms), Exact: true}
+	if req.K > 0 && len(ms) > req.K {
+		ms = ms[:req.K]
+	}
+	out.Matches = ms
+	return out
+}
+
+func naivePllClause(rows [][]int64, c *pll.CompositeClause, v int32) bool {
+	switch {
+	case c.Near != nil:
+		d := rows[c.Near.Source][v]
+		return d >= 0 && d <= c.Near.MaxDist
+	case c.In != nil:
+		for _, m := range c.In {
+			if m == v {
+				return true
+			}
+		}
+		return false
+	case c.Not != nil:
+		return !naivePllClause(rows, c.Not, v)
+	case c.And != nil:
+		for _, k := range c.And {
+			if !naivePllClause(rows, k, v) {
+				return false
+			}
+		}
+		return true
+	default:
+		for _, k := range c.Or {
+			if naivePllClause(rows, k, v) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// compositeRequests yields a deterministic request mix: the scenario
+// shapes from the docs (geofence AND, friend-of-either OR, exclusion
+// AND-NOT, in-set filter, weighted top-k) plus seeded random trees.
+func compositeRequests(rng *rand.Rand, n int, maxDist int64) []*pll.CompositeRequest {
+	near := func(s int32, d int64) *pll.CompositeClause {
+		return &pll.CompositeClause{Near: &pll.NearClause{Source: s, MaxDist: d}}
+	}
+	reqs := []*pll.CompositeRequest{
+		{Where: &pll.CompositeClause{And: []*pll.CompositeClause{near(0, 3), near(1, 4)}}},
+		{Where: &pll.CompositeClause{Or: []*pll.CompositeClause{near(2, 2), near(3, 2)}}, K: 5},
+		{Where: &pll.CompositeClause{And: []*pll.CompositeClause{
+			near(0, 4), {Not: near(5, 1)},
+		}}, K: 3},
+		{Where: &pll.CompositeClause{And: []*pll.CompositeClause{
+			near(1, 5), {In: []int32{0, 3, 6, 9, 12, 15}},
+		}}},
+		{Where: near(4, 3), Rank: &pll.CompositeRank{
+			By:    "max",
+			Terms: []pll.CompositeTerm{{Source: 4, Weight: 2}, {Source: 7, Weight: 1}},
+		}, K: 4},
+	}
+	for trial := 0; trial < 40; trial++ {
+		var clause func(depth int, underAnd bool) *pll.CompositeClause
+		clause = func(depth int, underAnd bool) *pll.CompositeClause {
+			if depth <= 0 || rng.Intn(3) == 0 {
+				if rng.Intn(4) == 0 {
+					count := 1 + rng.Intn(4)
+					members := make([]int32, 0, count)
+					for i := 0; i < count; i++ {
+						members = append(members, int32(rng.Intn(n)))
+					}
+					return &pll.CompositeClause{In: members}
+				}
+				return near(int32(rng.Intn(n)), int64(rng.Intn(int(maxDist)+1)))
+			}
+			if rng.Intn(2) == 0 {
+				kids := []*pll.CompositeClause{clause(depth-1, false)}
+				for extra := rng.Intn(2); extra > 0; extra-- {
+					if rng.Intn(3) == 0 {
+						kids = append(kids, &pll.CompositeClause{Not: clause(depth-1, false)})
+					} else {
+						kids = append(kids, clause(depth-1, true))
+					}
+				}
+				return &pll.CompositeClause{And: kids}
+			}
+			kids := []*pll.CompositeClause{clause(depth-1, false)}
+			for extra := rng.Intn(2); extra > 0; extra-- {
+				kids = append(kids, clause(depth-1, false))
+			}
+			return &pll.CompositeClause{Or: kids}
+		}
+		req := &pll.CompositeRequest{Where: clause(3, false), K: rng.Intn(6)}
+		if rng.Intn(3) == 0 {
+			req.Rank = &pll.CompositeRank{By: "max"}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+func TestCompositeConformanceAllForms(t *testing.T) {
+	for _, tc := range searchCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rows := make([][]int64, tc.n)
+			for s := 0; s < tc.n; s++ {
+				rows[s] = tc.truth(int32(s))
+			}
+			var maxDist int64 = 1
+			for _, row := range rows {
+				for _, d := range row {
+					if d > maxDist {
+						maxDist = d
+					}
+				}
+			}
+			forms := servingForms(t, tc)
+			heapOracle := forms["heap"].(pll.CompositeSearcher)
+			rng := rand.New(rand.NewSource(31))
+			for i, req := range compositeRequests(rng, tc.n, maxDist) {
+				req.Normalize()
+				want := naivePllComposite(tc.n, rows, req)
+				base, err := heapOracle.Composite(req)
+				if err != nil {
+					t.Fatalf("request %d: heap Composite: %v", i, err)
+				}
+				if !reflect.DeepEqual(base.Matches, want.Matches) {
+					t.Fatalf("request %d: heap matches diverge from reference\nreq: %s\ngot:  %+v\nwant: %+v",
+						i, mustJSON(req), base.Matches, want.Matches)
+				}
+				if base.Exact && base.Total != want.Total {
+					t.Fatalf("request %d: exact Total %d, want %d", i, base.Total, want.Total)
+				}
+				for name, o := range forms {
+					cs, ok := o.(pll.CompositeSearcher)
+					if !ok {
+						t.Fatalf("form %s does not implement CompositeSearcher", name)
+					}
+					got, err := cs.Composite(req)
+					if err != nil {
+						t.Fatalf("request %d on %s: %v", i, name, err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Fatalf("request %d: form %s diverges from heap\ngot:  %+v\nheap: %+v",
+							i, name, got, base)
+					}
+				}
+			}
+		})
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}
+
+// TestCompositeConcurrent hammers Composite from many goroutines on a
+// freshly built index (racing the lazy inversion build), a persisted
+// flat mapping and a ConcurrentOracle. Run with -race.
+func TestCompositeConcurrent(t *testing.T) {
+	const n = 80
+	gg := gen.ErdosRenyi(n, 220, 3)
+	pg, err := pll.NewGraph(n, gg.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := pll.BuildIndex(pg, pll.WithBitParallel(4), pll.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forms := []pll.CompositeSearcher{ix, pll.NewConcurrentOracle(ix)}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				// Each goroutine builds its own request: Composite
+				// normalizes requests in place, so sharing one value
+				// across goroutines would race.
+				a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+				req := &pll.CompositeRequest{
+					Where: &pll.CompositeClause{And: []*pll.CompositeClause{
+						{Near: &pll.NearClause{Source: a, MaxDist: int64(1 + rng.Intn(4))}},
+						{Near: &pll.NearClause{Source: b, MaxDist: int64(1 + rng.Intn(4))}},
+					}},
+					K: 1 + rng.Intn(5),
+				}
+				if _, err := forms[i%len(forms)].Composite(req); err != nil {
+					t.Errorf("concurrent Composite: %v", err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+// TestCompositeDynamicNoSearch pins the capability boundary: a
+// ConcurrentOracle over a DynamicIndex reports ErrNoSearch, and the
+// raw DynamicIndex does not satisfy the interface at all.
+func TestCompositeDynamicNoSearch(t *testing.T) {
+	pg, err := pll.NewGraph(4, []pll.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := pll.BuildDynamic(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any(di).(pll.CompositeSearcher); ok {
+		t.Fatal("DynamicIndex unexpectedly implements CompositeSearcher")
+	}
+	co := pll.NewConcurrentOracle(di)
+	req := &pll.CompositeRequest{Where: &pll.CompositeClause{Near: &pll.NearClause{Source: 0, MaxDist: 2}}}
+	if _, err := co.Composite(req); !errors.Is(err, pll.ErrNoSearch) {
+		t.Fatalf("Composite on dynamic oracle: err = %v, want ErrNoSearch", err)
+	}
+	// Freezing restores the capability.
+	frozen := di.Freeze()
+	if _, err := frozen.Composite(req); err != nil {
+		t.Fatalf("Composite on frozen index: %v", err)
+	}
+}
+
+var fuzzCompositeOracle struct {
+	once sync.Once
+	ix   *pll.Index
+}
+
+// FuzzCompositeDecode feeds arbitrary JSON through the request decoder
+// and, when it validates, executes it: malformed input must error
+// cleanly and valid input must never panic.
+func FuzzCompositeDecode(f *testing.F) {
+	seeds := []string{
+		`{"where":{"near":{"source":0,"max_dist":3}}}`,
+		`{"where":{"and":[{"near":{"source":0,"max_dist":3}},{"near":{"source":1,"max_dist":2}}]},"k":5}`,
+		`{"where":{"or":[{"near":{"source":2,"max_dist":1}},{"in":[1,3,5]}]}}`,
+		`{"where":{"and":[{"near":{"source":0,"max_dist":9}},{"not":{"near":{"source":3,"max_dist":1}}}]}}`,
+		`{"where":{"near":{"source":4,"max_dist":2}},"rank":{"by":"max","terms":[{"source":4,"weight":2},{"source":1}]},"k":3}`,
+		`{"where":{"in":[0,0,0]},"rank":{"by":"nope"}}`,
+		`{"where":{"near":{"source":-1,"max_dist":-5}},"k":-2}`,
+		`{"where":{"and":[]}}`,
+		`[1,2,3]`,
+		`{"where":{"near":{"source":0,"max_dist":18446744073709551615}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCompositeOracle.once.Do(func() {
+			pg, err := pll.NewGraph(12, []pll.Edge{
+				{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+				{U: 4, V: 5}, {U: 0, V: 5}, {U: 6, V: 7}, {U: 7, V: 8},
+			})
+			if err != nil {
+				panic(err)
+			}
+			ix, err := pll.BuildIndex(pg, pll.WithBitParallel(2))
+			if err != nil {
+				panic(err)
+			}
+			fuzzCompositeOracle.ix = ix
+		})
+		var req pll.CompositeRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		res, err := fuzzCompositeOracle.ix.Composite(&req)
+		if err != nil {
+			return
+		}
+		if res.Total < len(res.Matches) {
+			t.Fatalf("Total %d below match count %d", res.Total, len(res.Matches))
+		}
+		for i := 1; i < len(res.Matches); i++ {
+			a, b := res.Matches[i-1], res.Matches[i]
+			if a.Score >= 0 && b.Score >= 0 && a.Score > b.Score {
+				t.Fatalf("matches out of order: %+v before %+v", a, b)
+			}
+			if a.Score < 0 && b.Score >= 0 {
+				t.Fatalf("unreachable match %+v sorted before reachable %+v", a, b)
+			}
+		}
+	})
+}
