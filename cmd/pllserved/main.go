@@ -13,18 +13,38 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                 liveness + vertex count
+//	GET  /healthz                 liveness + vertex count (never rate limited)
 //	GET  /distance?s=0&t=42       exact distance (or reachable:false)
 //	GET  /path?s=0&t=42           one shortest path (index built with -paths)
 //	POST /batch                   {"pairs":[[s,t],...]} or {"source":s,"targets":[...]}
+//	GET  /knn?s=0&k=10            k nearest vertices by exact distance
+//	GET  /range?s=0&r=3           vertices within distance r, nearest first (&limit=N)
+//	POST /nearest                 {"source":s,"set":[...],"k":K} — nearest set members
+//	POST /query                   composite constraint AST (near/and/or/not/in + ranking)
 //	GET  /stats                   index stats + server counters + cache counters
+//	GET  /metrics                 Prometheus text format: per-endpoint latency
+//	                              histograms, cache hit rates, index/hub gauges,
+//	                              shed counters (never rate limited)
 //	POST /update                  {"edges":[[a,b],...]} (dynamic indexes only)
 //	POST /reload                  {"path":"new.pllbox"} — atomic hot-swap; empty body re-reads -index
+//
+// Request bounds: -maxbatch caps every client-controlled fan-out
+// (/batch pairs, /knn k, /nearest set size and k, /range results,
+// /query clauses and k); -maxbody caps POST bodies. Admission control:
+// -rate/-burst token-bucket-limit each client (X-Client-Id header or
+// remote IP), -maxinflight caps concurrently executing requests —
+// excess load is shed with 429 + Retry-After instead of queueing.
+// -logevery N samples one structured request log line per N requests.
+// -pprof ADDR starts a separate admin listener with /debug/pprof/* and
+// /metrics, kept off the public serving port.
 //
 // SIGHUP re-reads the -index file in place, like POST /reload with an
 // empty body: operators can rebuild an index offline and swap it under
 // live traffic without dropping a request. SIGINT/SIGTERM drain
-// in-flight requests before exiting.
+// in-flight requests before exiting; a memory-mapped index is unmapped
+// only after the last in-flight reader has finished (a drain that
+// outlives the grace deliberately leaks the mapping to the exiting
+// process rather than unmapping under a reader).
 package main
 
 import (
@@ -34,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,8 +77,13 @@ func run() error {
 	dynamic := flag.Bool("dynamic", false, "with -graph: build a dynamic index that accepts POST /update")
 	addr := flag.String("addr", ":8355", "listen address")
 	cacheSize := flag.Int("cache", 0, "distance-cache capacity in entries (0 disables)")
-	maxBatch := flag.Int("maxbatch", 0, "max request fan-out: /batch pairs, /knn k, /nearest set size and k, /range results (0 means the default, 4096)")
+	maxBatch := flag.Int("maxbatch", 0, "max request fan-out: /batch pairs, /knn k, /nearest set size and k, /range results, /query clauses and k (0 means the default, 4096)")
 	maxBody := flag.Int64("maxbody", 0, "max POST body bytes (0 means the default, 1 MiB)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s, keyed by X-Client-Id or remote IP (0 disables)")
+	burst := flag.Int("burst", 0, "rate-limit burst: requests a client may spend at once (0 means 2x -rate, min 1)")
+	maxInflight := flag.Int("maxinflight", 0, "global concurrent-request cap; excess requests are shed with 429 + Retry-After (0 disables)")
+	logEvery := flag.Int("logevery", 0, "structured request logging: log every Nth request (0 disables)")
+	pprofAddr := flag.String("pprof", "", "admin listener address serving /debug/pprof/* and /metrics (empty disables)")
 	workers := flag.Int("workers", 0, "construction workers for -graph builds (0 = all cores; the index is identical regardless)")
 	flag.Parse()
 
@@ -109,13 +135,35 @@ func run() error {
 	}
 
 	srv := server.New(pll.NewConcurrentOracle(o), server.Config{
-		IndexPath: *indexPath,
-		CacheSize: *cacheSize,
-		MaxBatch:  *maxBatch,
-		MaxBody:   *maxBody,
+		IndexPath:   *indexPath,
+		CacheSize:   *cacheSize,
+		MaxBatch:    *maxBatch,
+		MaxBody:     *maxBody,
+		RatePerSec:  *rate,
+		RateBurst:   *burst,
+		MaxInflight: *maxInflight,
+		LogEvery:    *logEvery,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		adminMux := http.NewServeMux()
+		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
+		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminMux.Handle("/metrics", srv.MetricsHandler())
+		adminSrv := &http.Server{Addr: *pprofAddr, Handler: adminMux}
+		go func() {
+			log.Printf("admin listener (pprof, metrics) on %s", *pprofAddr)
+			if aerr := adminSrv.ListenAndServe(); aerr != http.ErrServerClosed {
+				log.Printf("admin listener: %v", aerr)
+			}
+		}()
+		defer adminSrv.Close()
+	}
 
 	// SIGHUP hot-reloads the index file without dropping traffic;
 	// SIGINT/SIGTERM shut down gracefully.
@@ -152,8 +200,25 @@ func run() error {
 		return err
 	}
 	err = <-done
-	// Release the mapping (or file) behind the currently served oracle;
-	// requests have drained by now.
+	if err != nil {
+		// Shutdown timed out with handlers still running: hard-close the
+		// remaining connections so their handlers unblock on the next
+		// write, then drain below before touching the mapping.
+		log.Printf("graceful shutdown timed out (%v); closing remaining connections", err)
+		httpSrv.Close() //nolint:errcheck // the listeners are already down
+	}
+	// Wait for the last in-flight request to finish before releasing
+	// the mapping (or file) behind the currently served oracle: a
+	// timed-out handler may still be mid-scan over the mapped labels,
+	// and unmapping under it would turn a slow drain into a segfault.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if derr := srv.Drain(drainCtx); derr != nil {
+		// Leaking the mapping to the exiting process is safe; unmapping
+		// under a reader is not.
+		log.Printf("shutdown: %v; leaving the index mapped for the OS to reclaim", derr)
+		return err
+	}
 	if c, ok := srv.Oracle().Snapshot().(pll.Closer); ok {
 		c.Close() //nolint:errcheck
 	}

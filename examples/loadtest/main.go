@@ -16,6 +16,19 @@
 //
 //	go run ./cmd/pllserved -index g.pllbox &
 //	go run ./examples/loadtest -addr http://localhost:8355
+//
+// Saturation mode (-saturate) proves graceful degradation instead:
+// the in-process server gets a concurrency cap of -cap, then 2×cap
+// slow-client workers hammer it with amortized /batch sweeps whose
+// uploads dribble in over a few milliseconds — the overload shape a
+// concurrency cap exists for, where each admitted request holds its
+// slot in wall-clock time. A healthy serving tier sheds the excess
+// with immediate 429s (Retry-After set) while the admitted requests
+// keep a bounded latency tail; the run reports p50/p99/p999 over
+// admitted requests plus the shed rate and fails on any response that
+// is neither 200 nor 429:
+//
+//	go run ./examples/loadtest -saturate [-cap 8] [-requests 4000]
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -44,13 +58,21 @@ func main() {
 	requests := flag.Int("requests", 2000, "total /distance requests")
 	n := flag.Int("n", 5000, "vertices in the synthetic graph (in-process mode)")
 	addr := flag.String("addr", "", "base URL of a running pllserved (empty starts one in-process)")
+	saturate := flag.Bool("saturate", false, "saturation scenario: cap server concurrency at -cap, offer 2x that, report shed rate + tail latency")
+	capInflight := flag.Int("cap", 8, "server concurrency cap for -saturate (in-process mode)")
 	flag.Parse()
 
+	cfg := server.Config{CacheSize: 4096}
+	if *saturate {
+		// No caching in saturation mode: every admitted request must pay
+		// the real /batch scan, or the workload would not saturate.
+		cfg = server.Config{MaxInflight: *capInflight}
+	}
 	base := *addr
 	var srv *server.Server
 	if base == "" {
 		var err error
-		base, srv, err = startInProcess(*n)
+		base, srv, err = startInProcess(*n, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,6 +80,11 @@ func main() {
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	numV := probeVertices(client, base)
+
+	if *saturate {
+		runSaturation(client, base, *capInflight, *requests, numV)
+		return
+	}
 	fmt.Printf("target: %s (%d vertices), %d workers, %d requests\n",
 		base, numV, *workers, *requests)
 
@@ -150,9 +177,119 @@ func main() {
 // hot-reload demonstration has a file to re-read.
 var indexPath string
 
+// pause is an io.Reader that sleeps once, then reports EOF; stitched
+// between two body halves with io.MultiReader it turns a request into
+// a slow client whose upload dribbles in over the wire.
+type pause struct {
+	d    time.Duration
+	done bool
+}
+
+func (p *pause) Read([]byte) (int, error) {
+	if !p.done {
+		time.Sleep(p.d)
+		p.done = true
+	}
+	return 0, io.EOF
+}
+
+// runSaturation drives the server past its concurrency cap with the
+// overload shape the cap exists for: slow clients. Each /batch upload
+// arrives in two segments a few milliseconds apart, so the handler
+// holds its concurrency slot in wall-clock time (blocked in the body
+// read) rather than just a CPU burst — on a WAN that is every client.
+// With offered concurrency at 2× the cap, the excess requests find no
+// free slot and shed immediately with 429 + Retry-After, while the
+// admitted requests keep a bounded latency near the uncontended
+// service time. The run reports shed rate and p50/p99/p999 over
+// admitted requests, and fails on any response that is neither 200
+// nor a header-complete 429 — degradation must be graceful, never a
+// collapse or a crash.
+func runSaturation(client *http.Client, base string, capSlots, requests, numV int) {
+	workers := 2 * capSlots
+	perWorker := requests / workers
+	targets := make([]int32, 0, 1000)
+	for i := 0; i < 1000 && i < numV; i++ {
+		targets = append(targets, int32(i))
+	}
+	const uploadStall = 2 * time.Millisecond
+	fmt.Printf("saturation: concurrency cap %d, %d slow-client workers (2x cap), %d /batch requests of %d targets, %v upload stall\n",
+		capSlots, workers, workers*perWorker, len(targets), uploadStall)
+
+	var okLat []time.Duration
+	var mu sync.Mutex
+	var shed, failed, noRetryAfter atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(uint64(9000 + id))
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				src := r.Int31n(int32(numV))
+				body, _ := json.Marshal(map[string]any{"source": src, "targets": targets})
+				half := len(body) / 2
+				req, err := http.NewRequest(http.MethodPost, base+"/batch", io.MultiReader(
+					bytes.NewReader(body[:half]), &pause{d: uploadStall}, bytes.NewReader(body[half:])))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.ContentLength = int64(len(body))
+				q := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					lat = append(lat, time.Since(q))
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						noRetryAfter.Add(1)
+					}
+				default:
+					failed.Add(1)
+				}
+			}
+			mu.Lock()
+			okLat = append(okLat, lat...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	total := len(okLat) + int(shed.Load()) + int(failed.Load())
+	fmt.Printf("offered: %d requests in %v; admitted %d (%.0f req/s), shed %d (%.1f%%), failed %d\n",
+		total, elapsed.Round(time.Millisecond), len(okLat),
+		float64(len(okLat))/elapsed.Seconds(), shed.Load(),
+		100*float64(shed.Load())/float64(max(total, 1)), failed.Load())
+	if len(okLat) > 0 {
+		fmt.Printf("admitted latency: p50=%v p99=%v p999=%v max=%v\n",
+			pct(okLat, 50), pct(okLat, 99), pctN(okLat, 999, 1000), okLat[len(okLat)-1])
+	}
+	if n := noRetryAfter.Load(); n > 0 {
+		fmt.Printf("FAIL: %d shed responses missing Retry-After\n", n)
+		os.Exit(1)
+	}
+	if failed.Load() > 0 {
+		fmt.Printf("FAIL: %d responses were neither 200 nor 429\n", failed.Load())
+		os.Exit(1)
+	}
+	fmt.Println("saturation: graceful degradation confirmed (only 200s and header-complete 429s)")
+}
+
 // startInProcess builds a Barabasi-Albert index, writes it to a temp
 // container file, and serves it on a loopback listener.
-func startInProcess(n int) (string, *server.Server, error) {
+func startInProcess(n int, cfg server.Config) (string, *server.Server, error) {
 	raw := gen.BarabasiAlbert(n, 4, 42)
 	g, err := pll.NewGraph(raw.NumVertices(), raw.Edges())
 	if err != nil {
@@ -174,10 +311,8 @@ func startInProcess(n int) (string, *server.Server, error) {
 		return "", nil, err
 	}
 
-	srv := server.New(pll.NewConcurrentOracle(ix), server.Config{
-		IndexPath: indexPath,
-		CacheSize: 4096,
-	})
+	cfg.IndexPath = indexPath
+	srv := server.New(pll.NewConcurrentOracle(ix), cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -204,7 +339,12 @@ func probeVertices(client *http.Client, base string) int {
 
 // pct returns the p-th percentile of sorted latencies.
 func pct(sorted []time.Duration, p int) time.Duration {
-	i := len(sorted) * p / 100
+	return pctN(sorted, p, 100)
+}
+
+// pctN returns the (p/q)-quantile of sorted latencies (p999 = 999/1000).
+func pctN(sorted []time.Duration, p, q int) time.Duration {
+	i := len(sorted) * p / q
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

@@ -134,24 +134,49 @@ func newReachability(pass *Pass, decls map[*types.Func]*ast.FuncDecl) *reachabil
 // bodies returns the bodies of every same-package function reachable
 // from the handler expression, the handler itself first.
 func (r *reachability) bodies(h ast.Expr) []*ast.BlockStmt {
-	if lit, ok := h.(*ast.FuncLit); ok {
-		seen := map[*types.Func]bool{}
-		return r.closure(lit.Body, seen)
-	}
-	var id *ast.Ident
+	return r.exprBodies(ast.Unparen(h), map[*types.Func]bool{})
+}
+
+// exprBodies resolves one handler-valued expression. Besides the plain
+// shapes (method value, function name, func literal), it sees through
+// middleware wrappers: a registration like
+//
+//	mux.HandleFunc("POST /x", s.guarded("x", s.handleX))
+//
+// is a CallExpr whose result is the handler, so the closure is the
+// union of the wrapper's own bodies and the bodies of every func-typed
+// argument — the wrapped handler keeps being checked for its caps no
+// matter how many instrumentation layers sit in front of it.
+func (r *reachability) exprBodies(h ast.Expr, seen map[*types.Func]bool) []*ast.BlockStmt {
 	switch x := h.(type) {
+	case *ast.FuncLit:
+		return r.closure(x.Body, seen)
 	case *ast.Ident:
-		id = x
+		if fn, ok := r.pass.TypesInfo.Uses[x].(*types.Func); ok {
+			return r.funcBodies(fn, seen)
+		}
 	case *ast.SelectorExpr:
-		id = x.Sel
-	default:
-		return nil
+		if fn, ok := r.pass.TypesInfo.Uses[x.Sel].(*types.Func); ok {
+			return r.funcBodies(fn, seen)
+		}
+	case *ast.CallExpr:
+		var out []*ast.BlockStmt
+		if fn := calleeFunc(r.pass.TypesInfo, x); fn != nil {
+			out = append(out, r.funcBodies(fn, seen)...)
+		}
+		for _, a := range x.Args {
+			a = ast.Unparen(a)
+			tv, ok := r.pass.TypesInfo.Types[a]
+			if !ok {
+				continue
+			}
+			if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+				out = append(out, r.exprBodies(a, seen)...)
+			}
+		}
+		return out
 	}
-	fn, ok := r.pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok {
-		return nil
-	}
-	return r.funcBodies(fn, map[*types.Func]bool{})
+	return nil
 }
 
 func (r *reachability) funcBodies(fn *types.Func, seen map[*types.Func]bool) []*ast.BlockStmt {

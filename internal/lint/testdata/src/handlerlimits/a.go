@@ -108,6 +108,24 @@ func (s *server) handleInline(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// instrument mirrors the real observability middleware: the handler is
+// registered as a wrapper call result, not a bare method value, and the
+// analyzer must keep seeing the wrapped handler's caps through it.
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = name
+		h(w, r)
+	}
+}
+
+// guarded stacks a second wrapper layer, like admission control over
+// instrumentation.
+func (s *server) guarded(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+		h(w, r)
+	})
+}
+
 func register(s *server) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /good", s.handleGood)
@@ -121,4 +139,11 @@ func register(s *server) {
 	// counts as slice-bearing too.
 	mux.HandleFunc("POST /nested", s.handleNestedNoFanout) // want `never caps its length against MaxBatch`
 	mux.HandleFunc("POST /nestedgood", s.handleNestedGood)
+	// Middleware-wrapped registrations: the wrapper call result is the
+	// handler, and the caps (or their absence) of the wrapped method
+	// must still be seen through it — one layer or two.
+	mux.HandleFunc("POST /wrapgood", s.instrument("wrapgood", s.handleGood))
+	mux.HandleFunc("POST /wrapnofanout", s.instrument("wrapnofanout", s.handleNoFanout)) // want `never caps its length against MaxBatch`
+	mux.HandleFunc("POST /wrapnocap", s.guarded("wrapnocap", s.handleNoBodyCap))         // want `never wires http\.MaxBytesReader`
+	mux.HandleFunc("POST /wrapdeep", s.guarded("wrapdeep", s.handleGood))
 }

@@ -1,0 +1,159 @@
+package server
+
+// Admission control: the two bounds that keep an abusive or merely
+// overloaded client population from collapsing the serving tier.
+//
+//   - A per-client token bucket (keyed by X-Client-Id when the caller
+//     sends one, else the remote IP) caps the steady-state request
+//     rate: one hot client cannot starve the rest.
+//   - A global concurrency cap bounds the number of requests executing
+//     at once: past it the server sheds with 429 instead of queueing,
+//     so latency for admitted requests stays flat while excess load
+//     fails fast and cheap (the shed path does no index work).
+//
+// Both rejections carry Retry-After. Either knob set to zero
+// deactivates it; with both off, acquire degrades to a counter touch.
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTrackedClients bounds the bucket map so a client-ID churn attack
+// cannot grow it without bound; past it, buckets idle longer than
+// bucketIdleEviction are swept, then arbitrary ones.
+const (
+	maxTrackedClients  = 65536
+	bucketIdleEviction = time.Minute
+)
+
+// admission holds the rate-limiter state and the concurrency
+// semaphore. The zero Config yields a no-op admission (nothing nil —
+// the middleware always goes through it).
+type admission struct {
+	rate  float64 // tokens per second per client; 0 = unlimited
+	burst float64
+	sem   chan struct{} // concurrency slots; nil = uncapped
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+
+	concurrencySheds atomic.Int64
+	rateSheds        atomic.Int64
+
+	// now is swapped in tests to drive refill deterministically.
+	now func() time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{rate: cfg.RatePerSec, now: time.Now}
+	if a.rate > 0 {
+		a.burst = float64(cfg.RateBurst)
+		if a.burst <= 0 {
+			a.burst = math.Max(1, math.Ceil(2*a.rate))
+		}
+		a.buckets = make(map[string]*tokenBucket)
+	}
+	if cfg.MaxInflight > 0 {
+		a.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return a
+}
+
+// acquire admits or rejects one request from the given client. On
+// admission it returns the release function to defer; on rejection
+// release is nil and retryAfter/reason fill the 429 response.
+func (a *admission) acquire(client string) (release func(), retryAfter, reason string) {
+	if a.rate > 0 {
+		if wait, ok := a.takeToken(client); !ok {
+			a.rateSheds.Add(1)
+			return nil, strconv.Itoa(wait), "client rate limit"
+		}
+	}
+	if a.sem != nil {
+		select {
+		case a.sem <- struct{}{}:
+		default:
+			a.concurrencySheds.Add(1)
+			return nil, "1", "concurrency cap"
+		}
+		return func() { <-a.sem }, "", ""
+	}
+	return func() {}, "", ""
+}
+
+// takeToken refills the client's bucket for the elapsed time and takes
+// one token; when empty it reports the whole seconds until the next
+// token (at least 1) for Retry-After.
+func (a *admission) takeToken(client string) (retryAfterSec int, ok bool) {
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[client]
+	if b == nil {
+		a.evictLocked(now)
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.buckets[client] = b
+	} else {
+		b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return int(math.Max(1, math.Ceil((1-b.tokens)/a.rate))), false
+}
+
+// evictLocked keeps the bucket map bounded: when full, drop buckets
+// idle past the eviction window, then arbitrary ones. An evicted
+// client merely restarts with a full burst — safe, just forgetful.
+func (a *admission) evictLocked(now time.Time) {
+	if len(a.buckets) < maxTrackedClients {
+		return
+	}
+	for c, b := range a.buckets {
+		if now.Sub(b.last) > bucketIdleEviction {
+			delete(a.buckets, c)
+		}
+	}
+	for c := range a.buckets {
+		if len(a.buckets) < maxTrackedClients {
+			break
+		}
+		delete(a.buckets, c)
+	}
+}
+
+func (a *admission) shedConcurrency() int64 { return a.concurrencySheds.Load() }
+func (a *admission) shedRate() int64        { return a.rateSheds.Load() }
+
+func (a *admission) trackedClients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}
+
+// clientKey identifies the caller for rate limiting and logging: an
+// explicit X-Client-Id wins (callers behind one proxy IP can identify
+// themselves), else the remote IP with the port stripped so one
+// client's connections share a bucket.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

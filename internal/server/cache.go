@@ -182,6 +182,20 @@ func (c *pairCache) len() int {
 	return n
 }
 
+// capacity reports the effective entry bound: the configured size
+// rounded up to numShards × perShard (newPairCache splits the budget
+// evenly, so 100 becomes 16×7 = 112).
+func (c *pairCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}
+
 // counters returns cumulative hits and misses.
 func (c *pairCache) counters() (hits, misses int64) {
 	if c == nil {

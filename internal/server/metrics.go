@@ -1,0 +1,211 @@
+package server
+
+// GET /metrics: the Prometheus-text-format scrape surface, stdlib
+// only. Per-endpoint request counters and latency histograms come from
+// the middleware in middleware.go; cache and admission series read the
+// existing counters; the index gauges (label sizes — the expected
+// merge length of a Distance call — and hub occupancy) come from
+// pll.Stats, cached per (generation, update-count) so a 15-second
+// scrape interval never pays the O(n) label scan twice for the same
+// index.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pll/pll"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache-hit microseconds to a saturated multi-second tail.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: each bucket holds its own (non-cumulative) count, the
+// cumulative sums Prometheus wants are computed at scrape time.
+type histogram struct {
+	buckets [len(latencyBuckets)]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	for i := range latencyBuckets {
+		if sec <= latencyBuckets[i] {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// statusClasses indexes response-code classes 1xx..5xx (slot 0 unused).
+const statusClasses = 6
+
+// endpointMetrics is one endpoint's request tally: responses by status
+// class plus the latency histogram over every response.
+type endpointMetrics struct {
+	codes [statusClasses]atomic.Int64
+	hist  histogram
+}
+
+func (m *endpointMetrics) observe(status int, d time.Duration) {
+	if c := status / 100; c >= 1 && c < statusClasses {
+		m.codes[c].Add(1)
+	}
+	m.hist.observe(d)
+}
+
+// metrics holds the per-endpoint series. The endpoint set is fixed at
+// construction (every series exists from the first scrape, so rates
+// never jump from absent to nonzero).
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+	names     []string // sorted, for deterministic emission
+}
+
+func newMetrics(names ...string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = &endpointMetrics{}
+		m.names = append(m.names, n)
+	}
+	sort.Strings(m.names)
+	return m
+}
+
+// statsCache memoizes the served index's pll.Stats keyed by the
+// (generation, update-count) pair that invalidates them: Stats scans
+// every label, which a mapped multi-gigabyte index should not repeat
+// on each scrape.
+type statsCache struct {
+	mu    sync.Mutex
+	key   [2]uint64
+	st    pll.Stats
+	valid bool
+}
+
+// cachedStats returns the served index's stats, recomputing only after
+// a reload or update changed them.
+func (s *Server) cachedStats() pll.Stats {
+	key := [2]uint64{s.oracle.Generation(), uint64(s.updates.Load())}
+	c := &s.statsCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid || c.key != key {
+		c.st = s.oracle.Stats()
+		c.key = key
+		c.valid = true
+	}
+	return c.st
+}
+
+// fmtFloat renders a float the way Prometheus clients expect.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP pll_http_requests_total HTTP responses by endpoint and status-code class.\n")
+	fmt.Fprintf(w, "# TYPE pll_http_requests_total counter\n")
+	for _, name := range s.metrics.names {
+		em := s.metrics.endpoints[name]
+		for c := 1; c < statusClasses; c++ {
+			fmt.Fprintf(w, "pll_http_requests_total{endpoint=%q,code=\"%dxx\"} %d\n", name, c, em.codes[c].Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pll_http_request_duration_seconds Request latency by endpoint, admission rejections included.\n")
+	fmt.Fprintf(w, "# TYPE pll_http_request_duration_seconds histogram\n")
+	for _, name := range s.metrics.names {
+		h := &s.metrics.endpoints[name].hist
+		cum := int64(0)
+		for i := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "pll_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", name, fmtFloat(latencyBuckets[i]), cum)
+		}
+		count := h.count.Load()
+		fmt.Fprintf(w, "pll_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, count)
+		fmt.Fprintf(w, "pll_http_request_duration_seconds_sum{endpoint=%q} %s\n", name, fmtFloat(float64(h.sumNs.Load())/1e9))
+		fmt.Fprintf(w, "pll_http_request_duration_seconds_count{endpoint=%q} %d\n", name, count)
+	}
+
+	fmt.Fprintf(w, "# HELP pll_http_requests_in_flight Requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE pll_http_requests_in_flight gauge\n")
+	fmt.Fprintf(w, "pll_http_requests_in_flight %d\n", s.active.Load())
+
+	fmt.Fprintf(w, "# HELP pll_http_shed_total Requests rejected with 429 by the admission layer.\n")
+	fmt.Fprintf(w, "# TYPE pll_http_shed_total counter\n")
+	fmt.Fprintf(w, "pll_http_shed_total{reason=\"concurrency\"} %d\n", s.admit.shedConcurrency())
+	fmt.Fprintf(w, "pll_http_shed_total{reason=\"rate\"} %d\n", s.admit.shedRate())
+
+	fmt.Fprintf(w, "# HELP pll_ratelimit_clients Client token buckets currently tracked.\n")
+	fmt.Fprintf(w, "# TYPE pll_ratelimit_clients gauge\n")
+	fmt.Fprintf(w, "pll_ratelimit_clients %d\n", s.admit.trackedClients())
+
+	hits, misses := s.cache.counters()
+	fmt.Fprintf(w, "# HELP pll_cache_hits_total Cache hits by cache (pair = /distance, knn and query = result bodies).\n")
+	fmt.Fprintf(w, "# TYPE pll_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pll_cache_hits_total{cache=\"pair\"} %d\n", hits)
+	fmt.Fprintf(w, "pll_cache_hits_total{cache=\"knn\"} %d\n", s.results.hitCount("knn"))
+	fmt.Fprintf(w, "pll_cache_hits_total{cache=\"query\"} %d\n", s.results.hitCount("query"))
+	fmt.Fprintf(w, "# HELP pll_cache_misses_total Cache misses by cache.\n")
+	fmt.Fprintf(w, "# TYPE pll_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pll_cache_misses_total{cache=\"pair\"} %d\n", misses)
+	fmt.Fprintf(w, "pll_cache_misses_total{cache=\"knn\"} %d\n", s.results.missCount("knn"))
+	fmt.Fprintf(w, "pll_cache_misses_total{cache=\"query\"} %d\n", s.results.missCount("query"))
+	fmt.Fprintf(w, "# HELP pll_cache_entries Entries resident by cache.\n")
+	fmt.Fprintf(w, "# TYPE pll_cache_entries gauge\n")
+	fmt.Fprintf(w, "pll_cache_entries{cache=\"pair\"} %d\n", s.cache.len())
+	fmt.Fprintf(w, "pll_cache_entries{cache=\"result\"} %d\n", s.results.len())
+	fmt.Fprintf(w, "# HELP pll_cache_capacity Effective capacity by cache (configured size rounded up to whole shards).\n")
+	fmt.Fprintf(w, "# TYPE pll_cache_capacity gauge\n")
+	fmt.Fprintf(w, "pll_cache_capacity{cache=\"pair\"} %d\n", s.cache.capacity())
+	fmt.Fprintf(w, "pll_cache_capacity{cache=\"result\"} %d\n", s.results.capacity())
+
+	st := s.cachedStats()
+	for _, g := range []struct {
+		name, help string
+		value      string
+	}{
+		{"pll_index_vertices", "Vertices in the served index.", strconv.Itoa(st.NumVertices)},
+		{"pll_index_bit_parallel_roots", "Bit-parallel roots in the served index.", strconv.Itoa(st.NumBitParallel)},
+		{"pll_index_label_entries", "Normal label entries over all vertices.", strconv.FormatInt(st.TotalLabelEntries, 10)},
+		{"pll_index_avg_label_size", "Average per-vertex label size: the expected merge length of one Distance call is twice this.", fmtFloat(st.AvgLabelSize)},
+		{"pll_index_max_label_size", "Largest per-vertex label: the worst-case merge length.", strconv.Itoa(st.MaxLabelSize)},
+		{"pll_index_bytes", "Estimated in-memory footprint of label and bit-parallel arrays.", strconv.FormatInt(st.IndexBytes, 10)},
+		{"pll_index_hubs_distinct", "Hubs carried by at least one label entry.", strconv.Itoa(st.DistinctHubs)},
+		{"pll_index_hub_load_max", "Label entries carried by the most loaded hub.", strconv.Itoa(st.MaxHubLoad)},
+		{"pll_index_hub_load_avg", "Label entries per occupied hub.", fmtFloat(st.AvgHubLoad)},
+		{"pll_index_generation", "Completed index hot-swaps.", strconv.FormatUint(s.oracle.Generation(), 10)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, g.value)
+	}
+
+	fmt.Fprintf(w, "# HELP pll_reloads_total Successful index hot-swaps.\n")
+	fmt.Fprintf(w, "# TYPE pll_reloads_total counter\n")
+	fmt.Fprintf(w, "pll_reloads_total %d\n", s.reloads.Load())
+	fmt.Fprintf(w, "# HELP pll_updates_total Edges inserted through /update.\n")
+	fmt.Fprintf(w, "# TYPE pll_updates_total counter\n")
+	fmt.Fprintf(w, "pll_updates_total %d\n", s.updates.Load())
+	fmt.Fprintf(w, "# HELP pll_uptime_seconds Seconds since the server was constructed.\n")
+	fmt.Fprintf(w, "# TYPE pll_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "pll_uptime_seconds %s\n", fmtFloat(time.Since(s.start).Seconds()))
+}
+
+// MetricsHandler returns the bare /metrics handler for mounting on an
+// admin listener (cmd/pllserved -pprof), bypassing admission control
+// so the scrape keeps working while the serving listener sheds load.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}

@@ -1,0 +1,94 @@
+package server
+
+// Per-endpoint middleware: instrument() records every response in the
+// endpoint's counters and latency histogram and emits the sampled
+// structured request log; guarded() adds admission control in front
+// (rate limit, then the global concurrency cap). /healthz and /metrics
+// stay instrument-only so liveness probes and scrapes keep answering
+// while the query surface sheds load.
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status for the metrics and log
+// layers. Handlers that never call WriteHeader answered 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps h with the observability layer for the named
+// endpoint: status-class counters, the latency histogram, and sampled
+// request logging.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		d := time.Since(start)
+		em.observe(status, d)
+		s.logRequest(name, r, status, d)
+	}
+}
+
+// guarded is instrument plus admission control: requests the limiter
+// or the concurrency cap rejects answer 429 with a Retry-After header
+// and are recorded like any other response of the endpoint.
+func (s *Server) guarded(name string, h http.HandlerFunc) http.HandlerFunc {
+	admitted := func(w http.ResponseWriter, r *http.Request) {
+		release, retryAfter, reason := s.admit.acquire(clientKey(r))
+		if release == nil {
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusTooManyRequests, "server over capacity (%s); retry after %ss", reason, retryAfter)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+	return s.instrument(name, admitted)
+}
+
+// logRequest emits one structured line for every LogEvery-th request;
+// LogEvery <= 0 disables logging entirely.
+func (s *Server) logRequest(name string, r *http.Request, status int, d time.Duration) {
+	every := int64(s.cfg.LogEvery)
+	if every <= 0 || s.logSeq.Add(1)%every != 0 {
+		return
+	}
+	logger := s.cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("endpoint", name),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.RequestURI()),
+		slog.Int("status", status),
+		slog.Duration("duration", d),
+		slog.String("client", clientKey(r)),
+		slog.Int64("inflight", s.active.Load()),
+		slog.Int64("sampled_1_in", every),
+	)
+}

@@ -180,20 +180,50 @@ func (c *resultCache) len() int {
 	return n
 }
 
+// capacity reports the effective response bound (configured size
+// rounded up to whole shards, like pairCache.capacity).
+func (c *resultCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}
+
+// hitCount and missCount read one endpoint's tallies for /metrics.
+func (c *resultCache) hitCount(endpoint string) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.endpoint(endpoint).hits.Load()
+}
+
+func (c *resultCache) missCount(endpoint string) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.endpoint(endpoint).misses.Load()
+}
+
 // stats returns the per-endpoint tallies as a JSON-ready map.
 func (c *resultCache) stats() map[string]any {
-	out := map[string]any{"entries": 0}
 	if c == nil {
 		return map[string]any{
-			"entries": 0,
-			"knn":     map[string]int64{"hits": 0, "misses": 0},
-			"query":   map[string]int64{"hits": 0, "misses": 0},
+			"entries":  0,
+			"capacity": 0,
+			"knn":      map[string]int64{"hits": 0, "misses": 0},
+			"query":    map[string]int64{"hits": 0, "misses": 0},
 		}
 	}
-	out["entries"] = c.len()
-	out["knn"] = map[string]int64{"hits": c.knn.hits.Load(), "misses": c.knn.misses.Load()}
-	out["query"] = map[string]int64{"hits": c.query.hits.Load(), "misses": c.query.misses.Load()}
-	return out
+	return map[string]any{
+		"entries":  c.len(),
+		"capacity": c.capacity(),
+		"knn":      map[string]int64{"hits": c.knn.hits.Load(), "misses": c.knn.misses.Load()},
+		"query":    map[string]int64{"hits": c.query.hits.Load(), "misses": c.query.misses.Load()},
+	}
 }
 
 func (sh *resultShard) unlink(slot int) {

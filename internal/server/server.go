@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -36,6 +38,23 @@ type Config struct {
 	// scan — so the grace only needs to cover non-request readers (a
 	// caller holding Snapshot()). 0 means five seconds.
 	CloseGrace time.Duration
+	// RatePerSec is the per-client steady-state request rate (keyed by
+	// X-Client-Id, else remote IP); excess requests answer 429 with
+	// Retry-After. 0 disables rate limiting.
+	RatePerSec float64
+	// RateBurst is the token-bucket depth a client can spend at once;
+	// 0 means 2×RatePerSec (at least 1).
+	RateBurst int
+	// MaxInflight caps concurrently executing requests across every
+	// endpoint except /healthz and /metrics; excess requests are shed
+	// with 429 + Retry-After instead of queueing. 0 disables the cap.
+	MaxInflight int
+	// LogEvery emits one structured request log line (slog) per
+	// LogEvery requests; 0 disables request logging.
+	LogEvery int
+	// Logger receives the sampled request logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 const (
@@ -51,8 +70,10 @@ type Server struct {
 	cache   *pairCache
 	results *resultCache
 	cfg     Config
-	start  time.Time
-	mux    *http.ServeMux
+	start   time.Time
+	mux     *http.ServeMux
+	metrics *metrics
+	admit   *admission
 
 	reloadMu sync.Mutex // serializes /reload and SIGHUP reloads
 
@@ -60,6 +81,14 @@ type Server struct {
 	// Reload swaps in a fresh group and waits out the old one before
 	// closing a retired resource-backed oracle (see retire).
 	inflight atomic.Pointer[sync.WaitGroup]
+
+	// active counts every executing request regardless of which oracle
+	// generation it pinned; Drain waits on it at shutdown so the
+	// process never unmaps an index under a timed-out reader.
+	active atomic.Int64
+
+	logSeq     atomic.Int64 // request-log sampling sequence
+	statsCache statsCache   // memoized pll.Stats for /metrics scrapes
 
 	queries    atomic.Int64 // /distance + /path answers
 	batchPairs atomic.Int64 // pairs answered through /batch
@@ -85,32 +114,64 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 		cfg:     cfg,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+		metrics: newMetrics("healthz", "metrics", "distance", "path", "batch", "stats",
+			"update", "reload", "knn", "range", "nearest", "query"),
+		admit: newAdmission(cfg),
 	}
 	s.inflight.Store(new(sync.WaitGroup))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /distance", s.handleDistance)
-	s.mux.HandleFunc("GET /path", s.handlePath)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /update", s.handleUpdate)
-	s.mux.HandleFunc("POST /reload", s.handleReload)
-	s.mux.HandleFunc("GET /knn", s.handleKNN)
-	s.mux.HandleFunc("GET /range", s.handleRange)
-	s.mux.HandleFunc("POST /nearest", s.handleNearest)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
+	// /healthz and /metrics are instrument-only: liveness probes and
+	// scrapes must keep answering while the query surface sheds load.
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /distance", s.guarded("distance", s.handleDistance))
+	s.mux.HandleFunc("GET /path", s.guarded("path", s.handlePath))
+	s.mux.HandleFunc("POST /batch", s.guarded("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /stats", s.guarded("stats", s.handleStats))
+	s.mux.HandleFunc("POST /update", s.guarded("update", s.handleUpdate))
+	s.mux.HandleFunc("POST /reload", s.guarded("reload", s.handleReload))
+	s.mux.HandleFunc("GET /knn", s.guarded("knn", s.handleKNN))
+	s.mux.HandleFunc("GET /range", s.guarded("range", s.handleRange))
+	s.mux.HandleFunc("POST /nearest", s.guarded("nearest", s.handleNearest))
+	s.mux.HandleFunc("POST /query", s.guarded("query", s.handleQuery))
 	return s
 }
 
 // Handler returns the http.Handler serving all endpoints. Every
 // request registers in the current in-flight group so a reload can
-// tell when the requests predating its swap have drained.
+// tell when the requests predating its swap have drained, and in the
+// global active count Drain waits on at shutdown.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.active.Add(1)
+		defer s.active.Add(-1)
 		wg := s.inflight.Load()
 		wg.Add(1)
 		defer wg.Done()
 		s.mux.ServeHTTP(w, r)
 	})
+}
+
+// InflightRequests reports the number of requests currently executing.
+func (s *Server) InflightRequests() int64 { return s.active.Load() }
+
+// Drain blocks until no request is executing or ctx expires. Call it
+// after http.Server.Shutdown returns — including on Shutdown timeout,
+// when handlers may still be mid-request — and only Close a mapped
+// oracle once it returns nil: closing unmaps the label pages, and a
+// reader that outlived the shutdown deadline would otherwise segfault.
+func (s *Server) Drain(ctx context.Context) error {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.active.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%d requests still in flight: %w", s.active.Load(), ctx.Err())
+		case <-t.C:
+		}
+	}
 }
 
 // Oracle returns the served oracle (shared, not a copy).
@@ -346,12 +407,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"generation":     s.oracle.Generation(),
 		},
 		"cache": map[string]any{
-			"enabled":  s.cache != nil,
-			"capacity": s.cfg.CacheSize,
-			"entries":  s.cache.len(),
-			"hits":     hits,
-			"misses":   misses,
-			"results":  s.results.stats(),
+			"enabled": s.cache != nil,
+			// capacity is the effective bound — the configured size
+			// rounded up to whole shards (e.g. 100 → 112) — so operators
+			// see the limit the eviction actually enforces.
+			"capacity":            s.cache.capacity(),
+			"configured_capacity": s.cfg.CacheSize,
+			"entries":             s.cache.len(),
+			"hits":                hits,
+			"misses":              misses,
+			"results":             s.results.stats(),
 		},
 	})
 }
