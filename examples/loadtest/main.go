@@ -29,6 +29,17 @@
 // is neither 200 nor 429:
 //
 //	go run ./examples/loadtest -saturate [-cap 8] [-requests 4000]
+//
+// Distributed mode (-replicas N) measures the scatter-gather tier
+// instead: one index served by N in-process replicas behind a cluster
+// coordinator (the same wiring cmd/pllrouted mounts). The same point-
+// query workload runs three ways — directly against one replica,
+// through a coordinator with a single backend (isolating the proxy
+// hop), and through a coordinator spreading keys over the whole pool —
+// and the run reports the per-hop latency overhead and the QPS scaling
+// factor:
+//
+//	go run ./examples/loadtest -replicas 3 [-workers 8] [-requests 2000]
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pll/internal/cluster"
 	"pll/internal/gen"
 	"pll/internal/rng"
 	"pll/internal/server"
@@ -60,7 +72,16 @@ func main() {
 	addr := flag.String("addr", "", "base URL of a running pllserved (empty starts one in-process)")
 	saturate := flag.Bool("saturate", false, "saturation scenario: cap server concurrency at -cap, offer 2x that, report shed rate + tail latency")
 	capInflight := flag.Int("cap", 8, "server concurrency cap for -saturate (in-process mode)")
+	replicas := flag.Int("replicas", 0, "distributed scenario: serve the index from N replicas behind a cluster coordinator, report proxy overhead + QPS scaling")
 	flag.Parse()
+
+	if *replicas > 0 {
+		if *addr != "" {
+			log.Fatal("-replicas starts its own in-process pool; it cannot combine with -addr")
+		}
+		runReplicas(*n, *replicas, *workers, *requests)
+		return
+	}
 
 	cfg := server.Config{CacheSize: 4096}
 	if *saturate {
@@ -90,35 +111,6 @@ func main() {
 
 	// Phase 1: concurrent point queries, with one hot-reload fired
 	// mid-flight when we own the server.
-	var failures atomic.Int64
-	latencies := make([][]time.Duration, *workers)
-	var wg sync.WaitGroup
-	perWorker := *requests / *workers
-	start := time.Now()
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r := rng.New(uint64(1000 + id))
-			lat := make([]time.Duration, 0, perWorker)
-			for i := 0; i < perWorker; i++ {
-				s, t := r.Int31n(int32(numV)), r.Int31n(int32(numV))
-				q := time.Now()
-				resp, err := client.Get(fmt.Sprintf("%s/distance?s=%d&t=%d", base, s, t))
-				if err != nil {
-					failures.Add(1)
-					continue
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					failures.Add(1)
-					continue
-				}
-				lat = append(lat, time.Since(q))
-			}
-			latencies[id] = lat
-		}(w)
-	}
 	if srv != nil {
 		// Swap in a rebuilt index while every worker is mid-loop.
 		go func() {
@@ -131,16 +123,9 @@ func main() {
 			}
 		}()
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	all, failed, elapsed := measurePoint(client, base, *workers, *requests, numV, 1000)
 	fmt.Printf("point queries: %d ok, %d failed in %v (%.0f req/s)\n",
-		len(all), failures.Load(), elapsed.Round(time.Millisecond),
+		len(all), failed, elapsed.Round(time.Millisecond),
 		float64(len(all))/elapsed.Seconds())
 	if len(all) > 0 {
 		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
@@ -168,9 +153,233 @@ func main() {
 		batch.Count, time.Since(q).Round(time.Microsecond),
 		float64(time.Since(q).Microseconds())/float64(max(batch.Count, 1)))
 
-	if failures.Load() > 0 {
+	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// measurePoint drives the /distance workload: workers concurrent
+// clients, each issuing uniformly random (s, t) lookups. It returns the
+// sorted per-request latencies of the successful lookups, the failure
+// count, and the wall-clock elapsed time.
+func measurePoint(client *http.Client, base string, workers, requests, numV, seedBase int) ([]time.Duration, int64, time.Duration) {
+	var failures atomic.Int64
+	latencies := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	perWorker := requests / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(uint64(seedBase + id))
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				s, t := r.Int31n(int32(numV)), r.Int31n(int32(numV))
+				q := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/distance?s=%d&t=%d", base, s, t))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(q))
+			}
+			latencies[id] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, failures.Load(), elapsed
+}
+
+// runReplicas measures the distributed tier: one index served by
+// -replicas in-process server instances behind a cluster coordinator.
+// Caching is disabled so the three measurements differ only in the
+// serving topology, and each target gets a warmup pass so connection
+// pools are established before the measured run.
+func runReplicas(n, replicas, workers, requests int) {
+	raw := gen.BarabasiAlbert(n, 4, 42)
+	g, err := pll.NewGraph(raw.NumVertices(), raw.Edges())
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildStart := time.Now()
+	ix, err := pll.Build(g, pll.WithBitParallel(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built index over %d vertices in %v\n", n, time.Since(buildStart).Round(time.Millisecond))
+
+	serve := func(h http.Handler) string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, h)
+		return "http://" + ln.Addr().String()
+	}
+	urls := make([]string, replicas)
+	for i := range urls {
+		urls[i] = serve(server.New(pll.NewConcurrentOracle(ix), server.Config{}).Handler())
+	}
+	startCoord := func(backends []string) string {
+		coord, err := cluster.New(cluster.Config{Backends: backends})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return serve(coord.Handler())
+	}
+	coord1 := startCoord(urls[:1])
+	coordN := startCoord(urls)
+
+	// The default transport idles only two connections per host; with
+	// every worker hammering one host that would churn a fresh TCP
+	// connection per request and measure the dialer, not the server.
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 64},
+	}
+	// Probing the coordinator (not a replica) also proves its /healthz
+	// carries the pooled index identity the probe reads.
+	numV := probeVertices(client, coordN)
+	fmt.Printf("distributed: %d replicas behind one coordinator, %d workers, %d /distance requests per target\n",
+		replicas, workers, requests)
+
+	type result struct {
+		lat     []time.Duration
+		failed  int64
+		elapsed time.Duration
+	}
+	var results []result
+	for _, tgt := range []struct{ name, base string }{
+		{"direct (replica 0)", urls[0]},
+		{"coordinator, 1 replica", coord1},
+		{fmt.Sprintf("coordinator, %d replicas", replicas), coordN},
+	} {
+		measurePoint(client, tgt.base, workers, requests/4, numV, 7000)
+		lat, failed, elapsed := measurePoint(client, tgt.base, workers, requests, numV, 1000)
+		res := result{lat, failed, elapsed}
+		results = append(results, res)
+		line := fmt.Sprintf("%-24s %d ok, %d failed in %v (%.0f req/s)",
+			tgt.name+":", len(lat), failed, elapsed.Round(time.Millisecond),
+			float64(len(lat))/elapsed.Seconds())
+		if len(lat) > 0 {
+			line += fmt.Sprintf("  p50=%v p99=%v", pct(lat, 50), pct(lat, 99))
+		}
+		fmt.Println(line)
+	}
+
+	direct, one, all := results[0], results[1], results[2]
+	if len(direct.lat) == 0 || len(one.lat) == 0 || len(all.lat) == 0 {
+		fmt.Println("FAIL: a target answered no requests")
+		os.Exit(1)
+	}
+	fmt.Printf("coordinator hop overhead: p50 %+v, p99 %+v\n",
+		(pct(one.lat, 50) - pct(direct.lat, 50)).Round(time.Microsecond),
+		(pct(one.lat, 99) - pct(direct.lat, 99)).Round(time.Microsecond))
+	for _, r := range results {
+		if r.failed > 0 {
+			fmt.Println("FAIL: requests failed")
+			os.Exit(1)
+		}
+	}
+
+	// Phase B: QPS scaling. On one host every in-process replica shares
+	// the same cores, so raw throughput cannot scale with the pool; what
+	// scales in a real deployment is per-node capacity. Emulate that
+	// with each replica's own admission limiter — RatePerSec is a wall-
+	// clock bound, independent of shared CPU — and offer more load than
+	// the pool admits: the coordinator's admitted QPS must then track
+	// the number of replicas behind it, because rendezvous routing
+	// spreads the keys across every replica's token bucket.
+	const perReplicaRate = 400
+	capped := make([]string, replicas)
+	for i := range capped {
+		capped[i] = serve(server.New(pll.NewConcurrentOracle(ix),
+			server.Config{RatePerSec: perReplicaRate, RateBurst: 40}).Handler())
+	}
+	// A fixed 250ms hedge delay keeps hedges out of the measurement:
+	// shed 429s answer in microseconds and would otherwise drag the
+	// adaptive delay down until every admitted request hedges.
+	cappedCoord := func(backends []string) string {
+		coord, err := cluster.New(cluster.Config{Backends: backends, HedgeAfter: 250 * time.Millisecond})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return serve(coord.Handler())
+	}
+	offered := 3 * requests
+	fmt.Printf("scaling: each replica capped at %d admitted req/s, %d offered per target\n",
+		perReplicaRate, offered)
+	var admittedQPS []float64
+	for _, tgt := range []struct {
+		name     string
+		backends []string
+	}{
+		{"coordinator, 1 capped replica", capped[:1]},
+		{fmt.Sprintf("coordinator, %d capped replicas", replicas), capped},
+	} {
+		ok, shed, failed, elapsed := measureAdmitted(client, cappedCoord(tgt.backends), workers, offered, numV, 3000)
+		qps := float64(ok) / elapsed.Seconds()
+		admittedQPS = append(admittedQPS, qps)
+		fmt.Printf("%-31s admitted %d (%.0f req/s), shed %d, failed %d in %v\n",
+			tgt.name+":", ok, qps, shed, failed, elapsed.Round(time.Millisecond))
+		if failed > 0 {
+			fmt.Println("FAIL: responses that were neither 200 nor 429")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("scaling: %d-replica pool admitted %.2fx the single-replica QPS\n",
+		replicas, admittedQPS[1]/admittedQPS[0])
+}
+
+// measureAdmitted drives /distance at full speed and classifies the
+// responses: 200 admitted, 429 shed by a replica's admission limiter
+// (and relayed by the coordinator with its Retry-After), anything else
+// a failure.
+func measureAdmitted(client *http.Client, base string, workers, requests, numV, seedBase int) (int64, int64, int64, time.Duration) {
+	var ok, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	perWorker := requests / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(uint64(seedBase + id))
+			for i := 0; i < perWorker; i++ {
+				s, t := r.Int31n(int32(numV)), r.Int31n(int32(numV))
+				resp, err := client.Get(fmt.Sprintf("%s/distance?s=%d&t=%d", base, s, t))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ok.Load(), shed.Load(), failed.Load(), time.Since(start)
 }
 
 // indexPath is where the in-process mode persists its index so the

@@ -1,0 +1,188 @@
+package cluster
+
+// One backend = one pllserved replica the coordinator may route to.
+// Each holds its own bounded connection pool, circuit breaker, latency
+// ring (for the adaptive hedge delay) and scrape counters, so one slow
+// or dying replica is observable and containable in isolation.
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pll/internal/server"
+)
+
+// identity is the backend-identity payload replicas report on /healthz.
+// Backends whose identity disagrees with the pool majority are excluded
+// from routing: a replica serving a different index would silently
+// corrupt merged answers.
+type identity struct {
+	Variant  string `json:"variant"`
+	Vertices int    `json:"vertices"`
+	Checksum string `json:"checksum"`
+}
+
+type backend struct {
+	base   string // normalized base URL, no trailing slash
+	host   string // host:port, for X-Forwarded-For-style labels
+	seed   uint64 // rendezvous seed, from the base URL
+	client *http.Client
+
+	healthy  atomic.Bool // last health sweep succeeded
+	mismatch atomic.Bool // identity disagrees with the pool majority
+
+	idMu sync.Mutex
+	id   identity
+	gen  uint64 // backend's index generation, informational only
+
+	breaker breaker
+	lat     latencyRing
+
+	ok     atomic.Int64 // 2xx/4xx responses (the backend worked)
+	errs   atomic.Int64 // transport errors and 5xx responses
+	hedges atomic.Int64 // hedge attempts sent to this backend
+	hist   server.Histogram
+}
+
+func newBackend(base, host string, cfg Config) *backend {
+	b := &backend{
+		base: base,
+		host: host,
+		seed: hashName(base),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxConnsPerHost:     cfg.MaxConnsPerBackend,
+				MaxIdleConnsPerHost: cfg.MaxConnsPerBackend,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	b.breaker.failLimit = int64(cfg.BreakerFailures)
+	b.breaker.cooldown = cfg.BreakerCooldown
+	return b
+}
+
+// routable reports whether requests may be sent to this backend now.
+// An open breaker overrides a green health check (the breaker reacts in
+// milliseconds, the health sweep once per interval); the breaker's
+// probe pass-through lets one request through per cooldown so recovery
+// is detected without a thundering herd.
+func (b *backend) routable() bool {
+	return b.healthy.Load() && !b.mismatch.Load() && b.breaker.allow()
+}
+
+// observe records one completed attempt against the backend: latency
+// always, and success/failure for the breaker. 4xx counts as success —
+// the backend answered; the request was bad.
+func (b *backend) observe(d time.Duration, ok bool) {
+	b.hist.Observe(d)
+	b.lat.add(d)
+	if ok {
+		b.ok.Add(1)
+		b.breaker.succeed()
+	} else {
+		b.errs.Add(1)
+		b.breaker.fail()
+	}
+}
+
+func (b *backend) identitySnapshot() (identity, uint64) {
+	b.idMu.Lock()
+	defer b.idMu.Unlock()
+	return b.id, b.gen
+}
+
+func (b *backend) setIdentity(id identity, gen uint64) {
+	b.idMu.Lock()
+	b.id = id
+	b.gen = gen
+	b.idMu.Unlock()
+}
+
+// breaker is a consecutive-failure circuit breaker. After failLimit
+// consecutive failures it opens for cooldown; while open, allow()
+// rejects except for one probe per cooldown window. Any success closes
+// it.
+type breaker struct {
+	failLimit   int64
+	cooldown    time.Duration
+	consecutive atomic.Int64
+	openedUntil atomic.Int64 // unix nanos; 0 = closed
+	probing     atomic.Bool
+}
+
+func (br *breaker) allow() bool {
+	until := br.openedUntil.Load()
+	if until == 0 {
+		return true
+	}
+	if time.Now().UnixNano() < until {
+		return false
+	}
+	// Cooldown elapsed: admit a single probe; everyone else keeps
+	// seeing the breaker open until the probe reports.
+	return br.probing.CompareAndSwap(false, true)
+}
+
+func (br *breaker) fail() {
+	br.probing.Store(false)
+	n := br.consecutive.Add(1)
+	if n >= br.failLimit {
+		br.openedUntil.Store(time.Now().Add(br.cooldown).UnixNano())
+	}
+}
+
+func (br *breaker) succeed() {
+	br.consecutive.Store(0)
+	br.openedUntil.Store(0)
+	br.probing.Store(false)
+}
+
+func (br *breaker) open() bool {
+	until := br.openedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// latencyRing keeps the last latencyWindow attempt durations for the
+// adaptive hedge delay. Quantiles are computed on demand from a copy —
+// the window is small and hedging only consults it once per request.
+const latencyWindow = 128
+
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [latencyWindow]time.Duration
+	n    int // filled entries, <= latencyWindow
+	next int
+}
+
+func (lr *latencyRing) add(d time.Duration) {
+	lr.mu.Lock()
+	lr.buf[lr.next] = d
+	lr.next = (lr.next + 1) % latencyWindow
+	if lr.n < latencyWindow {
+		lr.n++
+	}
+	lr.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile observed latency, or 0 when no
+// samples exist yet.
+func (lr *latencyRing) p99() time.Duration {
+	lr.mu.Lock()
+	n := lr.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, lr.buf[:n])
+	lr.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := (99*n + 99) / 100 // ceil(0.99*n), 1-based
+	if idx > n {
+		idx = n
+	}
+	return tmp[idx-1]
+}

@@ -1,0 +1,160 @@
+package cluster
+
+// Property tests for the scatter reductions: partition a ground-truth
+// answer across shards, trim each shard to its own top-k (what a real
+// shard returns), and check the merge reconstructs the global top-k —
+// the invariant that keeps coordinator answers byte-identical to a
+// single node's.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pll/pll"
+)
+
+func sortNeighbors(ns []pll.Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Distance != ns[j].Distance {
+			return ns[i].Distance < ns[j].Distance
+		}
+		return ns[i].Vertex < ns[j].Vertex
+	})
+}
+
+func TestMergeNeighborsShardedTopK(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80 + rng.Intn(60)
+		global := make([]pll.Neighbor, n)
+		for i := range global {
+			// Small distance range forces heavy ties, the case where the
+			// (distance, vertex) tie-break matters.
+			global[i] = pll.Neighbor{Vertex: int32(i), Distance: int64(rng.Intn(9))}
+		}
+		sortNeighbors(global)
+		for _, shardCount := range []int{1, 2, 3, 5} {
+			for _, k := range []int{1, 3, 10, n, n + 5} {
+				// Partition by vertex: each shard holds a disjoint subset,
+				// sorted and trimmed to its own top-k, like a label-
+				// partitioned replica would answer.
+				shards := make([][]pll.Neighbor, shardCount)
+				for _, nb := range global {
+					s := int(nb.Vertex) % shardCount
+					shards[s] = append(shards[s], nb)
+				}
+				for s := range shards {
+					sortNeighbors(shards[s])
+					if len(shards[s]) > k {
+						shards[s] = shards[s][:k]
+					}
+				}
+				want := global
+				if len(want) > k {
+					want = want[:k]
+				}
+				got := mergeNeighbors(shards, k)
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d shards=%d k=%d: %d merged, want %d", seed, shardCount, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed=%d shards=%d k=%d: merged[%d]=%v, want %v", seed, shardCount, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeNeighborsReplicated(t *testing.T) {
+	// Replicas all return the same answer; the merge must return it
+	// unchanged (this is the byte-identity case in production).
+	ns := []pll.Neighbor{{Vertex: 3, Distance: 1}, {Vertex: 9, Distance: 1}, {Vertex: 2, Distance: 4}}
+	got := mergeNeighbors([][]pll.Neighbor{ns, ns, ns}, 3)
+	if len(got) != 3 {
+		t.Fatalf("merged %d, want 3", len(got))
+	}
+	for i := range ns {
+		if got[i] != ns[i] {
+			t.Fatalf("merged[%d]=%v, want %v", i, got[i], ns[i])
+		}
+	}
+}
+
+func TestMergeMatchesShardedTopK(t *testing.T) {
+	for _, seed := range []int64{2, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(40)
+		global := make([]pll.CompositeMatch, n)
+		for i := range global {
+			score := int64(rng.Intn(12))
+			if rng.Intn(5) == 0 {
+				score = -1 // unreachable term: sorts after every reachable match
+			}
+			global[i] = pll.CompositeMatch{Vertex: int32(i), Score: score}
+		}
+		sort.Slice(global, func(i, j int) bool { return matchLess(global[i], global[j]) })
+		for _, shardCount := range []int{1, 3, 4} {
+			for _, k := range []int{0, 1, 5, n} { // 0 = untrimmed
+				shards := make([][]pll.CompositeMatch, shardCount)
+				for _, m := range global {
+					s := int(m.Vertex) % shardCount
+					shards[s] = append(shards[s], m)
+				}
+				for s := range shards {
+					sort.Slice(shards[s], func(i, j int) bool { return matchLess(shards[s][i], shards[s][j]) })
+					if k > 0 && len(shards[s]) > k {
+						shards[s] = shards[s][:k]
+					}
+				}
+				want := global
+				if k > 0 && len(want) > k {
+					want = want[:k]
+				}
+				got := mergeMatches(shards, k)
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d shards=%d k=%d: %d merged, want %d", seed, shardCount, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Vertex != want[i].Vertex || got[i].Score != want[i].Score {
+						t.Fatalf("seed=%d shards=%d k=%d: merged[%d]=%v, want %v", seed, shardCount, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRendezvousRankStability(t *testing.T) {
+	cfg := Config{Backends: []string{"http://a:1", "http://b:1", "http://c:1"}}
+	bs := []*backend{
+		newBackend("http://a:1", "a:1", cfg),
+		newBackend("http://b:1", "b:1", cfg),
+		newBackend("http://c:1", "c:1", cfg),
+	}
+	for _, b := range bs {
+		b.healthy.Store(true)
+	}
+	c := &Coordinator{backends: bs}
+	// Removing one backend must not remap keys it did not own: every
+	// key ranked (x, y, ...) keeps x as its primary when a different
+	// backend drops out.
+	moved := 0
+	const keys = 500
+	for i := 0; i < keys; i++ {
+		key := hashName(string(rune('k')) + string(rune(i)))
+		full := c.rank(key)
+		loser := full[len(full)-1]
+		loser.healthy.Store(false)
+		reduced := c.rank(key)
+		loser.healthy.Store(true)
+		if reduced[0] != full[0] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys changed primary when a non-primary backend dropped", moved, keys)
+	}
+}

@@ -1,0 +1,310 @@
+package cluster
+
+// Point-lookup proxying: /distance and /path are answered by exactly
+// one replica, chosen by rendezvous hashing over the request's query
+// string so the same pair keeps hitting the same replica's distance
+// cache. Resilience comes from two mechanisms with different clocks:
+// failover walks down the rendezvous ranking when an attempt fails
+// (transport error or backend 5xx), and a hedge fires a duplicate
+// attempt at the next-ranked backend when the primary is slower than
+// its own recent p99 — whichever attempt answers first wins and the
+// loser's request context is canceled.
+//
+// Backend responses relay verbatim — status, Content-Type, Retry-After
+// and body bytes — so a routed answer is byte-identical to asking the
+// replica directly, and a replica's 429 reaches the caller with its
+// Retry-After intact.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSONBytes writes pre-marshaled JSON (merged scatter responses).
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // nothing to do for a dead client
+}
+
+// marshalResponse marshals a response map with a trailing newline —
+// the exact wire shape the replicas' json.Encoder produces, which is
+// what keeps merged coordinator responses byte-identical to a single
+// node's.
+func marshalResponse(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeBody mirrors the replica servers' body decoding bit for bit —
+// same size cap, same 413/400 split, same messages — so a request the
+// coordinator rejects gets the byte-identical rejection a replica
+// would have sent.
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the %d-byte limit", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// checkFanout bounds a client-controlled count by MaxBatch before any
+// scatter: the coordinator must shed an oversized fan-out itself, not
+// amplify it across the pool first.
+func (c *Coordinator) checkFanout(w http.ResponseWriter, name string, v int) bool {
+	if v < 1 || v > c.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "%s=%d outside [1,%d]", name, v, c.cfg.MaxBatch)
+		return false
+	}
+	return true
+}
+
+// queryInt32 parses one required int32 query parameter (message-
+// identical to the replicas').
+func queryInt32(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return int32(v), nil
+}
+
+// queryInt64 parses one required int64 query parameter.
+func queryInt64(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func clientIP(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// forwardHeaders carries the caller's identity to the backend: the
+// X-Client-Id (so per-client rate limits key on the real client, not
+// on the coordinator) and the proxy chain in X-Forwarded-For.
+func forwardHeaders(out, in *http.Request) {
+	if id := in.Header.Get("X-Client-Id"); id != "" {
+		out.Header.Set("X-Client-Id", id)
+	}
+	ip := clientIP(in)
+	if prior := in.Header.Get("X-Forwarded-For"); prior != "" {
+		ip = prior + ", " + ip
+	}
+	out.Header.Set("X-Forwarded-For", ip)
+}
+
+// proxyResult is one completed backend attempt. err covers transport
+// failures; an HTTP response of any status arrives with err == nil.
+type proxyResult struct {
+	b      *backend
+	hedged bool
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// answered reports whether the backend produced a usable answer: any
+// response below 500 (4xx is the client's problem, relayed verbatim).
+func (pr *proxyResult) answered() bool {
+	return pr.err == nil && pr.status < http.StatusInternalServerError
+}
+
+// fetch runs one attempt against b: build the backend request (same
+// method, path and query; forwarded identity headers), read the whole
+// response, and record the attempt in the backend's latency ring and
+// breaker. Attempts aborted by losing a hedge race (ctx canceled) are
+// not charged to the breaker — cancellation says the pool was slow,
+// not that the backend failed.
+func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, method, pathQuery string, body []byte, hedged bool) *proxyResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+pathQuery, rd)
+	if err != nil {
+		return &proxyResult{b: b, hedged: hedged, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	forwardHeaders(req, in)
+	start := time.Now()
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			b.observe(time.Since(start), false)
+		}
+		return &proxyResult{b: b, hedged: hedged, err: err}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		if ctx.Err() == nil {
+			b.observe(time.Since(start), false)
+		}
+		return &proxyResult{b: b, hedged: hedged, err: err}
+	}
+	b.observe(time.Since(start), resp.StatusCode < http.StatusInternalServerError)
+	return &proxyResult{b: b, hedged: hedged, status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// hedgeDelay picks how long to give the primary before duplicating the
+// request: the configured fixed delay, else the primary's own observed
+// p99 clamped to [1ms, 250ms] (5ms before any samples exist). Hedging
+// at the p99 bounds the duplicate-request overhead to roughly 1% of
+// traffic while cutting the latency tail to the second backend's
+// median.
+func (c *Coordinator) hedgeDelay(primary *backend) time.Duration {
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	d := primary.lat.p99()
+	if d == 0 {
+		return 5 * time.Millisecond
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+// relay writes a backend response through verbatim.
+func relay(w http.ResponseWriter, pr *proxyResult) {
+	if ct := pr.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := pr.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(pr.status)
+	w.Write(pr.body) //nolint:errcheck // nothing to do for a dead client
+}
+
+// pointHandler serves one point-lookup endpoint (/distance, /path) by
+// routing to the rendezvous-ranked backends with hedging and failover.
+// Point lookups fail fast: with no usable backend the caller gets an
+// immediate 503 rather than a degraded answer — a distance is either
+// exact or an error.
+func (c *Coordinator) pointHandler(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		pathQuery := r.URL.Path
+		if r.URL.RawQuery != "" {
+			pathQuery += "?" + r.URL.RawQuery
+		}
+		ranked := c.rank(hashName(pathQuery))
+		if len(ranked) == 0 {
+			writeError(w, http.StatusServiceUnavailable, "no usable backends (%d configured)", len(c.backends))
+			return
+		}
+
+		ctx := r.Context()
+		// Buffered to the maximum number of attempts, so a loser's
+		// goroutine can always deliver its result and exit after the
+		// handler returned — no reaper, no leak.
+		results := make(chan *proxyResult, len(ranked))
+		cancels := make([]context.CancelFunc, 0, len(ranked))
+		defer func() {
+			for _, cancel := range cancels {
+				cancel()
+			}
+		}()
+		launched := 0
+		launch := func(hedged bool) {
+			b := ranked[launched]
+			launched++
+			actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+			cancels = append(cancels, cancel)
+			if hedged {
+				c.hedges.Add(1)
+				b.hedges.Add(1)
+			}
+			go func() {
+				results <- c.fetch(actx, b, r, http.MethodGet, pathQuery, nil, hedged)
+			}()
+		}
+		launch(false)
+
+		hedgeTimer := time.NewTimer(c.hedgeDelay(ranked[0]))
+		defer hedgeTimer.Stop()
+
+		var lastFail *proxyResult
+		received := 0
+		for {
+			select {
+			case pr := <-results:
+				received++
+				if pr.answered() {
+					if pr.hedged {
+						c.hedgeWins.Add(1)
+					}
+					relay(w, pr)
+					return
+				}
+				lastFail = pr
+				if launched < len(ranked) {
+					launch(false)
+				} else if received == launched {
+					// Every attempt failed: relay the last backend 5xx if
+					// one answered, else report the transport error.
+					if lastFail.err == nil {
+						relay(w, lastFail)
+					} else {
+						writeError(w, http.StatusBadGateway, "backend %s: %v", lastFail.b.host, lastFail.err)
+					}
+					return
+				}
+			case <-hedgeTimer.C:
+				if launched < len(ranked) {
+					launch(true)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package cluster
+
+// Fan-out endpoints. /knn, /range, /nearest and /query scatter to
+// every shard of the logical index and reduce the per-shard top-k
+// answers with the same (distance, vertex) merge ordering the replicas
+// themselves use (internal/hubsearch), so a complete merged response
+// is byte-identical to asking one replica directly. /batch instead
+// splits its pair list into contiguous chunks across the pool — the
+// answer is positional, so the reduction is concatenation — which is
+// what turns N replicas into N× batch throughput.
+//
+// Partial failure is explicit, not silent: a scatter that could not
+// reach every shard still answers, with "incomplete": true added to
+// the response, and the degradation is counted on /metrics. Every
+// client-controlled fan-out knob is checked against MaxBatch BEFORE
+// any scatter, so an oversized request is shed at the coordinator
+// instead of amplified across the pool.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pll/pll"
+)
+
+// scatterAll sends one request to every usable backend concurrently
+// and returns the completed attempts in backend order.
+func (c *Coordinator) scatterAll(in *http.Request, method, pathQuery string, body []byte) []*proxyResult {
+	usable := c.usable()
+	results := make([]*proxyResult, len(usable))
+	var wg sync.WaitGroup
+	for i, b := range usable {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(in.Context(), c.cfg.RequestTimeout)
+			defer cancel()
+			results[i] = c.fetch(ctx, b, in, method, pathQuery, body, false)
+		}(i, b)
+	}
+	wg.Wait()
+	return results
+}
+
+// collectScatter sorts the shard replies: 200s are returned for
+// merging; a 4xx-class verdict (bad request, 409 capability conflict,
+// backend 429) is relayed verbatim — every replica of one index gives
+// the same verdict, so the first one speaks for the pool; if no shard
+// answered at all the request fails with the most informative error.
+// done reports that a response has already been written. incomplete is
+// measured against the poolable backend count — an unreachable shard
+// is a missing shard, whether it failed just now or has been down for
+// an hour.
+func (c *Coordinator) collectScatter(w http.ResponseWriter, replies []*proxyResult) (oks []*proxyResult, incomplete bool, done bool) {
+	var fail *proxyResult
+	for _, pr := range replies {
+		switch {
+		case pr.err == nil && pr.status == http.StatusOK:
+			oks = append(oks, pr)
+		case pr.err == nil && pr.status < http.StatusInternalServerError:
+			relay(w, pr)
+			return nil, false, true
+		default:
+			if fail == nil {
+				fail = pr
+			}
+		}
+	}
+	if len(oks) == 0 {
+		switch {
+		case fail == nil:
+			writeError(w, http.StatusServiceUnavailable, "no usable backends (%d configured)", len(c.backends))
+		case fail.err != nil:
+			writeError(w, http.StatusBadGateway, "backend %s: %v", fail.b.host, fail.err)
+		default:
+			relay(w, fail)
+		}
+		return nil, false, true
+	}
+	c.scatters.Add(1)
+	if incomplete = len(oks) < len(c.poolable()); incomplete {
+		c.incomplete.Add(1)
+	}
+	return oks, incomplete, false
+}
+
+// decodeShard unmarshals one 200 shard body. A 200 with an undecodable
+// body is a protocol violation, answered 502, not a partial failure.
+func decodeShard[T any](w http.ResponseWriter, pr *proxyResult, v *T) bool {
+	if err := json.Unmarshal(pr.body, v); err != nil {
+		writeError(w, http.StatusBadGateway, "backend %s: bad response: %v", pr.b.host, err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleKNN(w http.ResponseWriter, r *http.Request) {
+	sv, err := queryInt32(r, "s")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := queryInt32(r, "k")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !c.checkFanout(w, "k", int(k)) {
+		return
+	}
+	replies := c.scatterAll(r, http.MethodGet, fmt.Sprintf("/knn?s=%d&k=%d", sv, k), nil)
+	oks, incomplete, done := c.collectScatter(w, replies)
+	if done {
+		return
+	}
+	shards := make([][]pll.Neighbor, 0, len(oks))
+	for _, pr := range oks {
+		var sr struct {
+			Neighbors []pll.Neighbor `json:"neighbors"`
+		}
+		if !decodeShard(w, pr, &sr) {
+			return
+		}
+		shards = append(shards, sr.Neighbors)
+	}
+	merged := mergeNeighbors(shards, int(k))
+	resp := map[string]any{
+		"s":         sv,
+		"k":         k,
+		"count":     len(merged),
+		"neighbors": neighborsOrEmpty(merged),
+	}
+	if incomplete {
+		resp["incomplete"] = true
+	}
+	body, err := marshalResponse(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (c *Coordinator) handleRange(w http.ResponseWriter, r *http.Request) {
+	sv, err := queryInt32(r, "s")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := queryInt64(r, "r")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if radius < 0 {
+		writeError(w, http.StatusBadRequest, "r=%d must be non-negative", radius)
+		return
+	}
+	limit := c.cfg.MaxBatch
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		if !c.checkFanout(w, "limit", v) {
+			return
+		}
+		limit = v
+	}
+	// The limit is forwarded explicitly: the replicas' default is their
+	// own MaxBatch, which the deployment contract keeps equal to the
+	// coordinator's, but an explicit value never depends on it.
+	replies := c.scatterAll(r, http.MethodGet, fmt.Sprintf("/range?s=%d&r=%d&limit=%d", sv, radius, limit), nil)
+	oks, incomplete, done := c.collectScatter(w, replies)
+	if done {
+		return
+	}
+	shards := make([][]pll.Neighbor, 0, len(oks))
+	total, totalExact, truncated := 0, true, false
+	for _, pr := range oks {
+		var sr struct {
+			Total      int            `json:"total"`
+			TotalExact bool           `json:"total_exact"`
+			Truncated  bool           `json:"truncated"`
+			Neighbors  []pll.Neighbor `json:"neighbors"`
+		}
+		if !decodeShard(w, pr, &sr) {
+			return
+		}
+		shards = append(shards, sr.Neighbors)
+		// total is exact on a single node; across shards each reports a
+		// count over its own slice of the index, so the merged total is
+		// the best lower bound we have (max) and stays exact only when
+		// every shard's was.
+		total = max(total, sr.Total)
+		totalExact = totalExact && sr.TotalExact
+		truncated = truncated || sr.Truncated
+	}
+	merged := mergeNeighbors(shards, -1)
+	if len(merged) > limit {
+		merged = merged[:limit]
+		truncated = true
+	}
+	total = max(total, len(merged))
+	resp := map[string]any{
+		"s":           sv,
+		"radius":      radius,
+		"count":       len(merged),
+		"total":       total,
+		"total_exact": totalExact,
+		"truncated":   truncated,
+		"neighbors":   neighborsOrEmpty(merged),
+	}
+	if incomplete {
+		resp["incomplete"] = true
+	}
+	body, err := marshalResponse(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// nearestRequest mirrors the replicas' POST /nearest body shape.
+type nearestRequest struct {
+	Source int32   `json:"source"`
+	Set    []int32 `json:"set"`
+	K      int     `json:"k"`
+}
+
+func (c *Coordinator) handleNearest(w http.ResponseWriter, r *http.Request) {
+	var req nearestRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Set) == 0 {
+		writeError(w, http.StatusBadRequest, `nearest body needs a non-empty "set"`)
+		return
+	}
+	if !c.checkFanout(w, "set size", len(req.Set)) || !c.checkFanout(w, "k", req.K) {
+		return
+	}
+	fwd, err := json.Marshal(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replies := c.scatterAll(r, http.MethodPost, "/nearest", fwd)
+	oks, incomplete, done := c.collectScatter(w, replies)
+	if done {
+		return
+	}
+	shards := make([][]pll.Neighbor, 0, len(oks))
+	setSize := 0
+	for _, pr := range oks {
+		var sr struct {
+			SetSize   int            `json:"set_size"`
+			Neighbors []pll.Neighbor `json:"neighbors"`
+		}
+		if !decodeShard(w, pr, &sr) {
+			return
+		}
+		shards = append(shards, sr.Neighbors)
+		setSize = max(setSize, sr.SetSize)
+	}
+	merged := mergeNeighbors(shards, req.K)
+	resp := map[string]any{
+		"source":    req.Source,
+		"k":         req.K,
+		"set_size":  setSize,
+		"count":     len(merged),
+		"neighbors": neighborsOrEmpty(merged),
+	}
+	if incomplete {
+		resp["incomplete"] = true
+	}
+	body, err := marshalResponse(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req pll.CompositeRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.Normalize()
+	if !c.checkFanout(w, "constraint fan-out", req.Fanout()) {
+		return
+	}
+	if req.K > c.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "k=%d outside [0,%d]", req.K, c.cfg.MaxBatch)
+		return
+	}
+	canon, err := json.Marshal(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replies := c.scatterAll(r, http.MethodPost, "/query", canon)
+	oks, incomplete, done := c.collectScatter(w, replies)
+	if done {
+		return
+	}
+	shards := make([][]pll.CompositeMatch, 0, len(oks))
+	total, totalExact, truncated := 0, true, false
+	for _, pr := range oks {
+		var sr struct {
+			Total      int                  `json:"total"`
+			TotalExact bool                 `json:"total_exact"`
+			Truncated  bool                 `json:"truncated"`
+			Matches    []pll.CompositeMatch `json:"matches"`
+		}
+		if !decodeShard(w, pr, &sr) {
+			return
+		}
+		shards = append(shards, sr.Matches)
+		total = max(total, sr.Total)
+		totalExact = totalExact && sr.TotalExact
+		truncated = truncated || sr.Truncated
+	}
+	merged := mergeMatches(shards, req.K)
+	if len(merged) > c.cfg.MaxBatch {
+		merged = merged[:c.cfg.MaxBatch]
+		truncated = true
+	}
+	if merged == nil {
+		merged = []pll.CompositeMatch{}
+	}
+	total = max(total, len(merged))
+	resp := map[string]any{
+		"count":       len(merged),
+		"total":       total,
+		"total_exact": totalExact,
+		"truncated":   truncated,
+		"matches":     merged,
+	}
+	if incomplete {
+		resp["incomplete"] = true
+	}
+	body, err := marshalResponse(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// batchRequest mirrors the replicas' POST /batch body shape.
+type batchRequest struct {
+	Pairs   [][2]int32 `json:"pairs,omitempty"`
+	Source  *int32     `json:"source,omitempty"`
+	Targets []int32    `json:"targets,omitempty"`
+}
+
+// handleBatch splits the (validated, capped) pair list into contiguous
+// chunks, one per usable backend, and reassembles the distances in
+// order — the response is byte-identical to a single node's while each
+// replica scans only 1/N of the pairs. A chunk whose backend fails
+// retries on the rest of the pool; the batch only fails when a chunk
+// exhausts every backend (positional answers cannot be served
+// partially).
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Source != nil && len(req.Targets) > 0 && len(req.Pairs) == 0:
+	case req.Source == nil && len(req.Targets) == 0 && len(req.Pairs) > 0:
+	default:
+		writeError(w, http.StatusBadRequest, `batch body needs either "pairs" or "source"+"targets"`)
+		return
+	}
+	n := len(req.Pairs) + len(req.Targets)
+	if n > c.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d pairs exceeds the %d limit", n, c.cfg.MaxBatch)
+		return
+	}
+	usable := c.usable()
+	if len(usable) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no usable backends (%d configured)", len(c.backends))
+		return
+	}
+
+	chunks := min(len(usable), n)
+	type chunkResult struct {
+		distances []int64
+		fail      *proxyResult
+	}
+	results := make([]chunkResult, chunks)
+	var wg sync.WaitGroup
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		var sub any
+		if req.Source != nil {
+			sub = map[string]any{"source": *req.Source, "targets": req.Targets[lo:hi]}
+		} else {
+			sub = map[string]any{"pairs": req.Pairs[lo:hi]}
+		}
+		body, err := json.Marshal(sub)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			results[i] = chunkResult{}
+			pr := c.batchChunk(r, usable, i, body)
+			if pr.err != nil || pr.status != http.StatusOK {
+				results[i].fail = pr
+				return
+			}
+			var sr struct {
+				Distances []int64 `json:"distances"`
+			}
+			if err := json.Unmarshal(pr.body, &sr); err != nil {
+				results[i].fail = &proxyResult{b: pr.b, err: fmt.Errorf("bad response: %w", err)}
+				return
+			}
+			results[i].distances = sr.Distances
+		}(i, body)
+	}
+	wg.Wait()
+
+	distances := make([]int64, 0, n)
+	for i := range results {
+		if pr := results[i].fail; pr != nil {
+			if pr.err != nil {
+				writeError(w, http.StatusBadGateway, "backend %s: %v", pr.b.host, pr.err)
+			} else {
+				relay(w, pr)
+			}
+			return
+		}
+		distances = append(distances, results[i].distances...)
+	}
+	body, err := marshalResponse(map[string]any{"count": n, "distances": distances})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// batchChunk posts one chunk, starting at the backend the chunk was
+// assigned to and failing over through the rest of the usable pool. A
+// sub-500 response is final (200 to merge, 4xx to relay); transport
+// errors and 5xxs keep walking.
+func (c *Coordinator) batchChunk(in *http.Request, usable []*backend, first int, body []byte) *proxyResult {
+	var last *proxyResult
+	for j := range usable {
+		b := usable[(first+j)%len(usable)]
+		pr := func() *proxyResult {
+			ctx, cancel := context.WithTimeout(in.Context(), c.cfg.RequestTimeout)
+			defer cancel()
+			return c.fetch(ctx, b, in, http.MethodPost, "/batch", body, false)
+		}()
+		if pr.answered() {
+			return pr
+		}
+		last = pr
+	}
+	return last
+}

@@ -50,3 +50,22 @@ func handled(s pll.Searcher) error {
 	_ = ns
 	return nil
 }
+
+// scattered mirrors a coordinator fan-out: capability probes inside
+// spawned func literals follow the same rules as straight-line code.
+func scattered(os []pll.Oracle) {
+	for _, o := range os {
+		go func(o pll.Oracle) {
+			b := o.(pll.Batcher) // want `single-result assertion to capability interface pll\.Batcher`
+			_ = b
+		}(o)
+		go func(o pll.Oracle) {
+			if sr, ok := o.(pll.Searcher); ok {
+				if _, err := sr.KNN(1, 2); err != nil {
+					return
+				}
+				sr.KNN(1, 3) // want `result of KNN discarded`
+			}
+		}(o)
+	}
+}

@@ -1,0 +1,105 @@
+// Coordinator-shaped fixtures: a scatter-gather proxy registers POST
+// handlers that decode a client body and then fan out to a backend
+// pool. The cap rules are the same — MaxBytesReader before the
+// decoder, MaxBatch before the fan-out — but the wiring differs from a
+// plain server: the middleware lives on a separate stack type, the
+// scatter happens inside spawned func literals, and the decoded slice
+// is re-marshaled into per-backend chunks. The analyzer must keep
+// seeing the caps (or their absence) through all of it.
+package handlerlimits
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type stack struct{}
+
+// Guarded mirrors the shared middleware stack: the registration's
+// callee is a method on another type, and the handler rides in as a
+// func-typed argument the analyzer follows.
+func (st *stack) Guarded(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = name
+		h(w, r)
+	}
+}
+
+type coordinator struct {
+	cfg   config
+	stack *stack
+}
+
+func (c *coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBody)
+	return json.NewDecoder(r.Body).Decode(v) == nil
+}
+
+func (c *coordinator) checkFanout(w http.ResponseWriter, v int) bool {
+	return v >= 1 && v <= c.cfg.MaxBatch
+}
+
+// scatter stands in for the backend fan-out: whatever reaches it has
+// already been paid for across the whole pool.
+func (c *coordinator) scatter(body []byte) {
+	go func() { _ = body }()
+}
+
+// handleScatterGood caps the decoded fan-out before scattering.
+func (c *coordinator) handleScatterGood(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if !c.checkFanout(w, len(req.Pairs)) {
+		return
+	}
+	for i := range req.Pairs {
+		chunk, _ := json.Marshal(req.Pairs[i : i+1])
+		c.scatter(chunk)
+	}
+}
+
+// handleScatterNoCap decodes the slice and scatters it uncapped: one
+// oversized request becomes N oversized backend requests.
+func (c *coordinator) handleScatterNoCap(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	for i := range req.Pairs {
+		chunk, _ := json.Marshal(req.Pairs[i : i+1])
+		c.scatter(chunk)
+	}
+}
+
+// handleScatterNoBody skips the blessed decode wrapper entirely.
+func (c *coordinator) handleScatterNoBody(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	if !c.checkFanout(w, len(req.Pairs)) {
+		return
+	}
+	c.scatter(nil)
+}
+
+// handleScatterInline caps with an explicit MaxBatch comparison before
+// the fan-out, like the real /batch chunk splitter.
+func (c *coordinator) handleScatterInline(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) > c.cfg.MaxBatch {
+		return
+	}
+	c.scatter(nil)
+}
+
+func registerCoordinator(c *coordinator) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scatter/good", c.stack.Guarded("good", c.handleScatterGood))
+	mux.HandleFunc("POST /scatter/nocap", c.stack.Guarded("nocap", c.handleScatterNoCap))    // want `never caps its length against MaxBatch`
+	mux.HandleFunc("POST /scatter/nobody", c.stack.Guarded("nobody", c.handleScatterNoBody)) // want `never wires http\.MaxBytesReader`
+	mux.HandleFunc("POST /scatter/inline", c.stack.Guarded("inline", c.handleScatterInline))
+}

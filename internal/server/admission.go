@@ -55,7 +55,7 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-func newAdmission(cfg Config) *admission {
+func newAdmission(cfg StackConfig) *admission {
 	a := &admission{rate: cfg.RatePerSec, now: time.Now}
 	if a.rate > 0 {
 		a.burst = float64(cfg.RateBurst)

@@ -69,10 +69,10 @@ func TestRateLimitPerClient(t *testing.T) {
 			t.Fatalf("GET %s for a rate-limited client: status %d, want 200 (probes and scrapes are exempt)", path, resp.StatusCode)
 		}
 	}
-	if got := s.admit.shedRate(); got != 1 {
+	if got := s.stack.admit.shedRate(); got != 1 {
 		t.Fatalf("rate sheds = %d, want 1", got)
 	}
-	if got := s.admit.trackedClients(); got != 2 {
+	if got := s.stack.admit.trackedClients(); got != 2 {
 		t.Fatalf("tracked clients = %d, want 2", got)
 	}
 }
@@ -81,7 +81,7 @@ func TestRateLimitPerClient(t *testing.T) {
 // 2 req/s means two immediate admits, a shed telling the client to wait
 // 1s, and one more admit after half a second restores one token.
 func TestTokenBucketRefill(t *testing.T) {
-	a := newAdmission(Config{RatePerSec: 2, RateBurst: 2})
+	a := newAdmission(StackConfig{RatePerSec: 2, RateBurst: 2})
 	now := time.Unix(1000, 0)
 	a.now = func() time.Time { return now }
 
@@ -134,7 +134,7 @@ func TestConcurrencyShed(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Fatalf("concurrency 429 Retry-After = %q, want \"1\"", ra)
 	}
-	if got := s.admit.shedConcurrency(); got != 1 {
+	if got := s.stack.admit.shedConcurrency(); got != 1 {
 		t.Fatalf("concurrency sheds = %d, want 1", got)
 	}
 
@@ -198,7 +198,7 @@ func TestShedUnderConcurrentLoad(t *testing.T) {
 	if total := ok200.Load() + shed429.Load(); total != workers*perWorker {
 		t.Fatalf("accounted responses = %d, want %d", total, workers*perWorker)
 	}
-	if got := s.admit.shedConcurrency(); got != shed429.Load() {
+	if got := s.stack.admit.shedConcurrency(); got != shed429.Load() {
 		t.Fatalf("shed counter = %d, observed 429s = %d", got, shed429.Load())
 	}
 	if s.InflightRequests() != 0 {

@@ -11,6 +11,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -28,16 +29,20 @@ var latencyBuckets = [...]float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram safe for concurrent
+// Histogram is a fixed-bucket latency histogram safe for concurrent
 // observation: each bucket holds its own (non-cumulative) count, the
-// cumulative sums Prometheus wants are computed at scrape time.
-type histogram struct {
+// cumulative sums Prometheus wants are computed at scrape time. It is
+// exported so components mounting a Stack (the cluster coordinator's
+// per-backend series) share one bucket layout across every scrape
+// surface.
+type Histogram struct {
 	buckets [len(latencyBuckets)]atomic.Int64
 	count   atomic.Int64
 	sumNs   atomic.Int64
 }
 
-func (h *histogram) observe(d time.Duration) {
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
 	sec := d.Seconds()
 	for i := range latencyBuckets {
 		if sec <= latencyBuckets[i] {
@@ -49,6 +54,22 @@ func (h *histogram) observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 }
 
+// WriteSeries emits the histogram in Prometheus text format under the
+// given metric name with the given label set (e.g. `endpoint="knn"`),
+// cumulative buckets plus _sum and _count. The caller emits the HELP
+// and TYPE lines once per family.
+func (h *Histogram) WriteSeries(w io.Writer, metric, labels string) {
+	cum := int64(0)
+	for i := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", metric, labels, fmtFloat(latencyBuckets[i]), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", metric, labels, count)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", metric, labels, fmtFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, count)
+}
+
 // statusClasses indexes response-code classes 1xx..5xx (slot 0 unused).
 const statusClasses = 6
 
@@ -56,14 +77,14 @@ const statusClasses = 6
 // class plus the latency histogram over every response.
 type endpointMetrics struct {
 	codes [statusClasses]atomic.Int64
-	hist  histogram
+	hist  Histogram
 }
 
 func (m *endpointMetrics) observe(status int, d time.Duration) {
 	if c := status / 100; c >= 1 && c < statusClasses {
 		m.codes[c].Add(1)
 	}
-	m.hist.observe(d)
+	m.hist.Observe(d)
 }
 
 // metrics holds the per-endpoint series. The endpoint set is fixed at
@@ -116,42 +137,9 @@ func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
-	fmt.Fprintf(w, "# HELP pll_http_requests_total HTTP responses by endpoint and status-code class.\n")
-	fmt.Fprintf(w, "# TYPE pll_http_requests_total counter\n")
-	for _, name := range s.metrics.names {
-		em := s.metrics.endpoints[name]
-		for c := 1; c < statusClasses; c++ {
-			fmt.Fprintf(w, "pll_http_requests_total{endpoint=%q,code=\"%dxx\"} %d\n", name, c, em.codes[c].Load())
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP pll_http_request_duration_seconds Request latency by endpoint, admission rejections included.\n")
-	fmt.Fprintf(w, "# TYPE pll_http_request_duration_seconds histogram\n")
-	for _, name := range s.metrics.names {
-		h := &s.metrics.endpoints[name].hist
-		cum := int64(0)
-		for i := range latencyBuckets {
-			cum += h.buckets[i].Load()
-			fmt.Fprintf(w, "pll_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", name, fmtFloat(latencyBuckets[i]), cum)
-		}
-		count := h.count.Load()
-		fmt.Fprintf(w, "pll_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, count)
-		fmt.Fprintf(w, "pll_http_request_duration_seconds_sum{endpoint=%q} %s\n", name, fmtFloat(float64(h.sumNs.Load())/1e9))
-		fmt.Fprintf(w, "pll_http_request_duration_seconds_count{endpoint=%q} %d\n", name, count)
-	}
-
-	fmt.Fprintf(w, "# HELP pll_http_requests_in_flight Requests currently executing.\n")
-	fmt.Fprintf(w, "# TYPE pll_http_requests_in_flight gauge\n")
-	fmt.Fprintf(w, "pll_http_requests_in_flight %d\n", s.active.Load())
-
-	fmt.Fprintf(w, "# HELP pll_http_shed_total Requests rejected with 429 by the admission layer.\n")
-	fmt.Fprintf(w, "# TYPE pll_http_shed_total counter\n")
-	fmt.Fprintf(w, "pll_http_shed_total{reason=\"concurrency\"} %d\n", s.admit.shedConcurrency())
-	fmt.Fprintf(w, "pll_http_shed_total{reason=\"rate\"} %d\n", s.admit.shedRate())
-
-	fmt.Fprintf(w, "# HELP pll_ratelimit_clients Client token buckets currently tracked.\n")
-	fmt.Fprintf(w, "# TYPE pll_ratelimit_clients gauge\n")
-	fmt.Fprintf(w, "pll_ratelimit_clients %d\n", s.admit.trackedClients())
+	// The request/latency/shed/in-flight families come from the shared
+	// middleware stack; everything below is Server-specific.
+	s.stack.WriteMetrics(w)
 
 	hits, misses := s.cache.counters()
 	fmt.Fprintf(w, "# HELP pll_cache_hits_total Cache hits by cache (pair = /distance, knn and query = result bodies).\n")

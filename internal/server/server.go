@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -72,8 +74,11 @@ type Server struct {
 	cfg     Config
 	start   time.Time
 	mux     *http.ServeMux
-	metrics *metrics
-	admit   *admission
+
+	// stack is the shared middleware (metrics, admission, logging, the
+	// global in-flight count Drain waits on at shutdown so the process
+	// never unmaps an index under a timed-out reader).
+	stack *Stack
 
 	reloadMu sync.Mutex // serializes /reload and SIGHUP reloads
 
@@ -82,13 +87,7 @@ type Server struct {
 	// closing a retired resource-backed oracle (see retire).
 	inflight atomic.Pointer[sync.WaitGroup]
 
-	// active counts every executing request regardless of which oracle
-	// generation it pinned; Drain waits on it at shutdown so the
-	// process never unmaps an index under a timed-out reader.
-	active atomic.Int64
-
-	logSeq     atomic.Int64 // request-log sampling sequence
-	statsCache statsCache   // memoized pll.Stats for /metrics scrapes
+	statsCache statsCache // memoized pll.Stats for /metrics scrapes
 
 	queries    atomic.Int64 // /distance + /path answers
 	batchPairs atomic.Int64 // pairs answered through /batch
@@ -114,9 +113,14 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 		cfg:     cfg,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
-		metrics: newMetrics("healthz", "metrics", "distance", "path", "batch", "stats",
+		stack: NewStack(StackConfig{
+			RatePerSec:  cfg.RatePerSec,
+			RateBurst:   cfg.RateBurst,
+			MaxInflight: cfg.MaxInflight,
+			LogEvery:    cfg.LogEvery,
+			Logger:      cfg.Logger,
+		}, "healthz", "metrics", "distance", "path", "batch", "stats",
 			"update", "reload", "knn", "range", "nearest", "query"),
-		admit: newAdmission(cfg),
 	}
 	s.inflight.Store(new(sync.WaitGroup))
 	// /healthz and /metrics are instrument-only: liveness probes and
@@ -139,40 +143,35 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 // Handler returns the http.Handler serving all endpoints. Every
 // request registers in the current in-flight group so a reload can
 // tell when the requests predating its swap have drained, and in the
-// global active count Drain waits on at shutdown.
+// stack's global active count Drain waits on at shutdown.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.active.Add(1)
-		defer s.active.Add(-1)
+	return s.stack.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		wg := s.inflight.Load()
 		wg.Add(1)
 		defer wg.Done()
 		s.mux.ServeHTTP(w, r)
-	})
+	}))
+}
+
+// instrument and guarded mount the shared middleware stack under the
+// method-set the handler registrations read naturally.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.stack.Instrument(name, h)
+}
+
+func (s *Server) guarded(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.stack.Guarded(name, h)
 }
 
 // InflightRequests reports the number of requests currently executing.
-func (s *Server) InflightRequests() int64 { return s.active.Load() }
+func (s *Server) InflightRequests() int64 { return s.stack.InflightRequests() }
 
 // Drain blocks until no request is executing or ctx expires. Call it
 // after http.Server.Shutdown returns — including on Shutdown timeout,
 // when handlers may still be mid-request — and only Close a mapped
 // oracle once it returns nil: closing unmaps the label pages, and a
 // reader that outlived the shutdown deadline would otherwise segfault.
-func (s *Server) Drain(ctx context.Context) error {
-	t := time.NewTicker(2 * time.Millisecond)
-	defer t.Stop()
-	for {
-		if s.active.Load() == 0 {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("%d requests still in flight: %w", s.active.Load(), ctx.Err())
-		case <-t.C:
-		}
-	}
-}
+func (s *Server) Drain(ctx context.Context) error { return s.stack.Drain(ctx) }
 
 // Oracle returns the served oracle (shared, not a copy).
 func (s *Server) Oracle() *pll.ConcurrentOracle { return s.oracle }
@@ -225,11 +224,43 @@ func queryPair(r *http.Request) (int32, int32, error) {
 	return s, t, nil
 }
 
+// handleHealthz answers the liveness probe with a backend-identity
+// payload: which index this replica serves (variant, vertex count, a
+// content checksum) and which local generation it is on. A scatter-
+// gather coordinator uses the identity to refuse pooling replicas that
+// serve different indexes; a bare 200 cannot carry that contract.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cachedStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"vertices": s.oracle.NumVertices(),
+		"status":     "ok",
+		"variant":    st.Variant.String(),
+		"generation": s.oracle.Generation(),
+		"vertices":   st.NumVertices,
+		"checksum":   indexChecksum(st),
 	})
+}
+
+// indexChecksum fingerprints the served index's content from its
+// stats: two indexes with the same variant, shape and label mass are
+// interchangeable for query routing. It is intentionally derived from
+// the already-memoized Stats rather than hashing the container bytes —
+// a health probe must not re-read a multi-gigabyte mapping — so it
+// identifies the index, not the file encoding.
+func indexChecksum(st pll.Stats) string {
+	h := fnv.New64a()
+	for _, v := range []int64{
+		int64(st.Variant), int64(st.NumVertices), int64(st.NumBitParallel),
+		st.TotalLabelEntries, int64(st.MaxLabelSize), st.IndexBytes,
+		int64(st.DistinctHubs), int64(st.MaxHubLoad),
+	} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	if st.HasParentPointers {
+		h.Write([]byte{1})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // distanceResponse is the /distance (and per-pair /batch) answer shape.
@@ -395,6 +426,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"distinct_hubs":      st.DistinctHubs,
 			"max_hub_load":       st.MaxHubLoad,
 			"avg_hub_load":       st.AvgHubLoad,
+			"checksum":           indexChecksum(st),
 		},
 		"server": map[string]any{
 			"uptime_seconds": time.Since(s.start).Seconds(),

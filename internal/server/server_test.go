@@ -85,12 +85,20 @@ func TestHealthz(t *testing.T) {
 	}
 	_, ts := newTestServer(t, ix, Config{})
 	var resp struct {
-		Status   string `json:"status"`
-		Vertices int    `json:"vertices"`
+		Status     string `json:"status"`
+		Vertices   int    `json:"vertices"`
+		Variant    string `json:"variant"`
+		Generation int64  `json:"generation"`
+		Checksum   string `json:"checksum"`
 	}
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, &resp)
 	if resp.Status != "ok" || resp.Vertices != 5 {
 		t.Fatalf("healthz = %+v", resp)
+	}
+	// The identity fields are the cluster coordinator's pooling key: a
+	// replica pool refuses to merge answers across disagreeing values.
+	if resp.Variant != "undirected" || resp.Checksum == "" {
+		t.Fatalf("healthz identity = %+v", resp)
 	}
 }
 
