@@ -62,16 +62,20 @@ func newBackend(base, host string, cfg Config) *backend {
 	}
 	b.breaker.failLimit = int64(cfg.BreakerFailures)
 	b.breaker.cooldown = cfg.BreakerCooldown
+	// No attempt outlives RequestTimeout, so a probe slot older than
+	// that was abandoned and may be reclaimed.
+	b.breaker.probeTTL = cfg.RequestTimeout
 	return b
 }
 
 // routable reports whether requests may be sent to this backend now.
 // An open breaker overrides a green health check (the breaker reacts in
-// milliseconds, the health sweep once per interval); the breaker's
-// probe pass-through lets one request through per cooldown so recovery
-// is detected without a thundering herd.
+// milliseconds, the health sweep once per interval). Read-only: the
+// probe slot of a cooled-down breaker is consumed at send time
+// (fetch), never here — /metrics, /healthz and rendezvous ranking all
+// call this without sending anything.
 func (b *backend) routable() bool {
-	return b.healthy.Load() && !b.mismatch.Load() && b.breaker.allow()
+	return b.healthy.Load() && !b.mismatch.Load() && b.breaker.canRoute()
 }
 
 // observe records one completed attempt against the backend: latency
@@ -103,32 +107,64 @@ func (b *backend) setIdentity(id identity, gen uint64) {
 }
 
 // breaker is a consecutive-failure circuit breaker. After failLimit
-// consecutive failures it opens for cooldown; while open, allow()
-// rejects except for one probe per cooldown window. Any success closes
-// it.
+// consecutive failures it opens for cooldown; once the cooldown
+// elapses the backend looks routable again, but acquire() admits only
+// one in-flight probe at a time until a success closes the breaker.
+//
+// Deciding routability (canRoute) and consuming the probe slot
+// (acquire) are separate on purpose: routability is read from paths
+// that never send a request, and a slot consumed there would never be
+// released by a completed attempt — stranding the breaker open. The
+// slot is also timestamped so a probe abandoned without reporting an
+// outcome expires after probeTTL instead of wedging recovery.
 type breaker struct {
 	failLimit   int64
 	cooldown    time.Duration
+	probeTTL    time.Duration // 0 = an in-flight probe never expires
 	consecutive atomic.Int64
 	openedUntil atomic.Int64 // unix nanos; 0 = closed
-	probing     atomic.Bool
+	probeStart  atomic.Int64 // unix nanos of the in-flight probe; 0 = none
 }
 
-func (br *breaker) allow() bool {
+// canRoute reports whether the breaker lets requests head toward the
+// backend: closed, or open with the cooldown elapsed (a probe may go
+// out). Read-only — never consumes the probe slot.
+func (br *breaker) canRoute() bool {
+	until := br.openedUntil.Load()
+	return until == 0 || time.Now().UnixNano() >= until
+}
+
+// acquire is called once per attempt at send time. ok says whether the
+// attempt may proceed; probe marks it as the recovery probe, whose
+// holder must report fail()/succeed(), or release() the slot if the
+// attempt is abandoned without a verdict.
+func (br *breaker) acquire() (ok, probe bool) {
 	until := br.openedUntil.Load()
 	if until == 0 {
-		return true
+		return true, false
 	}
-	if time.Now().UnixNano() < until {
-		return false
+	now := time.Now().UnixNano()
+	if now < until {
+		return false, false
 	}
-	// Cooldown elapsed: admit a single probe; everyone else keeps
-	// seeing the breaker open until the probe reports.
-	return br.probing.CompareAndSwap(false, true)
+	for {
+		cur := br.probeStart.Load()
+		if cur != 0 && (br.probeTTL <= 0 || now-cur < int64(br.probeTTL)) {
+			return false, false // another probe is in flight
+		}
+		if br.probeStart.CompareAndSwap(cur, now) {
+			return true, true
+		}
+	}
 }
 
+// release frees the probe slot without recording an outcome — for
+// attempts aborted by cancellation, which say the pool gave up on the
+// request, nothing about the backend's health.
+func (br *breaker) release() { br.probeStart.Store(0) }
+
 func (br *breaker) fail() {
-	br.probing.Store(false)
+	br.probeStart.Store(0)
 	n := br.consecutive.Add(1)
 	if n >= br.failLimit {
 		br.openedUntil.Store(time.Now().Add(br.cooldown).UnixNano())
@@ -138,7 +174,7 @@ func (br *breaker) fail() {
 func (br *breaker) succeed() {
 	br.consecutive.Store(0)
 	br.openedUntil.Store(0)
-	br.probing.Store(false)
+	br.probeStart.Store(0)
 }
 
 func (br *breaker) open() bool {

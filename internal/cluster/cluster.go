@@ -26,8 +26,10 @@
 //     instead of failing.
 //   - Per-backend circuit breakers stop hammering a dying replica
 //     between health sweeps; bounded connection pools cap the fan-out's
-//     socket cost; backend 429s propagate to the caller with their
-//     Retry-After instead of being swallowed.
+//     socket cost. A backend 429 propagates to the caller with its
+//     Retry-After intact on point lookups; on scatters a shedding shard
+//     only degrades the answer ("incomplete"), and the 429 is relayed
+//     when every shard shed.
 //
 // Replicas must serve the same index: the health loop compares the
 // backend-identity payload (/healthz variant, vertex count, content

@@ -6,11 +6,13 @@ package cluster
 // again from the outside.
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -323,6 +325,64 @@ func TestPartialFailureDegradesExplicitly(t *testing.T) {
 	}
 }
 
+// TestScatter429DegradesNotAborts pins that admission rejection is
+// per-replica load, not a pool verdict: one shedding replica must not
+// turn an otherwise successful scatter into a client-visible 429 — the
+// merge answers degraded with "incomplete":true — and only when every
+// shard sheds does the 429 (Retry-After intact) reach the caller.
+func TestScatter429DegradesNotAborts(t *testing.T) {
+	o := buildOracle(t, "undirected")
+	var shed [3]atomic.Bool
+	urls := make([]string, len(shed))
+	for i := range urls {
+		s := server.New(pll.NewConcurrentOracle(o), server.Config{})
+		h := s.Handler()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// /healthz stays exempt: a loaded replica is still a live,
+			// identity-matched pool member.
+			if shed[i].Load() && r.URL.Path != "/healthz" {
+				w.Header().Set("Retry-After", "3")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprintln(w, `{"error":"server over capacity"}`)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	c, coord := startCoordinator(t, urls, nil)
+	waitUsable(t, c, 3)
+
+	_, _, whole := do(t, http.MethodGet, coord.URL+"/knn?s=0&k=5", "")
+
+	shed[2].Store(true)
+	st, _, degraded := do(t, http.MethodGet, coord.URL+"/knn?s=0&k=5", "")
+	if st != http.StatusOK {
+		t.Fatalf("scatter with one shedding replica: status %d, want 200 (%s)", st, degraded)
+	}
+	if !strings.Contains(degraded, `"incomplete":true`) {
+		t.Fatalf("shedding shard not marked incomplete: %s", degraded)
+	}
+	if strings.Replace(degraded, `"incomplete":true,`, "", 1) != whole {
+		t.Fatalf("degraded answer differs beyond the marker:\ndegraded: %q\n   whole: %q", degraded, whole)
+	}
+
+	// Every shard shedding: 429 is now the pool's verdict and relays
+	// with its Retry-After.
+	for i := range shed {
+		shed[i].Store(true)
+	}
+	st, hdr, _ := do(t, http.MethodGet, coord.URL+"/knn?s=0&k=5", "")
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("all-shed scatter: status %d, want 429", st)
+	}
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("all-shed Retry-After %q, want \"3\"", got)
+	}
+}
+
 // TestBatchChunkFailover kills a replica WITHOUT waiting for a health
 // sweep: chunks assigned to the dead backend must fail over to the
 // survivors and the reassembled answer stays byte-identical.
@@ -386,28 +446,71 @@ func TestIdentityMismatchExcluded(t *testing.T) {
 
 // TestBreaker pins the breaker state machine: opens after the
 // configured consecutive failures, rejects while open, admits one
-// probe after the cooldown, closes on success.
+// send-time probe after the cooldown, closes on success — and
+// routability reads never consume the probe slot.
 func TestBreaker(t *testing.T) {
-	br := breaker{failLimit: 3, cooldown: 30 * time.Millisecond}
+	br := breaker{failLimit: 3, cooldown: 30 * time.Millisecond, probeTTL: 10 * time.Second}
 	for i := 0; i < 2; i++ {
 		br.fail()
 	}
-	if !br.allow() {
+	if ok, probe := br.acquire(); !ok || probe {
 		t.Fatal("breaker opened before the failure limit")
 	}
 	br.fail()
-	if br.allow() {
-		t.Fatal("breaker closed after the failure limit")
+	if br.canRoute() {
+		t.Fatal("breaker routable right after opening")
+	}
+	if ok, _ := br.acquire(); ok {
+		t.Fatal("attempt admitted while the breaker is open")
 	}
 	time.Sleep(40 * time.Millisecond)
-	if !br.allow() {
+	// Cooldown elapsed: any number of read-only routability checks (the
+	// /metrics, /healthz and ranking paths) must leave the probe slot
+	// untouched...
+	for i := 0; i < 100; i++ {
+		if !br.canRoute() {
+			t.Fatal("cooled-down breaker not routable")
+		}
+	}
+	// ...and send time still admits exactly one probe.
+	if ok, probe := br.acquire(); !ok || !probe {
 		t.Fatal("probe not admitted after cooldown")
 	}
-	if br.allow() {
-		t.Fatal("second probe admitted in the same cooldown window")
+	if ok, _ := br.acquire(); ok {
+		t.Fatal("second probe admitted while the first is in flight")
 	}
 	br.succeed()
-	if !br.allow() || !br.allow() {
+	if ok, probe := br.acquire(); !ok || probe {
 		t.Fatal("breaker not closed after a success")
+	}
+	if !br.canRoute() {
+		t.Fatal("breaker not routable after a success")
+	}
+}
+
+// TestBreakerProbeReleaseAndExpiry pins the two self-heal paths for a
+// probe slot whose holder never reports an outcome: an explicit
+// release (attempt aborted by cancellation) frees it immediately, and
+// an abandoned slot expires after probeTTL — either way the breaker
+// cannot be stranded open.
+func TestBreakerProbeReleaseAndExpiry(t *testing.T) {
+	br := breaker{failLimit: 1, cooldown: 5 * time.Millisecond, probeTTL: 30 * time.Millisecond}
+	br.fail()
+	time.Sleep(10 * time.Millisecond)
+	if ok, probe := br.acquire(); !ok || !probe {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	br.release()
+	if ok, probe := br.acquire(); !ok || !probe {
+		t.Fatal("released probe slot not reusable")
+	}
+	// Abandon this probe without any report: before probeTTL the slot
+	// stays held, after it the slot is reclaimable.
+	if ok, _ := br.acquire(); ok {
+		t.Fatal("probe slot double-acquired before expiry")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := br.acquire(); !ok || !probe {
+		t.Fatal("abandoned probe never expired; breaker stranded open")
 	}
 }

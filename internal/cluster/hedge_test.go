@@ -115,6 +115,68 @@ func TestHedgeOvertakesSlowPrimaryAndCancelsLoser(t *testing.T) {
 	}
 }
 
+// TestBreakerRecoveryUnderMetricsScrapes reproduces the stuck-open
+// scenario: while a backend's breaker cools down, /metrics and
+// /healthz are scraped continuously (both read routability). Those
+// reads must not consume the half-open probe slot — once the backend
+// recovers, the next real request must still get the probe through and
+// close the breaker.
+func TestBreakerRecoveryUnderMetricsScrapes(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok","variant":"test","generation":1,"vertices":10,"checksum":"bb"}`)
+	})
+	mux.HandleFunc("GET /distance", func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"s":0,"t":1,"distance":1,"reachable":true}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c, err := New(Config{
+		Backends:        []string{ts.URL},
+		HealthInterval:  time.Hour, // the synchronous sweep in New is enough
+		BreakerFailures: 2,
+		BreakerCooldown: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	coord := httptest.NewServer(c.Handler())
+	defer coord.Close()
+
+	for i := 0; i < 2; i++ {
+		do(t, http.MethodGet, coord.URL+"/distance?s=0&t=1", "")
+	}
+	if !c.backends[0].breaker.open() {
+		t.Fatal("breaker did not open after consecutive 5xx answers")
+	}
+
+	// Backend recovers; scrape straight through (and well past) the
+	// cooldown window.
+	failing.Store(false)
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		do(t, http.MethodGet, coord.URL+"/metrics", "")
+		do(t, http.MethodGet, coord.URL+"/healthz", "")
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st, _, body := do(t, http.MethodGet, coord.URL+"/distance?s=0&t=1", "")
+	if st != http.StatusOK {
+		t.Fatalf("recovered backend never probed: status %d (%s); scrapes consumed the probe slot", st, body)
+	}
+	if c.backends[0].breaker.open() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}
+
 // TestHedgeRetryAfterPropagation pins the 429 contract through the
 // proxy: a backend shedding load answers through the coordinator with
 // its status and Retry-After intact.

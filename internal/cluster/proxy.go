@@ -28,6 +28,10 @@ import (
 	"time"
 )
 
+// statusClientClosedRequest is nginx's non-standard status for a
+// client that disconnected before the response was written.
+const statusClientClosedRequest = 499
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -151,12 +155,20 @@ func (pr *proxyResult) answered() bool {
 	return pr.err == nil && pr.status < http.StatusInternalServerError
 }
 
+// errBreakerOpen marks an attempt the breaker rejected at send time
+// (the probe slot was already taken); the callers treat it like any
+// other failed attempt and move on to the next backend.
+var errBreakerOpen = errors.New("circuit breaker open")
+
 // fetch runs one attempt against b: build the backend request (same
 // method, path and query; forwarded identity headers), read the whole
 // response, and record the attempt in the backend's latency ring and
-// breaker. Attempts aborted by losing a hedge race (ctx canceled) are
-// not charged to the breaker — cancellation says the pool was slow,
-// not that the backend failed.
+// breaker. The breaker's probe slot is consumed here, at send time —
+// the routability checks that picked b are read-only. Attempts aborted
+// by cancellation (a lost hedge race, a gone client) are not charged
+// to the breaker — cancellation says the pool was slow, not that the
+// backend failed — but a held probe slot is released so the breaker
+// can still admit the next probe.
 func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, method, pathQuery string, body []byte, hedged bool) *proxyResult {
 	var rd io.Reader
 	if body != nil {
@@ -170,11 +182,22 @@ func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, m
 		req.Header.Set("Content-Type", "application/json")
 	}
 	forwardHeaders(req, in)
+	ok, probe := b.breaker.acquire()
+	if !ok {
+		return &proxyResult{b: b, hedged: hedged, err: errBreakerOpen}
+	}
+	settleAbort := func() {
+		if probe {
+			b.breaker.release()
+		}
+	}
 	start := time.Now()
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
 			b.observe(time.Since(start), false)
+		} else {
+			settleAbort()
 		}
 		return &proxyResult{b: b, hedged: hedged, err: err}
 	}
@@ -183,6 +206,8 @@ func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, m
 	if err != nil {
 		if ctx.Err() == nil {
 			b.observe(time.Since(start), false)
+		} else {
+			settleAbort()
 		}
 		return &proxyResult{b: b, hedged: hedged, err: err}
 	}
@@ -303,6 +328,11 @@ func (c *Coordinator) pointHandler(name string) http.HandlerFunc {
 					launch(true)
 				}
 			case <-ctx.Done():
+				// The client went away before any attempt answered: stamp
+				// the nginx-style client-closed-request status so the
+				// Instrument layer doesn't book an abandoned lookup as an
+				// implicit 200.
+				w.WriteHeader(statusClientClosedRequest)
 				return
 			}
 		}

@@ -10,8 +10,9 @@ package cluster
 // what turns N replicas into N× batch throughput.
 //
 // Partial failure is explicit, not silent: a scatter that could not
-// reach every shard still answers, with "incomplete": true added to
-// the response, and the degradation is counted on /metrics. Every
+// get a 200 from every shard (unreachable, erroring, or shedding load
+// with a 429) still answers, with "incomplete": true added to the
+// response, and the degradation is counted on /metrics. Every
 // client-controlled fan-out knob is checked against MaxBatch BEFORE
 // any scatter, so an oversized request is shed at the coordinator
 // instead of amplified across the pool.
@@ -47,20 +48,26 @@ func (c *Coordinator) scatterAll(in *http.Request, method, pathQuery string, bod
 }
 
 // collectScatter sorts the shard replies: 200s are returned for
-// merging; a 4xx-class verdict (bad request, 409 capability conflict,
-// backend 429) is relayed verbatim — every replica of one index gives
-// the same verdict, so the first one speaks for the pool; if no shard
-// answered at all the request fails with the most informative error.
-// done reports that a response has already been written. incomplete is
-// measured against the poolable backend count — an unreachable shard
-// is a missing shard, whether it failed just now or has been down for
-// an hour.
+// merging; a 4xx verdict about the request itself (bad request, 409
+// capability conflict) is relayed verbatim — every replica of one
+// index gives the same verdict, so the first one speaks for the pool.
+// A 429 is NOT such a verdict: admission rejection is one replica's
+// momentary load, so a shedding shard degrades the scatter like an
+// unreachable one, and the 429 (Retry-After intact) is relayed only
+// when no shard returned 200 at all. done reports that a response has
+// already been written. incomplete is measured against the poolable
+// backend count — an unreachable shard is a missing shard, whether it
+// failed just now or has been down for an hour.
 func (c *Coordinator) collectScatter(w http.ResponseWriter, replies []*proxyResult) (oks []*proxyResult, incomplete bool, done bool) {
-	var fail *proxyResult
+	var fail, shed *proxyResult
 	for _, pr := range replies {
 		switch {
 		case pr.err == nil && pr.status == http.StatusOK:
 			oks = append(oks, pr)
+		case pr.err == nil && pr.status == http.StatusTooManyRequests:
+			if shed == nil {
+				shed = pr
+			}
 		case pr.err == nil && pr.status < http.StatusInternalServerError:
 			relay(w, pr)
 			return nil, false, true
@@ -72,6 +79,8 @@ func (c *Coordinator) collectScatter(w http.ResponseWriter, replies []*proxyResu
 	}
 	if len(oks) == 0 {
 		switch {
+		case shed != nil:
+			relay(w, shed)
 		case fail == nil:
 			writeError(w, http.StatusServiceUnavailable, "no usable backends (%d configured)", len(c.backends))
 		case fail.err != nil:
