@@ -14,6 +14,9 @@
 //	GET  /metrics                 Prometheus text format: the standard
 //	                              per-endpoint families plus per-backend
 //	                              latency/error/hedge/breaker series
+//	GET  /debug/traces            recent sampled trace span trees with one
+//	                              child span per backend attempt (scatter
+//	                              legs, hedges, failover hops)
 //
 // Usage:
 //
@@ -31,8 +34,11 @@
 // coordinator enforces them before scattering so an oversized fan-out
 // is shed locally instead of amplified across the pool. -rate, -burst,
 // -maxinflight and -logevery mount the same admission-control and
-// logging middleware pllserved uses. SIGINT/SIGTERM drain in-flight
-// scatters before the backend connection pools are torn down.
+// logging middleware pllserved uses, and -trace-sample/-trace-ring/
+// -slow-query the same tracing: every backend attempt becomes a child
+// span and carries a traceparent header, so a replica's own trace joins
+// the coordinator's tree. SIGINT/SIGTERM drain in-flight scatters
+// before the backend connection pools are torn down.
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 
 	"pll/internal/cluster"
 	"pll/internal/server"
+	"pll/internal/trace"
 )
 
 func main() {
@@ -68,6 +75,9 @@ func run() error {
 	burst := flag.Int("burst", 0, "rate-limit burst: requests a client may spend at once (0 means 2x -rate, min 1)")
 	maxInflight := flag.Int("maxinflight", 0, "global concurrent-request cap; excess requests are shed with 429 + Retry-After (0 disables)")
 	logEvery := flag.Int("logevery", 0, "structured request logging: log every Nth request (0 disables)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace head-sampled in [0,1]; errors and slow queries are always traced")
+	traceRing := flag.Int("trace-ring", 0, "recent-trace ring capacity served by /debug/traces (0 means the default, 256)")
+	slowQuery := flag.Duration("slow-query", 0, "latency threshold above which a request is traced and logged with its per-backend profile (0 disables)")
 	timeout := flag.Duration("timeout", 0, "per-backend attempt timeout (0 means the default, 5s)")
 	hedge := flag.Duration("hedge", 0, "fixed delay before hedging a point lookup to a second replica (0 = adaptive: the primary's observed p99)")
 	healthEvery := flag.Duration("health", 0, "delay between backend health sweeps (0 means the default, 1s)")
@@ -97,6 +107,11 @@ func run() error {
 			RateBurst:   *burst,
 			MaxInflight: *maxInflight,
 			LogEvery:    *logEvery,
+			Tracer: trace.New(trace.Config{
+				SampleRate: *traceSample,
+				RingSize:   *traceRing,
+				SlowQuery:  *slowQuery,
+			}),
 		},
 	})
 	if err != nil {

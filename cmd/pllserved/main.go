@@ -25,6 +25,8 @@
 //	GET  /metrics                 Prometheus text format: per-endpoint latency
 //	                              histograms, cache hit rates, index/hub gauges,
 //	                              shed counters (never rate limited)
+//	GET  /debug/traces            recent sampled trace span trees; ?id=<traceid>
+//	                              fetches one trace (never rate limited)
 //	POST /update                  {"edges":[[a,b],...]} (dynamic indexes only)
 //	POST /reload                  {"path":"new.pllbox"} — atomic hot-swap; empty body re-reads -index
 //
@@ -35,8 +37,12 @@
 // remote IP), -maxinflight caps concurrently executing requests —
 // excess load is shed with 429 + Retry-After instead of queueing.
 // -logevery N samples one structured request log line per N requests.
-// -pprof ADDR starts a separate admin listener with /debug/pprof/* and
-// /metrics, kept off the public serving port.
+// Tracing: -trace-sample P head-samples a fraction of requests into the
+// /debug/traces ring (errors and -slow-query overruns are always
+// traced); incoming W3C traceparent headers are honored and every
+// response carries X-Trace-Id. -pprof ADDR starts a separate admin
+// listener with /debug/pprof/*, /metrics and /debug/traces, kept off
+// the public serving port.
 //
 // SIGHUP re-reads the -index file in place, like POST /reload with an
 // empty body: operators can rebuild an index offline and swap it under
@@ -83,6 +89,9 @@ func run() error {
 	burst := flag.Int("burst", 0, "rate-limit burst: requests a client may spend at once (0 means 2x -rate, min 1)")
 	maxInflight := flag.Int("maxinflight", 0, "global concurrent-request cap; excess requests are shed with 429 + Retry-After (0 disables)")
 	logEvery := flag.Int("logevery", 0, "structured request logging: log every Nth request (0 disables)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace head-sampled in [0,1]; errors and slow queries are always traced")
+	traceRing := flag.Int("trace-ring", 0, "recent-trace ring capacity served by /debug/traces (0 means the default, 256)")
+	slowQuery := flag.Duration("slow-query", 0, "latency threshold above which a request is traced and logged with its per-stage profile (0 disables)")
 	pprofAddr := flag.String("pprof", "", "admin listener address serving /debug/pprof/* and /metrics (empty disables)")
 	workers := flag.Int("workers", 0, "construction workers for -graph builds (0 = all cores; the index is identical regardless)")
 	flag.Parse()
@@ -143,6 +152,10 @@ func run() error {
 		RateBurst:   *burst,
 		MaxInflight: *maxInflight,
 		LogEvery:    *logEvery,
+
+		TraceSampleRate: *traceSample,
+		TraceRingSize:   *traceRing,
+		SlowQuery:       *slowQuery,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -155,6 +168,7 @@ func run() error {
 		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		adminMux.Handle("/metrics", srv.MetricsHandler())
+		adminMux.Handle("/debug/traces", srv.DebugTracesHandler())
 		adminSrv := &http.Server{Addr: *pprofAddr, Handler: adminMux}
 		go func() {
 			log.Printf("admin listener (pprof, metrics) on %s", *pprofAddr)

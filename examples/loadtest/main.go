@@ -73,6 +73,7 @@ func main() {
 	saturate := flag.Bool("saturate", false, "saturation scenario: cap server concurrency at -cap, offer 2x that, report shed rate + tail latency")
 	capInflight := flag.Int("cap", 8, "server concurrency cap for -saturate (in-process mode)")
 	replicas := flag.Int("replicas", 0, "distributed scenario: serve the index from N replicas behind a cluster coordinator, report proxy overhead + QPS scaling")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for the in-process server's tracer (overhead experiments)")
 	flag.Parse()
 
 	if *replicas > 0 {
@@ -89,6 +90,7 @@ func main() {
 		// the real /batch scan, or the workload would not saturate.
 		cfg = server.Config{MaxInflight: *capInflight}
 	}
+	cfg.TraceSampleRate = *traceSample
 	base := *addr
 	var srv *server.Server
 	if base == "" {

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"pll/internal/server"
+	"pll/internal/trace"
 )
 
 // Config tunes a Coordinator.
@@ -156,13 +157,15 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.stack = server.NewStack(cfg.Stack,
 		"healthz", "metrics", "stats", "distance", "path", "batch",
-		"knn", "range", "nearest", "query")
+		"knn", "range", "nearest", "query", "debug")
 
 	// Liveness and scrape endpoints stay instrument-only, mirroring the
 	// single-node server: probes keep answering while the query surface
-	// sheds load.
+	// sheds load. /debug/traces joins them so a slow-query investigation
+	// is never itself shed by admission control.
 	c.mux.HandleFunc("GET /healthz", c.stack.Instrument("healthz", c.handleHealthz))
 	c.mux.HandleFunc("GET /metrics", c.stack.Instrument("metrics", c.handleMetrics))
+	c.mux.HandleFunc("GET /debug/traces", c.stack.Instrument("debug", trace.DebugHandler(c.stack.Tracer())))
 	c.mux.HandleFunc("GET /stats", c.stack.Guarded("stats", c.handleStats))
 	c.mux.HandleFunc("GET /distance", c.stack.Guarded("distance", c.pointHandler("distance")))
 	c.mux.HandleFunc("GET /path", c.stack.Guarded("path", c.pointHandler("path")))

@@ -91,6 +91,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hedge_wins":          c.hedgeWins.Load(),
 		},
 		"backends": backends,
+		"tracing":  c.stack.TraceStats(),
 	})
 }
 

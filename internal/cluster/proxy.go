@@ -26,6 +26,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"pll/internal/trace"
 )
 
 // statusClientClosedRequest is nginx's non-standard status for a
@@ -160,6 +162,11 @@ func (pr *proxyResult) answered() bool {
 // other failed attempt and move on to the next backend.
 var errBreakerOpen = errors.New("circuit breaker open")
 
+// errAttemptSuperseded is the cancel cause handed to in-flight attempts
+// once another backend's answer has been relayed, so a hedge loser's
+// trace span says it lost the race rather than generically "canceled".
+var errAttemptSuperseded = errors.New("superseded: another backend answered first")
+
 // fetch runs one attempt against b: build the backend request (same
 // method, path and query; forwarded identity headers), read the whole
 // response, and record the attempt in the backend's latency ring and
@@ -182,9 +189,36 @@ func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, m
 		req.Header.Set("Content-Type", "application/json")
 	}
 	forwardHeaders(req, in)
+	// One child span per backend attempt — a scatter leg, a hedge, a
+	// failover hop — under the coordinator's request span, with the
+	// attempt's span ID forwarded as the replica's traceparent parent so
+	// the replica's own trace joins the same tree.
+	treq := trace.FromContext(in.Context())
+	sp := treq.StartSpan("backend " + b.host)
+	sp.SetAttr("path", pathQuery)
+	if hedged {
+		sp.SetAttr("hedged", "true")
+	}
+	if tp := treq.Traceparent(sp); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	finishSpan := func(pr *proxyResult) *proxyResult {
+		if pr.err != nil {
+			sp.SetAttr("error", pr.err.Error())
+			if ctx.Err() != nil {
+				if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, ctx.Err()) {
+					sp.SetAttr("cancel", cause.Error())
+				}
+			}
+		} else {
+			sp.SetInt("status", int64(pr.status))
+		}
+		sp.End()
+		return pr
+	}
 	ok, probe := b.breaker.acquire()
 	if !ok {
-		return &proxyResult{b: b, hedged: hedged, err: errBreakerOpen}
+		return finishSpan(&proxyResult{b: b, hedged: hedged, err: errBreakerOpen})
 	}
 	settleAbort := func() {
 		if probe {
@@ -199,7 +233,7 @@ func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, m
 		} else {
 			settleAbort()
 		}
-		return &proxyResult{b: b, hedged: hedged, err: err}
+		return finishSpan(&proxyResult{b: b, hedged: hedged, err: err})
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -209,10 +243,10 @@ func (c *Coordinator) fetch(ctx context.Context, b *backend, in *http.Request, m
 		} else {
 			settleAbort()
 		}
-		return &proxyResult{b: b, hedged: hedged, err: err}
+		return finishSpan(&proxyResult{b: b, hedged: hedged, err: err})
 	}
 	b.observe(time.Since(start), resp.StatusCode < http.StatusInternalServerError)
-	return &proxyResult{b: b, hedged: hedged, status: resp.StatusCode, header: resp.Header, body: data}
+	return finishSpan(&proxyResult{b: b, hedged: hedged, status: resp.StatusCode, header: resp.Header, body: data})
 }
 
 // hedgeDelay picks how long to give the primary before duplicating the
@@ -272,7 +306,7 @@ func (c *Coordinator) pointHandler(name string) http.HandlerFunc {
 		// goroutine can always deliver its result and exit after the
 		// handler returned — no reaper, no leak.
 		results := make(chan *proxyResult, len(ranked))
-		cancels := make([]context.CancelFunc, 0, len(ranked))
+		cancels := make([]func(), 0, len(ranked))
 		defer func() {
 			for _, cancel := range cancels {
 				cancel()
@@ -282,14 +316,21 @@ func (c *Coordinator) pointHandler(name string) http.HandlerFunc {
 		launch := func(hedged bool) {
 			b := ranked[launched]
 			launched++
-			actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
-			cancels = append(cancels, cancel)
+			// WithCancelCause under the timeout: when the handler returns
+			// because another attempt won, the losers are canceled with
+			// errAttemptSuperseded and their spans record that cause.
+			actx, acancel := context.WithCancelCause(ctx)
+			tctx, tcancel := context.WithTimeout(actx, c.cfg.RequestTimeout)
+			cancels = append(cancels, func() {
+				acancel(errAttemptSuperseded)
+				tcancel()
+			})
 			if hedged {
 				c.hedges.Add(1)
 				b.hedges.Add(1)
 			}
 			go func() {
-				results <- c.fetch(actx, b, r, http.MethodGet, pathQuery, nil, hedged)
+				results <- c.fetch(tctx, b, r, http.MethodGet, pathQuery, nil, hedged)
 			}()
 		}
 		launch(false)

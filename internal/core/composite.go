@@ -85,6 +85,9 @@ type CompositeResult struct {
 	Matches []CompositeMatch `json:"matches"`
 	Total   int              `json:"total"`
 	Exact   bool             `json:"exact"`
+	// Scanned counts the label entries the hub-run scans advanced; it is
+	// a profiling figure, not part of the wire shape.
+	Scanned int64 `json:"-"`
 }
 
 // maxCompositeDepth caps constraint-tree nesting so a hostile request
@@ -377,7 +380,7 @@ func clauseToNode(c *CompositeClause, n int, rank []int32) (*runquery.Node, erro
 // the deterministic public ordering — reachable scores ascending, then
 // vertex ID; unreachable-scored matches last — and trims to exactly k.
 func finishComposite(perm []int32, rs *runquery.ResultSet, k int) *CompositeResult {
-	out := &CompositeResult{Total: rs.Total, Exact: rs.Exact}
+	out := &CompositeResult{Total: rs.Total, Exact: rs.Exact, Scanned: rs.Scanned}
 	if len(rs.Matches) == 0 {
 		return out
 	}

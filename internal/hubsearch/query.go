@@ -47,6 +47,13 @@ type Scratch struct {
 	runs cursorHeap
 	pend pendHeap
 	topk topkHeap
+
+	// Scanned and Runs count label entries advanced and runs seeded by
+	// the last query on this scratch, for per-query profiling. They are
+	// zeroed when a query starts — not in reset — so callers can read
+	// them after a deferred reset has returned the scratch.
+	Scanned int64
+	Runs    int
 }
 
 // NewScratch allocates a workspace for indexes of n vertices.
@@ -252,6 +259,7 @@ func (inv *Inverted) seed(sc *Scratch, src []Run) {
 			base: r.Base,
 			bp:   bp,
 		})
+		sc.Runs++
 	}
 }
 
@@ -282,6 +290,7 @@ func (inv *Inverted) KNN(src []Run, srcRank int32, srcS1, srcS0 []uint64, k int,
 	if k <= 0 {
 		return nil
 	}
+	sc.Scanned, sc.Runs = 0, 0
 	defer sc.reset()
 	inv.seed(sc, src)
 	slack := inv.slack()
@@ -331,6 +340,7 @@ func (inv *Inverted) KNN(src []Run, srcRank int32, srcS1, srcS0 []uint64, k int,
 		// Advance the run in place and restore the heap order.
 		c := &sc.runs[0]
 		c.pos++
+		sc.Scanned++
 		if c.pos == c.end {
 			sc.runs.pop()
 		} else {
@@ -372,6 +382,7 @@ func (inv *Inverted) Range(src []Run, srcRank int32, srcS1, srcS0 []uint64, radi
 	if radius < 0 {
 		return nil
 	}
+	sc.Scanned, sc.Runs = 0, 0
 	defer sc.reset()
 	inv.seed(sc, src)
 	slack := inv.slack()
@@ -397,6 +408,7 @@ func (inv *Inverted) Range(src []Run, srcRank int32, srcS1, srcS0 []uint64, radi
 		}
 		c := &sc.runs[0]
 		c.pos++
+		sc.Scanned++
 		if c.pos == c.end {
 			sc.runs.pop()
 		} else {

@@ -44,6 +44,7 @@ func (inv *Inverted) NewStream(src []Run, srcRank int32, srcS1, srcS0 []uint64, 
 		cutoff:  cutoff,
 		slack:   inv.slack(),
 	}
+	sc.Scanned, sc.Runs = 0, 0
 	if cutoff >= 0 {
 		inv.seed(sc, src)
 	}
@@ -100,6 +101,7 @@ func (st *Stream) Next() (Result, bool) {
 		// Advance the run in place and restore the heap order.
 		c := &sc.runs[0]
 		c.pos++
+		sc.Scanned++
 		if c.pos == c.end {
 			sc.runs.pop()
 		} else {

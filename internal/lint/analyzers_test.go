@@ -10,6 +10,7 @@ func TestMmapWrite(t *testing.T)      { RunTest(t, MmapWrite, "mmapwrite") }
 func TestDistSentinel(t *testing.T)   { RunTest(t, DistSentinel, "distsentinel") }
 func TestCapAssert(t *testing.T)      { RunTest(t, CapAssert, "capassert") }
 func TestHandlerLimits(t *testing.T)  { RunTest(t, HandlerLimits, "handlerlimits") }
+func TestProfileScope(t *testing.T)   { RunTest(t, ProfileScope, "profilescope") }
 
 // TestCapAssertFix applies the comma-ok rewrite and checks the result
 // both contains the guard and still formats.

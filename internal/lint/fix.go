@@ -16,6 +16,7 @@ var All = []*Analyzer{
 	DistSentinel,
 	CapAssert,
 	HandlerLimits,
+	ProfileScope,
 }
 
 // ApplyFixes applies the first suggested fix of every diagnostic and

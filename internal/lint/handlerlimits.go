@@ -23,6 +23,13 @@ import (
 //	    inserts the cap at the top of the handler, and
 //	(b) closures that decode a slice-bearing request type but never
 //	    consult MaxBatch/checkFanout.
+//
+// Method-less registrations match POST along with every other method,
+// so their handlers face the same rules once they actually decode a
+// body; read-only method-less mounts (/metrics on an admin mux) pass.
+// The /debug/ surface — pprof, /debug/traces — is exempt outright,
+// whatever the method: operator-only debug handlers never need a
+// suppression to mount.
 var HandlerLimits = &Analyzer{
 	Name: "handlerlimits",
 	Doc: "flag POST handlers registered without http.MaxBytesReader " +
@@ -40,11 +47,22 @@ func runHandlerLimits(pass *Pass) error {
 				return true
 			}
 			pattern, handler := registration(pass, call)
-			if handler == nil || !strings.HasPrefix(strings.Trim(pattern, `"`), "POST ") {
+			if handler == nil {
+				return true
+			}
+			explicitPost, methodless := classifyPattern(strings.Trim(pattern, `"`))
+			if !explicitPost && !methodless {
 				return true
 			}
 			bodies := reach.bodies(handler)
 			if len(bodies) == 0 {
+				return true
+			}
+			// A method-less pattern matches POST too, so its handler is
+			// held to the same caps — but only once it actually decodes a
+			// body; read-only handlers mounted without a method (admin
+			// /metrics, pprof) have nothing to cap.
+			if methodless && !reach.decodesBody(bodies) {
 				return true
 			}
 			if !reach.callsMaxBytesReader(bodies) {
@@ -68,6 +86,25 @@ func runHandlerLimits(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// classifyPattern sorts a mux pattern into the shapes the body-cap
+// rules care about: an explicit "POST path" registration, or a
+// method-less "path" one (which matches POST along with every other
+// method). Explicit GET/HEAD/etc. registrations carry no decodable
+// body. The read-only /debug/ surface — pprof, /debug/traces — is
+// exempt outright, whatever the method: mounting a debug GET handler
+// must not require a suppression comment to pass the POST body-cap
+// rule.
+func classifyPattern(pat string) (explicitPost, methodless bool) {
+	method, path, hasMethod := strings.Cut(pat, " ")
+	if !hasMethod {
+		method, path = "", pat
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return false, false
+	}
+	return method == "POST", !hasMethod
 }
 
 // registration recognizes mux.HandleFunc/Handle calls and returns the
@@ -216,6 +253,19 @@ func (r *reachability) closure(body *ast.BlockStmt, seen map[*types.Func]bool) [
 func (r *reachability) callsMaxBytesReader(bodies []*ast.BlockStmt) bool {
 	return r.anyCall(bodies, func(fn *types.Func) bool {
 		return fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "MaxBytesReader"
+	})
+}
+
+// decodesBody reports whether any reachable body decodes a request
+// body at all (Decode/Unmarshal/decodeBody): the trigger that makes a
+// method-less registration subject to the body-cap rule.
+func (r *reachability) decodesBody(bodies []*ast.BlockStmt) bool {
+	return r.anyCall(bodies, func(fn *types.Func) bool {
+		switch fn.Name() {
+		case "Decode", "Unmarshal", "decodeBody":
+			return true
+		}
+		return false
 	})
 }
 

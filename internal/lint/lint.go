@@ -1,4 +1,4 @@
-// Package lint is the project's static-analysis suite: five analyzers
+// Package lint is the project's static-analysis suite: six analyzers
 // that mechanically enforce the safety invariants the index code is
 // built on, plus the minimal driver machinery to run them.
 //
@@ -24,6 +24,9 @@
 //     errors (ErrNoSearch, ErrStaleSet) are never discarded.
 //   - handlerlimits: every POST handler wires http.MaxBytesReader (via
 //     Server.decodeBody) before touching a request body.
+//   - profilescope: request-scoped trace profiles (trace.FromContext,
+//     trace.ProfileFromContext) are never stored past the handler that
+//     owns them.
 //
 // False positives are suppressed in source with
 //

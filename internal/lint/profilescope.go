@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ProfileScope polices the lifetime of context-carried trace state.
+//
+// trace.FromContext and trace.ProfileFromContext hand out pointers that
+// are owned by one in-flight request: the middleware finishes (and may
+// commit to the trace ring) the moment the handler returns, so a
+// profile stashed in a struct field, a package-level variable, or a
+// composite literal outlives its request and keeps being written — a
+// data race against the ring's readers and a cross-request corruption
+// of whatever trace the pointer ends up in. The analyzer tracks the
+// results of those calls (directly and through local variables) and
+// reports every store that escapes the request scope. Passing the
+// profile down the call stack, nil checks, and method calls on it are
+// all fine — only stores that survive the handler are flagged.
+var ProfileScope = &Analyzer{
+	Name: "profilescope",
+	Doc: "flag request-scoped trace profiles (trace.FromContext, " +
+		"trace.ProfileFromContext) stored past the request lifetime",
+	Run: runProfileScope,
+}
+
+// profileSources are the trace package functions whose results are
+// request-scoped.
+var profileSources = map[string]bool{
+	"FromContext":        true,
+	"ProfileFromContext": true,
+}
+
+func runProfileScope(pass *Pass) error {
+	for _, f := range pass.Files {
+		// First pass: local variables holding a profile. Only simple
+		// `v := trace.ProfileFromContext(...)` shapes are tracked — the
+		// idiom the real handlers use — so aliasing through further
+		// assignments stays out of scope.
+		profileVars := map[types.Object]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok || !isProfileCall(pass.TypesInfo, as.Rhs[0]) {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				profileVars[obj] = true
+			}
+			return true
+		})
+		isProfile := func(e ast.Expr) bool {
+			e = ast.Unparen(e)
+			if isProfileCall(pass.TypesInfo, e) {
+				return true
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				return profileVars[pass.TypesInfo.ObjectOf(id)]
+			}
+			return false
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(x.Rhs) == len(x.Lhs):
+						rhs = x.Rhs[i]
+					case len(x.Rhs) == 1:
+						rhs = x.Rhs[0]
+					default:
+						continue
+					}
+					if !isProfile(rhs) {
+						continue
+					}
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.SelectorExpr:
+						pass.Reportf(x.Pos(),
+							"request-scoped trace profile stored in a struct field; it is owned by the in-flight request and must not outlive the handler")
+					case *ast.IndexExpr:
+						pass.Reportf(x.Pos(),
+							"request-scoped trace profile stored in a map or slice; it is owned by the in-flight request and must not outlive the handler")
+					case *ast.Ident:
+						if obj := pass.TypesInfo.ObjectOf(l); obj != nil && obj.Pkg() != nil &&
+							obj.Parent() == obj.Pkg().Scope() {
+							pass.Reportf(x.Pos(),
+								"request-scoped trace profile stored in package-level variable %s; it must not outlive the handler", l.Name)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range x.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isProfile(v) {
+						pass.Reportf(v.Pos(),
+							"request-scoped trace profile captured in a composite literal; the value may outlive the handler that owns the profile")
+					}
+				}
+			case *ast.ValueSpec:
+				// Package-level `var p = trace.ProfileFromContext(...)`.
+				for i, name := range x.Names {
+					if i >= len(x.Values) || !isProfileCall(pass.TypesInfo, x.Values[i]) {
+						continue
+					}
+					if obj := pass.TypesInfo.ObjectOf(name); obj != nil && obj.Pkg() != nil &&
+						obj.Parent() == obj.Pkg().Scope() {
+						pass.Reportf(x.Values[i].Pos(),
+							"request-scoped trace profile stored in package-level variable %s; it must not outlive the handler", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isProfileCall reports whether e is a call to one of the trace
+// package's request-scoped accessors.
+func isProfileCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "trace" && profileSources[fn.Name()]
+}

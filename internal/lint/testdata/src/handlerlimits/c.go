@@ -1,0 +1,30 @@
+// Method-less and debug-surface registrations. A pattern without a
+// method matches POST along with everything else, so a body-decoding
+// handler registered that way needs the same caps as an explicit POST
+// one; the read-only /debug/ surface (pprof, /debug/traces) is exempt
+// outright, without a suppression comment.
+package handlerlimits
+
+import "net/http"
+
+// handleDebugTraces is a read-only debug handler: it renders in-memory
+// ring state and never touches the request body.
+func (s *server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	_, _ = w, r
+}
+
+func registerAdmin(s *server) {
+	mux := http.NewServeMux()
+	// Debug handlers pass clean however they are mounted — even one
+	// that decodes a body is the operator's own surface.
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/pprof/", s.handleNoBodyCap)
+	// A method-less pattern that decodes a body matches POST too: the
+	// body cap is required.
+	mux.HandleFunc("/anymethod", s.handleNoBodyCap) // want `never wires http\.MaxBytesReader`
+	// Method-less but read-only: nothing is decoded, nothing to cap.
+	mux.HandleFunc("/metrics", s.handleDebugTraces)
+	// Explicit non-POST methods carry no decodable body.
+	mux.HandleFunc("GET /readonly", s.handleNoBodyCap)
+}

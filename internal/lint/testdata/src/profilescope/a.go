@@ -1,0 +1,65 @@
+// Fixture for the profilescope analyzer: the results of the trace
+// package's context accessors are owned by one in-flight request — the
+// middleware commits them when the handler returns — so storing one
+// anywhere that survives the handler is a cross-request data race.
+package profilescope
+
+import (
+	"context"
+	"net/http"
+
+	"trace"
+)
+
+type server struct {
+	lastProfile *trace.QueryProfile
+	lastRequest *trace.Request
+}
+
+type record struct {
+	prof *trace.QueryProfile
+}
+
+var globalProfile = trace.ProfileFromContext(context.Background()) // want `package-level variable`
+
+var sink *trace.QueryProfile
+
+var cache = map[string]*trace.QueryProfile{}
+
+func use(p *trace.QueryProfile) {}
+
+// handleGood is the blessed idiom: fetch the profile, call methods on
+// it, pass it down the stack — nothing outlives the handler.
+func (s *server) handleGood(w http.ResponseWriter, r *http.Request) {
+	p := trace.ProfileFromContext(r.Context())
+	p.CacheLookup(true)
+	use(p)
+	if p == nil {
+		return
+	}
+}
+
+func (s *server) handleFieldStore(w http.ResponseWriter, r *http.Request) {
+	s.lastProfile = trace.ProfileFromContext(r.Context()) // want `stored in a struct field`
+}
+
+func (s *server) handleVarThenField(w http.ResponseWriter, r *http.Request) {
+	p := trace.ProfileFromContext(r.Context())
+	s.lastProfile = p // want `stored in a struct field`
+}
+
+func (s *server) handleRequestField(w http.ResponseWriter, r *http.Request) {
+	s.lastRequest = trace.FromContext(r.Context()) // want `stored in a struct field`
+}
+
+func (s *server) handleGlobal(w http.ResponseWriter, r *http.Request) {
+	sink = trace.ProfileFromContext(r.Context()) // want `package-level variable`
+}
+
+func (s *server) handleMapStore(w http.ResponseWriter, r *http.Request) {
+	cache["last"] = trace.ProfileFromContext(r.Context()) // want `stored in a map or slice`
+}
+
+func (s *server) handleLiteral(w http.ResponseWriter, r *http.Request) *record {
+	return &record{prof: trace.ProfileFromContext(r.Context())} // want `composite literal`
+}

@@ -1,0 +1,20 @@
+// Package trace is a fixture stub standing in for the real
+// pll/internal/trace package: just the request-scoped context accessors
+// the profilescope analyzer tracks, resolved by package name.
+package trace
+
+import "context"
+
+// Request is one in-flight traced request.
+type Request struct{}
+
+// QueryProfile accumulates per-stage counters for one request.
+type QueryProfile struct{}
+
+func (p *QueryProfile) CacheLookup(hit bool) {}
+
+// FromContext returns the request placed in ctx by the middleware.
+func FromContext(ctx context.Context) *Request { return nil }
+
+// ProfileFromContext returns the per-request profile from ctx.
+func ProfileFromContext(ctx context.Context) *QueryProfile { return nil }

@@ -37,6 +37,7 @@ type exec struct {
 	b       Backend
 	q       *Query
 	probers map[int32]Prober
+	scanned int64 // label entries advanced across every hub-run scan
 }
 
 func (e *exec) prober(rs int32) Prober {
@@ -145,6 +146,9 @@ func (e *exec) executeStreamed(drv *Node) *ResultSet {
 		consider(r.Rank, r.Dist)
 	}
 	st.Close()
+	// The scan counters survive the reset inside Close; read them before
+	// the scratch goes back to the pool.
+	e.scanned += sc.Scanned
 	b.PutScratch(sc)
 	return e.finish(matches, !stopped)
 }
@@ -250,6 +254,7 @@ func (e *exec) enumerateNear(nd *Node) []int32 {
 	for _, r := range res {
 		out = append(out, r.Rank)
 	}
+	e.scanned += sc.Scanned
 	b.PutScratch(sc)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -334,7 +339,7 @@ func (e *exec) finish(matches []Match, exact bool) *ResultSet {
 	if len(matches) == 0 {
 		matches = nil // empty and nil answers marshal identically
 	}
-	rs := &ResultSet{Total: len(matches), Exact: exact}
+	rs := &ResultSet{Total: len(matches), Exact: exact, Scanned: e.scanned}
 	if k := e.q.K; k > 0 && len(matches) > k {
 		end := k
 		for end < len(matches) && matches[end].Score == matches[k-1].Score {

@@ -119,6 +119,9 @@ type ResultSet struct {
 	// Exact is set, a lower bound when top-k pruning stopped the scan.
 	Total int
 	Exact bool
+	// Scanned counts the label entries advanced across every hub-run
+	// scan of the execution, for per-query profiling.
+	Scanned int64
 }
 
 // Backend adapts one index variant to the engine. All methods are in

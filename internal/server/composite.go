@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"pll/internal/trace"
 	"pll/pll"
 )
 
@@ -68,14 +70,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	p := trace.ProfileFromContext(r.Context())
 	key := "query:" + string(canon)
 	if body, ok := s.results.get("query", key); ok {
+		p.CacheLookup(true)
 		s.composites.Add(1)
 		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}
+	p.CacheLookup(false)
 	epoch := s.results.currentEpoch()
 	var res *pll.CompositeResult
+	queryStart := time.Now()
 	err = s.oracle.View(func(o pll.Oracle) error {
 		cs, ok := o.(pll.CompositeSearcher)
 		if !ok {
@@ -85,6 +91,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = cs.Composite(&req)
 		return err
 	})
+	if err == nil && p != nil {
+		// The engine reports how many label entries its hub-run scans
+		// advanced; the run count is folded into the entry total.
+		p.AddScan(0, res.Scanned, time.Since(queryStart))
+	}
 	if err != nil {
 		if errors.Is(err, pll.ErrNoSearch) {
 			writeError(w, http.StatusConflict, "served index does not support composite queries (a live dynamic index cannot be inverted; serve a frozen snapshot)")

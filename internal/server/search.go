@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"pll/internal/trace"
 	"pll/pll"
 )
 
@@ -113,17 +114,24 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	// kNN answers are deterministic for a fixed index, so the marshaled
 	// response is cached whole, keyed by the canonical (s, k) pair;
 	// /update and /reload purge it.
+	p := trace.ProfileFromContext(r.Context())
 	key := queryCacheKeyKNN(sv, k)
 	if body, ok := s.results.get("knn", key); ok {
+		p.CacheLookup(true)
 		s.searches.Add(1)
 		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}
+	p.CacheLookup(false)
 	epoch := s.results.currentEpoch()
 	var res []pll.Neighbor
 	if !s.searchView(w, sv, func(sr pll.Searcher) error {
 		var err error
-		res, err = sr.KNN(sv, int(k))
+		if sp, ok := sr.(pll.SearchProfiler); ok {
+			res, err = sp.KNNProfiled(sv, int(k), p)
+		} else {
+			res, err = sr.KNN(sv, int(k))
+		}
 		return err
 	}) {
 		return
@@ -180,9 +188,16 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	// full range answer plus an exact truncation marker, while the
 	// top-k pruning keeps the work bounded by the limit instead of by
 	// however many vertices a hostile radius covers.
+	p := trace.ProfileFromContext(r.Context())
 	var res []pll.Neighbor
 	if !s.searchView(w, sv, func(sr pll.Searcher) error {
-		got, err := sr.KNN(sv, limit+1)
+		var got []pll.Neighbor
+		var err error
+		if sp, ok := sr.(pll.SearchProfiler); ok {
+			got, err = sp.KNNProfiled(sv, limit+1, p)
+		} else {
+			got, err = sr.KNN(sv, limit+1)
+		}
 		if err != nil {
 			return err
 		}

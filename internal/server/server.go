@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pll/internal/trace"
 	"pll/pll"
 )
 
@@ -57,6 +58,15 @@ type Config struct {
 	// Logger receives the sampled request logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// TraceSampleRate is the head-sampling probability in [0, 1] for
+	// requests arriving without a traceparent decision; 0 records only
+	// errored (and, with SlowQuery, slow) requests.
+	TraceSampleRate float64
+	// TraceRingSize is the /debug/traces ring capacity (default 256).
+	TraceRingSize int
+	// SlowQuery promotes requests at least this slow into the trace
+	// ring and the slow-query log; 0 disables both.
+	SlowQuery time.Duration
 }
 
 const (
@@ -119,8 +129,13 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 			MaxInflight: cfg.MaxInflight,
 			LogEvery:    cfg.LogEvery,
 			Logger:      cfg.Logger,
+			Tracer: trace.New(trace.Config{
+				SampleRate: cfg.TraceSampleRate,
+				SlowQuery:  cfg.SlowQuery,
+				RingSize:   cfg.TraceRingSize,
+			}),
 		}, "healthz", "metrics", "distance", "path", "batch", "stats",
-			"update", "reload", "knn", "range", "nearest", "query"),
+			"update", "reload", "knn", "range", "nearest", "query", "debug"),
 	}
 	s.inflight.Store(new(sync.WaitGroup))
 	// /healthz and /metrics are instrument-only: liveness probes and
@@ -137,7 +152,16 @@ func New(o *pll.ConcurrentOracle, cfg Config) *Server {
 	s.mux.HandleFunc("GET /range", s.guarded("range", s.handleRange))
 	s.mux.HandleFunc("POST /nearest", s.guarded("nearest", s.handleNearest))
 	s.mux.HandleFunc("POST /query", s.guarded("query", s.handleQuery))
+	// Instrument-only like /metrics: the trace ring must stay readable
+	// while the query surface sheds load.
+	s.mux.HandleFunc("GET /debug/traces", s.instrument("debug", trace.DebugHandler(s.stack.Tracer())))
 	return s
+}
+
+// DebugTracesHandler returns the /debug/traces handler for mounting on
+// a private admin listener.
+func (s *Server) DebugTracesHandler() http.Handler {
+	return trace.DebugHandler(s.stack.Tracer())
 }
 
 // Handler returns the http.Handler serving all endpoints. Every
@@ -278,11 +302,14 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	p := trace.ProfileFromContext(r.Context())
 	if d, ok := s.cache.get(sv, tv); ok {
+		p.CacheLookup(true)
 		s.queries.Add(1)
 		writeJSON(w, http.StatusOK, distanceResponse{S: sv, T: tv, Distance: d, Reachable: d != pll.Unreachable, Cached: true})
 		return
 	}
+	p.CacheLookup(false)
 	var d int64
 	// Capture the cache epoch before querying: if an /update or /reload
 	// purge lands while we compute, the put below is dropped instead of
@@ -294,7 +321,11 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		if err := pll.Validate(o, sv, tv); err != nil {
 			return err
 		}
-		d = o.Distance(sv, tv)
+		if po, ok := o.(pll.ProfiledOracle); ok {
+			d = po.DistanceProfiled(sv, tv, p)
+		} else {
+			d = o.Distance(sv, tv)
+		}
 		return nil
 	})
 	if err != nil {
@@ -370,6 +401,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	prof := trace.ProfileFromContext(r.Context())
 	distances := make([]int64, 0, n)
 	err := s.oracle.View(func(o pll.Oracle) error {
 		if req.Source != nil {
@@ -381,6 +413,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// once and scanning one label per target; View pins the
 			// snapshot so the pinned label cannot outlive its index. The
 			// per-pair loop remains as the fallback for foreign oracles.
+			if po, ok := o.(pll.ProfiledOracle); ok {
+				distances = po.DistanceFromProfiled(*req.Source, req.Targets, distances, prof)
+				return nil
+			}
 			if b, ok := o.(pll.Batcher); ok {
 				distances = b.DistanceFrom(*req.Source, req.Targets, distances)
 				return nil
@@ -396,6 +432,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := pll.Validate(o, flat...); err != nil {
 			return err
+		}
+		if po, ok := o.(pll.ProfiledOracle); ok && prof != nil {
+			for _, p := range req.Pairs {
+				distances = append(distances, po.DistanceProfiled(p[0], p[1], prof))
+			}
+			return nil
 		}
 		for _, p := range req.Pairs {
 			distances = append(distances, o.Distance(p[0], p[1]))
@@ -450,6 +492,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":              misses,
 			"results":             s.results.stats(),
 		},
+		"tracing": s.stack.TraceStats(),
 	})
 }
 

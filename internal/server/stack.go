@@ -24,6 +24,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"pll/internal/trace"
 )
 
 // StackConfig tunes the middleware stack. Every field zero yields a
@@ -46,6 +48,10 @@ type StackConfig struct {
 	// Logger receives the sampled request logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// Tracer drives distributed tracing and per-query profiling; nil
+	// means a default tracer that never head-samples but still mints
+	// trace IDs (X-Trace-Id correlation) and records errored requests.
+	Tracer *trace.Tracer
 }
 
 // Stack bundles the middleware state: per-endpoint metrics, the
@@ -56,6 +62,7 @@ type Stack struct {
 	cfg     StackConfig
 	metrics *metrics
 	admit   *admission
+	tracer  *trace.Tracer
 
 	active atomic.Int64 // every executing request; Drain waits on it
 	logSeq atomic.Int64 // request-log sampling sequence
@@ -64,12 +71,20 @@ type Stack struct {
 // NewStack builds a middleware stack whose metrics cover exactly the
 // named endpoints.
 func NewStack(cfg StackConfig, endpoints ...string) *Stack {
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.New(trace.Config{})
+	}
 	return &Stack{
 		cfg:     cfg,
 		metrics: newMetrics(endpoints...),
 		admit:   newAdmission(cfg),
+		tracer:  tracer,
 	}
 }
+
+// Tracer returns the stack's tracer (for /debug/traces and stats).
+func (st *Stack) Tracer() *trace.Tracer { return st.tracer }
 
 // Wrap registers every request in the global in-flight count. Mount it
 // outermost (around the mux) so Drain sees requests that never match a
@@ -133,6 +148,16 @@ func (st *Stack) Instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := st.metrics.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		req := st.tracer.StartRequest(name, r.Header.Get("traceparent"))
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = req.TraceID.String()
+		}
+		// Both headers land before the handler runs, so even requests the
+		// admission layer sheds carry their correlation IDs.
+		w.Header().Set("X-Trace-Id", req.TraceID.String())
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(trace.NewContext(r.Context(), req))
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		status := sw.status
@@ -141,7 +166,11 @@ func (st *Stack) Instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		d := time.Since(start)
 		em.observe(status, d)
-		st.logRequest(name, r, status, d)
+		req.Finish(status, d)
+		if st.tracer.Slow(d) {
+			st.logSlow(name, r, rid, req, status, d)
+		}
+		st.logRequest(name, r, rid, status, d)
 	}
 }
 
@@ -150,7 +179,9 @@ func (st *Stack) Instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 // and are recorded like any other response of the endpoint.
 func (st *Stack) Guarded(name string, h http.HandlerFunc) http.HandlerFunc {
 	admitted := func(w http.ResponseWriter, r *http.Request) {
+		waitStart := time.Now()
 		release, retryAfter, reason := st.admit.acquire(clientKey(r))
+		trace.ProfileFromContext(r.Context()).AddAdmissionWait(time.Since(waitStart))
 		if release == nil {
 			w.Header().Set("Retry-After", retryAfter)
 			writeError(w, http.StatusTooManyRequests, "server over capacity (%s); retry after %ss", reason, retryAfter)
@@ -164,7 +195,7 @@ func (st *Stack) Guarded(name string, h http.HandlerFunc) http.HandlerFunc {
 
 // logRequest emits one structured line for every LogEvery-th request;
 // LogEvery <= 0 disables logging entirely.
-func (st *Stack) logRequest(name string, r *http.Request, status int, d time.Duration) {
+func (st *Stack) logRequest(name string, r *http.Request, rid string, status int, d time.Duration) {
 	every := int64(st.cfg.LogEvery)
 	if every <= 0 || st.logSeq.Add(1)%every != 0 {
 		return
@@ -180,9 +211,46 @@ func (st *Stack) logRequest(name string, r *http.Request, status int, d time.Dur
 		slog.Int("status", status),
 		slog.Duration("duration", d),
 		slog.String("client", clientKey(r)),
+		slog.String("request_id", rid),
 		slog.Int64("inflight", st.active.Load()),
 		slog.Int64("sampled_1_in", every),
 	)
+}
+
+// logSlow emits one warning line for every request at or over the
+// slow-query threshold, with the profile's per-stage breakdown.
+func (st *Stack) logSlow(name string, r *http.Request, rid string, req *trace.Request, status int, d time.Duration) {
+	logger := st.cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	attrs := []slog.Attr{
+		slog.String("endpoint", name),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.RequestURI()),
+		slog.Int("status", status),
+		slog.Duration("duration", d),
+		slog.Duration("threshold", st.tracer.SlowThreshold()),
+		slog.String("trace_id", req.TraceID.String()),
+		slog.String("request_id", rid),
+	}
+	attrs = append(attrs, req.Profile().LogAttrs()...)
+	logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
+}
+
+// TraceStats is the single source for the tracing gauges surfaced by
+// both /stats and /metrics, so the two always agree.
+func (st *Stack) TraceStats() map[string]any {
+	sampled, dropped, slow := st.tracer.Counters()
+	return map[string]any{
+		"sample_rate":   st.tracer.SampleRate(),
+		"slow_query_ms": st.tracer.SlowThreshold().Milliseconds(),
+		"ring_capacity": st.tracer.Ring().Cap(),
+		"ring_stored":   st.tracer.Ring().Len(),
+		"sampled":       sampled,
+		"dropped":       dropped,
+		"slow":          slow,
+	}
 }
 
 // WriteMetrics emits the stack's Prometheus series: per-endpoint
@@ -218,4 +286,24 @@ func (st *Stack) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP pll_ratelimit_clients Client token buckets currently tracked.\n")
 	fmt.Fprintf(w, "# TYPE pll_ratelimit_clients gauge\n")
 	fmt.Fprintf(w, "pll_ratelimit_clients %d\n", st.admit.trackedClients())
+
+	ts := st.TraceStats()
+	fmt.Fprintf(w, "# HELP pll_trace_sampled_total Traces committed with a recorded span tree.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_sampled_total counter\n")
+	fmt.Fprintf(w, "pll_trace_sampled_total %d\n", ts["sampled"])
+	fmt.Fprintf(w, "# HELP pll_trace_dropped_total Finished requests that recorded no trace.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_dropped_total counter\n")
+	fmt.Fprintf(w, "pll_trace_dropped_total %d\n", ts["dropped"])
+	fmt.Fprintf(w, "# HELP pll_trace_slow_total Requests at or over the slow-query threshold.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_slow_total counter\n")
+	fmt.Fprintf(w, "pll_trace_slow_total %d\n", ts["slow"])
+	fmt.Fprintf(w, "# HELP pll_trace_ring_traces Traces currently stored in the debug ring.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_ring_traces gauge\n")
+	fmt.Fprintf(w, "pll_trace_ring_traces %d\n", ts["ring_stored"])
+	fmt.Fprintf(w, "# HELP pll_trace_ring_capacity Debug ring capacity.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_ring_capacity gauge\n")
+	fmt.Fprintf(w, "pll_trace_ring_capacity %d\n", ts["ring_capacity"])
+	fmt.Fprintf(w, "# HELP pll_trace_sample_rate Head-sampling probability.\n")
+	fmt.Fprintf(w, "# TYPE pll_trace_sample_rate gauge\n")
+	fmt.Fprintf(w, "pll_trace_sample_rate %s\n", fmtFloat(ts["sample_rate"].(float64)))
 }

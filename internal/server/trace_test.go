@@ -1,0 +1,244 @@
+package server
+
+// End-to-end tracing middleware behavior on the replica server:
+// traceparent propagation, X-Trace-Id / X-Request-Id echo (including
+// on shed 429s), sampled traces landing in the /debug/traces ring with
+// per-stage profile spans, and the shared trace counters surfacing on
+// both /stats and /metrics.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pll/pll"
+)
+
+var hex32 = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// doGet issues a GET with extra headers and returns the response with
+// its body fully read (so the test server connection is reusable).
+func doGet(t *testing.T, url string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// traceTree mirrors the /debug/traces?id= response shape.
+type traceTree struct {
+	TraceID string `json:"trace_id"`
+	Kind    string `json:"kind"`
+	Spans   int    `json:"spans"`
+	Root    *struct {
+		Name     string            `json:"name"`
+		Attrs    map[string]string `json:"attrs"`
+		Children []struct {
+			Name  string            `json:"name"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"children"`
+	} `json:"root"`
+}
+
+func TestTraceparentHonoredIntoRing(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample rate zero: only the parent's sampled flag can force this
+	// trace into the ring, which is exactly the propagation contract.
+	_, ts := newTestServer(t, ix, Config{TraceSampleRate: 0})
+
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	resp, _ := doGet(t, ts.URL+"/distance?s=0&t=7", map[string]string{
+		"traceparent": "00-" + tid + "-00f067aa0ba902b7-01",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != tid {
+		t.Fatalf("X-Trace-Id = %q, want the propagated %q", got, tid)
+	}
+
+	var tree traceTree
+	resp, body := doGet(t, ts.URL+"/debug/traces?id="+tid, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace lookup: status %d (%s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatal(err)
+	}
+	if tree.TraceID != tid || tree.Kind != "sampled" || tree.Root == nil {
+		t.Fatalf("trace = %+v", tree)
+	}
+	if tree.Root.Name != "distance" {
+		t.Fatalf("root span %q, want \"distance\"", tree.Root.Name)
+	}
+	if tree.Root.Attrs["status"] != "200" {
+		t.Fatalf("root attrs = %v, want status=200", tree.Root.Attrs)
+	}
+	// The profiled oracle ran one label merge for the lookup; its stage
+	// span must appear under the root.
+	found := false
+	for _, c := range tree.Root.Children {
+		if c.Name == "label_merge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no label_merge stage span in %+v", tree.Root.Children)
+	}
+}
+
+func TestMalformedTraceparentMintsFreshTrace(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, ix, Config{TraceSampleRate: 1})
+
+	for _, bad := range []string{
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	} {
+		resp, _ := doGet(t, ts.URL+"/distance?s=0&t=4", map[string]string{"traceparent": bad})
+		got := resp.Header.Get("X-Trace-Id")
+		if !hex32.MatchString(got) {
+			t.Fatalf("traceparent %q: X-Trace-Id = %q, want 32 lowercase hex digits", bad, got)
+		}
+		if got == "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("traceparent %q: adopted the trace id from a malformed header", bad)
+		}
+	}
+}
+
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, ix, Config{})
+
+	// No client request ID: one is minted from the trace ID.
+	resp, _ := doGet(t, ts.URL+"/distance?s=0&t=4", nil)
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" || rid != resp.Header.Get("X-Trace-Id") {
+		t.Fatalf("minted X-Request-Id = %q, want the trace id %q", rid, resp.Header.Get("X-Trace-Id"))
+	}
+
+	// A client-supplied ID is echoed verbatim.
+	resp, _ = doGet(t, ts.URL+"/distance?s=0&t=4", map[string]string{"X-Request-Id": "req-abc-123"})
+	if rid := resp.Header.Get("X-Request-Id"); rid != "req-abc-123" {
+		t.Fatalf("X-Request-Id = %q, want the client's req-abc-123", rid)
+	}
+}
+
+func TestUnsampledRequestsStayOutOfRing(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, ix, Config{TraceSampleRate: 0})
+
+	resp, _ := doGet(t, ts.URL+"/distance?s=0&t=4", nil)
+	tid := resp.Header.Get("X-Trace-Id")
+	if !hex32.MatchString(tid) {
+		t.Fatalf("X-Trace-Id = %q even with sampling off, want a fresh id", tid)
+	}
+	resp, _ = doGet(t, ts.URL+"/debug/traces?id="+tid, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unsampled trace lookup: status %d, want 404", resp.StatusCode)
+	}
+
+	var listing struct {
+		Capacity int `json:"capacity"`
+		Stored   int `json:"stored"`
+	}
+	getJSON(t, ts.URL+"/debug/traces", http.StatusOK, &listing)
+	if listing.Stored != 0 || listing.Capacity == 0 {
+		t.Fatalf("listing = %+v, want an empty ring with non-zero capacity", listing)
+	}
+}
+
+func TestShedRequestCarriesTraceHeaders(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-token bucket with a glacial refill: the second request sheds.
+	_, ts := newTestServer(t, ix, Config{RatePerSec: 0.0001, RateBurst: 1})
+
+	resp, _ := doGet(t, ts.URL+"/distance?s=0&t=4", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	resp, _ = doGet(t, ts.URL+"/distance?s=0&t=4", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if tid := resp.Header.Get("X-Trace-Id"); !hex32.MatchString(tid) {
+		t.Fatalf("shed 429 X-Trace-Id = %q, want 32 hex digits", tid)
+	}
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+		t.Fatal("shed 429 carries no X-Request-Id")
+	}
+}
+
+func TestTraceStatsOnStatsAndMetrics(t *testing.T) {
+	ix, err := pll.Build(lineGraph(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, ix, Config{TraceSampleRate: 1, TraceRingSize: 16})
+
+	doGet(t, ts.URL+"/distance?s=0&t=4", nil)
+	doGet(t, ts.URL+"/distance?s=1&t=3", nil)
+
+	var stats struct {
+		Tracing struct {
+			SampleRate   float64 `json:"sample_rate"`
+			RingCapacity int     `json:"ring_capacity"`
+			RingStored   int     `json:"ring_stored"`
+			Sampled      int64   `json:"sampled"`
+		} `json:"tracing"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	if stats.Tracing.SampleRate != 1 || stats.Tracing.RingCapacity != 16 {
+		t.Fatalf("tracing stats = %+v", stats.Tracing)
+	}
+	if stats.Tracing.Sampled < 2 || stats.Tracing.RingStored < 2 {
+		t.Fatalf("tracing stats = %+v, want at least the two sampled lookups", stats.Tracing)
+	}
+
+	_, body := doGet(t, ts.URL+"/metrics", nil)
+	for _, series := range []string{
+		"pll_trace_sampled_total",
+		"pll_trace_dropped_total",
+		"pll_trace_slow_total",
+		"pll_trace_ring_traces",
+		"pll_trace_ring_capacity 16",
+		"pll_trace_sample_rate 1",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("/metrics is missing %q", series)
+		}
+	}
+}

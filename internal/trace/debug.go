@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// traceSummary is one row of the /debug/traces listing.
+type traceSummary struct {
+	TraceID string `json:"trace_id"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Start   string `json:"start"`
+	DurUS   int64  `json:"duration_us"`
+	Spans   int    `json:"spans"`
+}
+
+// debugListing is the /debug/traces response without ?id=.
+type debugListing struct {
+	Capacity    int            `json:"capacity"`
+	Stored      int            `json:"stored"`
+	SampleRate  float64        `json:"sample_rate"`
+	SlowQueryMS int64          `json:"slow_query_ms"`
+	Traces      []traceSummary `json:"traces"`
+}
+
+// DebugHandler serves the trace ring: the recent window newest-first,
+// or one full span tree via ?id=<32 hex digit trace id>.
+func DebugHandler(t *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s := r.URL.Query().Get("id"); s != "" {
+			id, ok := ParseTraceID(s)
+			if !ok {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{"error": "malformed trace id"})
+				return
+			}
+			tr := t.Ring().Find(id)
+			if tr == nil {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": "trace not found"})
+				return
+			}
+			json.NewEncoder(w).Encode(tr.Snapshot())
+			return
+		}
+		traces := t.Ring().Snapshot()
+		out := debugListing{
+			Capacity:    t.Ring().Cap(),
+			Stored:      len(traces),
+			SampleRate:  t.SampleRate(),
+			SlowQueryMS: t.SlowThreshold().Milliseconds(),
+			Traces:      make([]traceSummary, 0, len(traces)),
+		}
+		for _, tr := range traces {
+			snap := tr.Snapshot()
+			out.Traces = append(out.Traces, traceSummary{
+				TraceID: snap.TraceID,
+				Kind:    snap.Kind,
+				Name:    snap.Root.Name,
+				Start:   snap.Root.Start,
+				DurUS:   snap.Root.DurUS,
+				Spans:   snap.Spans,
+			})
+		}
+		json.NewEncoder(w).Encode(out)
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a lock-free fixed-capacity trace buffer: writers claim a
+// slot with one atomic add and store the trace pointer atomically, so
+// committing a trace never contends with scrapes, and a reader always
+// sees either nil or a complete *Trace. Old traces are overwritten in
+// arrival order once the ring wraps.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	pos   atomic.Uint64 // next write index (monotonic, mod len(slots))
+}
+
+// NewRing builds a ring holding up to n traces (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Put commits a trace, overwriting the oldest slot once full.
+func (r *Ring) Put(t *Trace) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the number of traces currently stored.
+func (r *Ring) Len() int {
+	n := r.pos.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the stored traces, newest first. Concurrent writers
+// may overwrite slots mid-walk; a slot read twice or skipped costs a
+// duplicate or a miss in the debug listing, never a torn trace.
+func (r *Ring) Snapshot() []*Trace {
+	n := len(r.slots)
+	out := make([]*Trace, 0, n)
+	next := r.pos.Load()
+	for k := 0; k < n; k++ {
+		// Walk backwards from the most recent write.
+		i := (next + uint64(n) - 1 - uint64(k)) % uint64(n)
+		t := r.slots[i].Load()
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Find returns the stored trace with the given ID, or nil. Linear in
+// the ring capacity — fine for a debug endpoint over a few hundred
+// slots.
+func (r *Ring) Find(id TraceID) *Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatalf("fresh ring cap=%d len=%d", r.Cap(), r.Len())
+	}
+	mk := func(i byte) *Trace {
+		id := TraceID{15: i}
+		return newTrace(id, "t", SpanID{7: 1}, SpanID{}, time.Now())
+	}
+	for i := byte(1); i <= 6; i++ {
+		r.Put(mk(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("wrapped ring len = %d, want 4", r.Len())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	// Newest first: 6, 5, 4, 3.
+	for i, want := range []byte{6, 5, 4, 3} {
+		if got[i].id[15] != want {
+			t.Fatalf("snapshot[%d] = trace %d, want %d", i, got[i].id[15], want)
+		}
+	}
+	if r.Find(TraceID{15: 5}) == nil {
+		t.Fatal("Find missed a live trace")
+	}
+	if r.Find(TraceID{15: 1}) != nil {
+		t.Fatal("Find returned an overwritten trace")
+	}
+}
+
+// TestRingConcurrent hammers Put/Snapshot/Find from many goroutines;
+// run under -race this verifies the lock-free protocol.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(32)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := TraceID{0: byte(w), 15: byte(i)}
+				tr := newTrace(id, "t", SpanID{7: 1}, SpanID{}, time.Now())
+				tr.root.SetInt("i", int64(i))
+				r.Put(tr)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.Snapshot() {
+					snap := tr.Snapshot()
+					if snap.Root == nil || snap.Spans < 1 {
+						t.Error("torn trace observed")
+						return
+					}
+				}
+				r.Find(TraceID{0: 1, 15: 7})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if r.Len() != 32 {
+		t.Fatalf("ring len = %d, want 32", r.Len())
+	}
+}

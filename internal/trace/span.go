@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace is one recorded request's span tree. A single mutex guards the
+// whole tree: span churn is a handful of operations per request, and
+// the lock keeps late finishers safe — a hedge-loser goroutine may End
+// its span after the root trace was committed to the ring and is being
+// snapshotted by a /debug/traces scrape.
+type Trace struct {
+	mu   sync.Mutex
+	id   TraceID
+	kind string // "sampled" | "slow" | "error"
+	root *Span
+}
+
+// Span is one timed operation within a trace. Mutate only through the
+// methods; all of them are safe on a nil receiver.
+type Span struct {
+	tr       *Trace
+	id       SpanID
+	parent   SpanID
+	name     string
+	start    time.Time
+	dur      time.Duration // 0 while still running
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+func newTrace(id TraceID, name string, root, remoteParent SpanID, start time.Time) *Trace {
+	tr := &Trace{id: id, kind: "sampled"}
+	tr.root = &Span{tr: tr, id: root, parent: remoteParent, name: name, start: start}
+	return tr
+}
+
+// ID returns the trace's identifier.
+func (tr *Trace) ID() TraceID { return tr.id }
+
+// newChild opens a child span under s.
+func (s *Span) newChild(name string, id SpanID) *Span {
+	c := &Span{tr: s.tr, id: id, parent: s.id, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span; no-op on nil.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.tr.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value; no-op on nil.
+func (s *Span) SetInt(key string, val int64) {
+	s.SetAttr(key, strconv.FormatInt(val, 10))
+}
+
+// End closes the span at its current duration; later Ends are no-ops,
+// as is the whole call on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	if s.dur == 0 {
+		s.dur = d
+	}
+	s.tr.mu.Unlock()
+}
+
+// finish closes the root span with the request outcome and attaches
+// the profile's stage breakdown as synthetic child spans (stage spans
+// carry real durations but inherit the root's start time — the profile
+// records how long each stage ran, not when).
+func (tr *Trace) finish(status int, d time.Duration, p *QueryProfile, kind string) {
+	snap := p.Snapshot()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.kind = kind
+	root := tr.root
+	if root.dur == 0 {
+		root.dur = d
+	}
+	root.attrs = append(root.attrs, Attr{Key: "status", Val: strconv.Itoa(status)})
+	if snap == nil {
+		return
+	}
+	stage := func(name string, ns int64, attrs ...Attr) {
+		if ns <= 0 && len(attrs) == 0 {
+			return
+		}
+		sp := &Span{tr: tr, parent: root.id, name: name, start: root.start, dur: time.Duration(ns), attrs: attrs}
+		root.children = append(root.children, sp)
+	}
+	if snap.AdmissionNs > 0 {
+		stage("admission", snap.AdmissionNs)
+	}
+	if snap.CacheLookups > 0 {
+		root.attrs = append(root.attrs,
+			Attr{Key: "cache_lookups", Val: strconv.FormatInt(snap.CacheLookups, 10)},
+			Attr{Key: "cache_hits", Val: strconv.FormatInt(snap.CacheHits, 10)})
+	}
+	if snap.MergeCalls > 0 {
+		stage("label_merge", snap.MergeNs,
+			Attr{Key: "calls", Val: strconv.FormatInt(snap.MergeCalls, 10)},
+			Attr{Key: "entries", Val: strconv.FormatInt(snap.MergeEntries, 10)})
+	}
+	if snap.ScanRuns > 0 || snap.ScanItems > 0 {
+		stage("hub_scan", snap.ScanNs,
+			Attr{Key: "runs", Val: strconv.FormatInt(snap.ScanRuns, 10)},
+			Attr{Key: "items", Val: strconv.FormatInt(snap.ScanItems, 10)})
+	}
+}
+
+// SpanJSON is one span in the /debug/traces wire shape.
+type SpanJSON struct {
+	ID       string            `json:"id,omitempty"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    string            `json:"start"`
+	DurUS    int64             `json:"duration_us"`
+	Running  bool              `json:"in_flight,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanJSON       `json:"children,omitempty"`
+}
+
+// TraceJSON is one trace in the /debug/traces wire shape.
+type TraceJSON struct {
+	TraceID string    `json:"trace_id"`
+	Kind    string    `json:"kind"`
+	Spans   int       `json:"spans"`
+	Root    *SpanJSON `json:"root"`
+}
+
+// Snapshot renders the trace as its JSON wire shape, consistent under
+// concurrent span mutation.
+func (tr *Trace) Snapshot() TraceJSON {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	root := snapshotSpan(tr.root, &n)
+	return TraceJSON{TraceID: tr.id.String(), Kind: tr.kind, Spans: n, Root: root}
+}
+
+func snapshotSpan(s *Span, n *int) *SpanJSON {
+	*n++
+	out := &SpanJSON{
+		Name:  s.name,
+		Start: s.start.UTC().Format(time.RFC3339Nano),
+		DurUS: s.dur.Microseconds(),
+		// Synthetic stage spans (zero ID) are never "running": they are
+		// born finished, with the duration the profile recorded.
+		Running: s.dur == 0 && !s.id.IsZero(),
+	}
+	if !s.id.IsZero() {
+		out.ID = s.id.String()
+	}
+	if !s.parent.IsZero() {
+		out.Parent = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, snapshotSpan(c, n))
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+// Package trace is the serving tiers' distributed-tracing and
+// per-query profiling layer, standard library only.
+//
+// One HTTP request becomes one Request: the middleware stack calls
+// Tracer.StartRequest with the incoming W3C traceparent header (if
+// any), threads the Request through the handler via the request
+// context, and calls Finish with the final status. Three things can
+// happen to the request's trace:
+//
+//   - Head-sampled (the parent's sampled flag, or the local
+//     probabilistic decision when the request starts a new trace): a
+//     full span tree is recorded — child spans for backend attempts,
+//     stage spans synthesized from the QueryProfile — and committed to
+//     the ring buffer.
+//   - Promoted: an unsampled request that errored (5xx) or ran past
+//     the slow-query threshold gets a trace synthesized from its
+//     profile at Finish time, so the ring always holds the requests
+//     worth explaining even at a 0% sampling rate.
+//   - Dropped: everything else records nothing beyond the counters.
+//
+// The ring buffer is lock-free (atomic slot pointers plus an atomic
+// write position) and serves the /debug/traces endpoint: the recent
+// window, ?id= lookup, JSON span trees.
+//
+// Identifiers and sampling draw from one seeded splitmix64 sequence,
+// so tests can fix the Seed and assert exact sampling decisions.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FlagSampled is the traceparent flag bit requesting span recording.
+const FlagSampled = 0x01
+
+// Config tunes a Tracer. The zero value yields a tracer that never
+// head-samples and never promotes slow requests — but still mints
+// trace IDs (for X-Trace-Id correlation), honors an incoming sampled
+// flag, and promotes errored requests.
+type Config struct {
+	// SampleRate is the head-sampling probability in [0, 1] for
+	// requests that arrive without a traceparent decision.
+	SampleRate float64
+	// SlowQuery promotes any request at least this slow into the ring
+	// (and marks it for the slow-query log); 0 disables promotion.
+	SlowQuery time.Duration
+	// RingSize is the trace ring capacity (default 256).
+	RingSize int
+	// Seed fixes the splitmix64 sequence behind IDs and sampling; 0
+	// seeds from the wall clock.
+	Seed uint64
+}
+
+const defaultRingSize = 256
+
+// Tracer is the per-process tracing state: sampling policy, the trace
+// ring, and the sampled/dropped/slow counters. Safe for concurrent use.
+type Tracer struct {
+	rate      float64
+	threshold uint64 // head-sample when next() < threshold
+	slow      time.Duration
+	ring      *Ring
+	rng       rng
+
+	sampled atomic.Int64 // traces committed with a full recorded span tree
+	dropped atomic.Int64 // finished requests that recorded nothing
+	slowHit atomic.Int64 // requests at or over the slow threshold
+}
+
+// New builds a Tracer; cfg fields at their zero values take the
+// documented defaults.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = defaultRingSize
+	}
+	rate := cfg.SampleRate
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	var threshold uint64
+	switch {
+	case rate >= 1:
+		threshold = ^uint64(0)
+	case rate > 0:
+		// Map the rate onto the uint64 range; the float has 53
+		// significant bits, plenty for a sampling probability.
+		threshold = uint64(rate * float64(1<<63) * 2)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	t := &Tracer{
+		rate:      rate,
+		threshold: threshold,
+		slow:      cfg.SlowQuery,
+		ring:      NewRing(cfg.RingSize),
+	}
+	t.rng.state.Store(seed)
+	return t
+}
+
+// SampleRate returns the configured head-sampling probability.
+func (t *Tracer) SampleRate() float64 { return t.rate }
+
+// SlowThreshold returns the slow-query promotion threshold (0 =
+// disabled).
+func (t *Tracer) SlowThreshold() time.Duration { return t.slow }
+
+// Slow reports whether a request of duration d crosses the slow-query
+// threshold.
+func (t *Tracer) Slow(d time.Duration) bool { return t.slow > 0 && d >= t.slow }
+
+// Ring returns the trace ring (for /debug/traces and metrics).
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// Counters returns the lifetime totals: traces committed with a full
+// span tree, finished requests that recorded nothing, and requests at
+// or over the slow threshold.
+func (t *Tracer) Counters() (sampled, dropped, slow int64) {
+	return t.sampled.Load(), t.dropped.Load(), t.slowHit.Load()
+}
+
+// sampleHead makes one head-sampling decision.
+func (t *Tracer) sampleHead() bool {
+	if t.threshold == 0 {
+		return false
+	}
+	if t.threshold == ^uint64(0) {
+		return true
+	}
+	return t.rng.next() < t.threshold
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for {
+		putUint64(id[0:8], t.rng.next())
+		putUint64(id[8:16], t.rng.next())
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for {
+		putUint64(id[:], t.rng.next())
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// Request is one in-flight HTTP request's tracing state. All methods
+// are safe on a nil receiver (they no-op), so instrumentation points
+// never need to know whether tracing is active.
+type Request struct {
+	tracer *Tracer
+
+	// TraceID identifies the request across tiers; it is echoed as
+	// X-Trace-Id on every response whether or not spans are recorded.
+	TraceID TraceID
+
+	name         string
+	remoteParent SpanID // parent span from the wire; zero when local root
+	rootSpan     SpanID
+	start        time.Time
+
+	trace *Trace        // non-nil when recording a span tree
+	prof  *QueryProfile // non-nil when stage timers are wanted
+}
+
+// StartRequest begins tracing one request named after its endpoint.
+// A valid traceparent header joins the caller's trace and inherits its
+// sampling decision; anything else starts a fresh trace with a local
+// head-sampling decision. The profile is allocated only when it can be
+// consumed (the request records spans, or slow-query promotion is on),
+// so a fully disabled tracer keeps the hot path allocation-light.
+func (t *Tracer) StartRequest(name, traceparent string) *Request {
+	req := &Request{tracer: t, name: name, start: time.Now()}
+	var record bool
+	if tid, parent, flags, ok := ParseTraceparent(traceparent); ok {
+		req.TraceID = tid
+		req.remoteParent = parent
+		record = flags&FlagSampled != 0
+	} else {
+		req.TraceID = t.newTraceID()
+		record = t.sampleHead()
+	}
+	req.rootSpan = t.newSpanID()
+	if record {
+		req.trace = newTrace(req.TraceID, name, req.rootSpan, req.remoteParent, req.start)
+	}
+	if record || t.slow > 0 {
+		req.prof = &QueryProfile{}
+	}
+	return req
+}
+
+// Profile returns the request's stage-timer sink, nil when neither
+// recording nor slow-query promotion wants one. Callers pass it down
+// without checking: every QueryProfile method no-ops on nil.
+func (req *Request) Profile() *QueryProfile {
+	if req == nil {
+		return nil
+	}
+	return req.prof
+}
+
+// Recording reports whether the request records a full span tree.
+func (req *Request) Recording() bool { return req != nil && req.trace != nil }
+
+// StartSpan opens a child span under the request's root, returning nil
+// (a valid no-op span) when the request is not recording.
+func (req *Request) StartSpan(name string) *Span {
+	if req == nil || req.trace == nil {
+		return nil
+	}
+	return req.trace.root.newChild(name, req.tracer.newSpanID())
+}
+
+// Traceparent renders the header to forward downstream: the request's
+// trace ID, sp (or the root span when sp is nil) as the parent, and
+// the sampled flag matching this request's recording decision — so a
+// replica behind a coordinator records exactly when the coordinator
+// does.
+func (req *Request) Traceparent(sp *Span) string {
+	if req == nil {
+		return ""
+	}
+	parent := req.rootSpan
+	if sp != nil {
+		parent = sp.id
+	}
+	var flags byte
+	if req.trace != nil {
+		flags = FlagSampled
+	}
+	return FormatTraceparent(req.TraceID, parent, flags)
+}
+
+// Finish completes the request: ends the root span, attaches the
+// profile's stage spans, and commits the trace to the ring when the
+// request was head-sampled — or synthesizes and commits one when an
+// unsampled request errored (status >= 500) or crossed the slow
+// threshold. Everything else just counts as dropped.
+func (req *Request) Finish(status int, d time.Duration) {
+	if req == nil {
+		return
+	}
+	t := req.tracer
+	isSlow := t.Slow(d)
+	if isSlow {
+		t.slowHit.Add(1)
+	}
+	kind := "sampled"
+	switch {
+	case status >= 500:
+		kind = "error"
+	case isSlow:
+		kind = "slow"
+	}
+	switch {
+	case req.trace != nil:
+		req.trace.finish(status, d, req.prof, kind)
+		t.ring.Put(req.trace)
+		t.sampled.Add(1)
+	case status >= 500 || isSlow:
+		tr := newTrace(req.TraceID, req.name, req.rootSpan, req.remoteParent, req.start)
+		tr.finish(status, d, req.prof, kind)
+		t.ring.Put(tr)
+	default:
+		t.dropped.Add(1)
+	}
+}
+
+// rng is a splitmix64 sequence on an atomic state: each next() is one
+// atomic add plus the finalizer, cheap enough for the per-request path.
+type rng struct {
+	state atomic.Uint64
+}
+
+func (r *rng) next() uint64 {
+	x := r.state.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}

@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36}
+	sid := SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7}
+	h := FormatTraceparent(tid, sid, FlagSampled)
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if h != want {
+		t.Fatalf("FormatTraceparent = %q, want %q", h, want)
+	}
+	gtid, gsid, flags, ok := ParseTraceparent(h)
+	if !ok || gtid != tid || gsid != sid || flags != FlagSampled {
+		t.Fatalf("round trip failed: ok=%v tid=%v sid=%v flags=%#x", ok, gtid, gsid, flags)
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := map[string]string{
+		"empty":            "",
+		"short":            valid[:54],
+		"long":             valid + "0",
+		"uppercase tid":    "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero parent id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"version ff":       "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"bad dash":         "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"non-hex flags":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+		"non-hex trace id": "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01",
+	}
+	for name, h := range cases {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted malformed header", name, h)
+		}
+	}
+	// Unknown-but-valid version parses (forward compatibility).
+	if _, _, _, ok := ParseTraceparent("cc" + valid[2:]); !ok {
+		t.Error("unknown version cc rejected; spec requires forward compatibility")
+	}
+}
+
+func TestSamplingDeterminism(t *testing.T) {
+	decisions := func() []bool {
+		tr := New(Config{SampleRate: 0.5, Seed: 42})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = tr.StartRequest("x", "").Recording()
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded tracers", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate-0.5 sampling produced %d/%d hits; want a mix", hits, len(a))
+	}
+}
+
+func TestSamplingRateExtremes(t *testing.T) {
+	always := New(Config{SampleRate: 1, Seed: 1})
+	never := New(Config{SampleRate: 0, Seed: 1})
+	for i := 0; i < 32; i++ {
+		if !always.StartRequest("x", "").Recording() {
+			t.Fatal("rate 1 skipped a request")
+		}
+		if never.StartRequest("x", "").Recording() {
+			t.Fatal("rate 0 recorded a request")
+		}
+	}
+}
+
+func TestParentDecisionHonored(t *testing.T) {
+	tr := New(Config{SampleRate: 0, Seed: 7})
+	sampled := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req := tr.StartRequest("knn", sampled)
+	if !req.Recording() {
+		t.Fatal("sampled parent flag not honored at rate 0")
+	}
+	if req.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID not adopted: %s", req.TraceID)
+	}
+	unsampled := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	tr2 := New(Config{SampleRate: 1, Seed: 7})
+	if tr2.StartRequest("knn", unsampled).Recording() {
+		t.Fatal("unsampled parent flag overridden at rate 1")
+	}
+}
+
+func TestMalformedHeaderMintsFreshTrace(t *testing.T) {
+	tr := New(Config{Seed: 9})
+	req := tr.StartRequest("distance", "garbage")
+	if req.TraceID.IsZero() {
+		t.Fatal("no trace ID minted for malformed traceparent")
+	}
+	if len(req.TraceID.String()) != 32 {
+		t.Fatalf("trace ID renders as %d chars, want 32", len(req.TraceID.String()))
+	}
+	if !req.remoteParent.IsZero() {
+		t.Fatal("malformed header left a remote parent")
+	}
+}
+
+func TestFinishCommitRules(t *testing.T) {
+	// Head-sampled request commits as "sampled".
+	tr := New(Config{SampleRate: 1, Seed: 3})
+	req := tr.StartRequest("knn", "")
+	req.Finish(200, 5*time.Millisecond)
+	if got := tr.Ring().Len(); got != 1 {
+		t.Fatalf("sampled request not committed: ring len %d", got)
+	}
+	if k := tr.Ring().Snapshot()[0].Snapshot().Kind; k != "sampled" {
+		t.Fatalf("kind = %q, want sampled", k)
+	}
+	s, d, _ := tr.Counters()
+	if s != 1 || d != 0 {
+		t.Fatalf("counters after sampled commit: sampled=%d dropped=%d", s, d)
+	}
+
+	// Unsampled 5xx promotes as "error".
+	tr = New(Config{SampleRate: 0, Seed: 3})
+	tr.StartRequest("knn", "").Finish(503, time.Millisecond)
+	if k := tr.Ring().Snapshot()[0].Snapshot().Kind; k != "error" {
+		t.Fatalf("kind = %q, want error", k)
+	}
+	s, d, _ = tr.Counters()
+	if s != 0 || d != 0 {
+		t.Fatalf("promoted error miscounted: sampled=%d dropped=%d", s, d)
+	}
+
+	// Unsampled slow request promotes as "slow" and has a profile.
+	tr = New(Config{SampleRate: 0, SlowQuery: 10 * time.Millisecond, Seed: 3})
+	req = tr.StartRequest("batch", "")
+	if req.Profile() == nil {
+		t.Fatal("slow-query promotion enabled but no profile allocated")
+	}
+	req.Profile().AddMerge(128, 2*time.Millisecond)
+	req.Finish(200, 20*time.Millisecond)
+	snap := tr.Ring().Snapshot()[0].Snapshot()
+	if snap.Kind != "slow" {
+		t.Fatalf("kind = %q, want slow", snap.Kind)
+	}
+	var merge *SpanJSON
+	for _, c := range snap.Root.Children {
+		if c.Name == "label_merge" {
+			merge = c
+		}
+	}
+	if merge == nil {
+		t.Fatalf("promoted slow trace missing label_merge stage span: %+v", snap.Root)
+	}
+	if merge.Attrs["entries"] != "128" || merge.Running {
+		t.Fatalf("label_merge span wrong: %+v", merge)
+	}
+	_, _, slow := tr.Counters()
+	if slow != 1 {
+		t.Fatalf("slow counter = %d, want 1", slow)
+	}
+
+	// Unsampled fast 2xx drops.
+	tr = New(Config{SampleRate: 0, Seed: 3})
+	tr.StartRequest("knn", "").Finish(200, time.Millisecond)
+	if got := tr.Ring().Len(); got != 0 {
+		t.Fatalf("dropped request committed a trace: ring len %d", got)
+	}
+	if _, d, _ := tr.Counters(); d != 1 {
+		t.Fatalf("dropped counter = %d, want 1", d)
+	}
+}
+
+func TestErrorBeatsSlowKind(t *testing.T) {
+	tr := New(Config{SampleRate: 1, SlowQuery: time.Millisecond, Seed: 5})
+	tr.StartRequest("knn", "").Finish(500, time.Second)
+	if k := tr.Ring().Snapshot()[0].Snapshot().Kind; k != "error" {
+		t.Fatalf("kind = %q, want error to outrank slow", k)
+	}
+}
+
+func TestSpanTreeJSON(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 11})
+	req := tr.StartRequest("query", "")
+	sp := req.StartSpan("backend shard0")
+	sp.SetAttr("path", "/knn")
+	sp.SetInt("status", 200)
+	sp.End()
+	open := req.StartSpan("backend shard1") // never ended: hedge loser
+	open.SetAttr("cancel", "superseded")
+	req.Profile().AddScan(3, 4096, 2*time.Millisecond)
+	req.Finish(200, 4*time.Millisecond)
+
+	snap := tr.Ring().Snapshot()[0].Snapshot()
+	if snap.Root.Name != "query" || snap.Root.Running {
+		t.Fatalf("root wrong: %+v", snap.Root)
+	}
+	if snap.Root.Attrs["status"] != "200" {
+		t.Fatalf("root status attr = %q", snap.Root.Attrs["status"])
+	}
+	byName := map[string]*SpanJSON{}
+	for _, c := range snap.Root.Children {
+		byName[c.Name] = c
+	}
+	done := byName["backend shard0"]
+	if done == nil || done.Running || done.Attrs["status"] != "200" || done.Parent != snap.Root.ID {
+		t.Fatalf("finished child wrong: %+v", done)
+	}
+	loser := byName["backend shard1"]
+	if loser == nil || !loser.Running {
+		t.Fatalf("unfinished child not in_flight: %+v", loser)
+	}
+	scan := byName["hub_scan"]
+	if scan == nil || scan.Attrs["items"] != "4096" || scan.Attrs["runs"] != "3" || scan.Running {
+		t.Fatalf("hub_scan stage wrong: %+v", scan)
+	}
+	if snap.Spans != 4 {
+		t.Fatalf("span count = %d, want 4", snap.Spans)
+	}
+
+	// A late End on the loser (after commit) must take effect safely.
+	byPtr := tr.Ring().Find(req.TraceID)
+	if byPtr == nil {
+		t.Fatal("Find missed the committed trace")
+	}
+	openEndsLate(open)
+	snap = byPtr.Snapshot()
+	for _, c := range snap.Root.Children {
+		if c.Name == "backend shard1" && c.Running {
+			t.Fatal("late End not reflected in snapshot")
+		}
+	}
+}
+
+func openEndsLate(s *Span) { s.End() }
+
+func TestTraceparentForwarding(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 13})
+	req := tr.StartRequest("knn", "")
+	sp := req.StartSpan("backend")
+	h := req.Traceparent(sp)
+	tid, parent, flags, ok := ParseTraceparent(h)
+	if !ok || tid != req.TraceID || parent != sp.id || flags&FlagSampled == 0 {
+		t.Fatalf("forwarded header wrong: %q", h)
+	}
+	// Unsampled request forwards flag 00 under the root span.
+	tr0 := New(Config{SampleRate: 0, Seed: 13})
+	req0 := tr0.StartRequest("knn", "")
+	h0 := req0.Traceparent(nil)
+	_, parent0, flags0, ok := ParseTraceparent(h0)
+	if !ok || flags0&FlagSampled != 0 || parent0 != req0.rootSpan {
+		t.Fatalf("unsampled forwarded header wrong: %q", h0)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var req *Request
+	var sp *Span
+	var p *QueryProfile
+	req.Finish(200, time.Millisecond)
+	if req.Profile() != nil || req.Recording() || req.StartSpan("x") != nil || req.Traceparent(nil) != "" {
+		t.Fatal("nil Request methods not inert")
+	}
+	sp.SetAttr("a", "b")
+	sp.SetInt("c", 1)
+	sp.End()
+	p.AddAdmissionWait(time.Millisecond)
+	p.CacheLookup(true)
+	p.AddMerge(1, time.Millisecond)
+	p.AddScan(1, 1, time.Millisecond)
+	if p.Snapshot() != nil || p.LogAttrs() != nil {
+		t.Fatal("nil QueryProfile not inert")
+	}
+}
+
+func TestProfileLogAttrs(t *testing.T) {
+	p := &QueryProfile{}
+	p.AddAdmissionWait(time.Millisecond)
+	p.CacheLookup(false)
+	p.CacheLookup(true)
+	p.AddMerge(64, 2*time.Millisecond)
+	attrs := p.LogAttrs()
+	keys := make([]string, len(attrs))
+	for i, a := range attrs {
+		keys[i] = a.Key
+	}
+	want := "admission_wait cache_lookups cache_hits merge_calls merge_entries merge_time"
+	if got := strings.Join(keys, " "); got != want {
+		t.Fatalf("LogAttrs keys = %q, want %q", got, want)
+	}
+}

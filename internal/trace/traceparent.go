@@ -1,0 +1,116 @@
+package trace
+
+// W3C Trace Context (traceparent) identifiers and header codec. The
+// header shape is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 lowhex -   16 lowhex -   2 lowhex
+//
+// Parsing is strict where the spec is strict — field lengths, lowercase
+// hex, non-zero trace and parent IDs, version ff forbidden — and
+// forward-compatible where it is lenient: an unknown version parses as
+// long as the known fields are well-formed. Anything malformed is
+// simply "no traceparent": the caller starts a fresh trace rather than
+// failing the request.
+
+// TraceID identifies one distributed trace (16 bytes, rendered as 32
+// lowercase hex digits).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return string(appendHex(nil, id[:])) }
+
+// SpanID identifies one span within a trace (8 bytes, 16 hex digits).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return string(appendHex(nil, id[:])) }
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst []byte, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0x0f])
+	}
+	return dst
+}
+
+// fromHex decodes exactly len(dst)*2 lowercase hex digits; uppercase
+// is rejected (the spec mandates lowercase on the wire).
+func fromHex(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(src[2*i])
+		lo, ok2 := hexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// ParseTraceparent parses a traceparent header. ok is false — and the
+// caller should mint a fresh trace — for anything malformed: wrong
+// field lengths, uppercase or non-hex digits, an all-zero trace or
+// parent ID, or the forbidden version ff.
+func ParseTraceparent(h string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	var ver [1]byte
+	if !fromHex(ver[:], h[0:2]) || ver[0] == 0xff {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if !fromHex(tid[:], h[3:35]) || tid.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if !fromHex(parent[:], h[36:52]) || parent.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	var fl [1]byte
+	if !fromHex(fl[:], h[53:55]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return tid, parent, fl[0], true
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(tid TraceID, parent SpanID, flags byte) string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, tid[:])
+	b = append(b, '-')
+	b = appendHex(b, parent[:])
+	b = append(b, '-')
+	b = append(b, hexDigits[flags>>4], hexDigits[flags&0x0f])
+	return string(b)
+}
+
+// ParseTraceID decodes 32 lowercase hex digits (the /debug/traces ?id=
+// lookup key).
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if !fromHex(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}

@@ -1,0 +1,149 @@
+package pll
+
+// Profiled query capabilities: the same answers as Distance /
+// DistanceFrom / KNN with a per-query profile threaded into the label
+// engines, so the serving tiers can attribute request latency to
+// admission wait, cache probes, label merging and hub scanning. Like
+// Batcher and Searcher, the capability is discovered by type-assertion:
+//
+//	p := trace.ProfileFromContext(ctx) // nil when untraced
+//	if po, ok := o.(pll.ProfiledOracle); ok {
+//		d = po.DistanceProfiled(s, t, p)
+//	} else {
+//		d = o.Distance(s, t)
+//	}
+//
+// A nil profile is always valid and costs one branch, so callers probe
+// for the capability once and never fork on whether tracing is active.
+
+import (
+	"pll/internal/core"
+	"pll/internal/trace"
+)
+
+// QueryProfile is the per-request stage-timer sink; see
+// internal/trace. All methods are safe on a nil receiver.
+type QueryProfile = trace.QueryProfile
+
+// ProfiledOracle answers distance queries while attributing their
+// label-merge work to a QueryProfile. Implementations return exactly
+// what Distance / DistanceFrom return; a nil profile records nothing.
+type ProfiledOracle interface {
+	// DistanceProfiled is Distance with merge profiling.
+	DistanceProfiled(s, t int32, p *QueryProfile) int64
+	// DistanceFromProfiled is Batcher.DistanceFrom with merge profiling.
+	DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64
+}
+
+// SearchProfiler answers KNN queries while attributing their hub-scan
+// work to a QueryProfile, with the exact Searcher.KNN contract.
+type SearchProfiler interface {
+	KNNProfiled(s int32, k int, p *QueryProfile) ([]Neighbor, error)
+}
+
+// DistanceProfiled is Distance with merge profiling (see
+// ProfiledOracle).
+func (ix *Index) DistanceProfiled(s, t int32, p *QueryProfile) int64 {
+	return int64(ix.ix.DistanceProfiled(s, t, p))
+}
+
+// DistanceFromProfiled is DistanceFrom with merge profiling (see
+// ProfiledOracle).
+func (ix *Index) DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64 {
+	return ix.ix.DistanceFromProfiled(s, targets, dst, p)
+}
+
+// KNNProfiled is KNN with hub-scan profiling (see SearchProfiler).
+func (ix *Index) KNNProfiled(s int32, k int, p *QueryProfile) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNNProfiled(s, k, p), nil
+}
+
+// DistanceProfiled is Distance with merge profiling (see
+// ProfiledOracle).
+func (ix *DirectedIndex) DistanceProfiled(s, t int32, p *QueryProfile) int64 {
+	return int64(ix.ix.DistanceProfiled(s, t, p))
+}
+
+// DistanceFromProfiled is DistanceFrom with merge profiling (see
+// ProfiledOracle).
+func (ix *DirectedIndex) DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64 {
+	return ix.ix.DistanceFromProfiled(s, targets, dst, p)
+}
+
+// KNNProfiled is KNN with hub-scan profiling (see SearchProfiler).
+func (ix *DirectedIndex) KNNProfiled(s int32, k int, p *QueryProfile) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNNProfiled(s, k, p), nil
+}
+
+// DistanceProfiled is Distance with merge profiling (see
+// ProfiledOracle).
+func (ix *WeightedIndex) DistanceProfiled(s, t int32, p *QueryProfile) int64 {
+	d := ix.ix.DistanceProfiled(s, t, p)
+	if d == core.UnreachableW {
+		return Unreachable
+	}
+	return int64(d)
+}
+
+// DistanceFromProfiled is DistanceFrom with merge profiling (see
+// ProfiledOracle).
+func (ix *WeightedIndex) DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64 {
+	return ix.ix.DistanceFromProfiled(s, targets, dst, p)
+}
+
+// KNNProfiled is KNN with hub-scan profiling (see SearchProfiler).
+func (ix *WeightedIndex) KNNProfiled(s int32, k int, p *QueryProfile) ([]Neighbor, error) {
+	if err := checkSource(ix, s); err != nil {
+		return nil, err
+	}
+	return ix.ix.KNNProfiled(s, k, p), nil
+}
+
+// DistanceProfiled is Distance with merge profiling (see
+// ProfiledOracle). Like every DynamicIndex read it needs external
+// synchronization against InsertEdge.
+func (d *DynamicIndex) DistanceProfiled(s, t int32, p *QueryProfile) int64 {
+	return int64(d.di.DistanceProfiled(s, t, p))
+}
+
+// DistanceFromProfiled is DistanceFrom with merge profiling (see
+// ProfiledOracle).
+func (d *DynamicIndex) DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64 {
+	return d.di.DistanceFromProfiled(s, targets, dst, p)
+}
+
+// DistanceProfiled is Distance with merge profiling straight from the
+// mapping (see ProfiledOracle).
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all ProfiledOracle by construction
+func (fi *FlatIndex) DistanceProfiled(s, t int32, p *QueryProfile) int64 {
+	return fi.o.(ProfiledOracle).DistanceProfiled(s, t, p)
+}
+
+// DistanceFromProfiled is DistanceFrom with merge profiling (see
+// ProfiledOracle).
+//
+//pllvet:ignore capassert fi.o is always one of the package's index variants, all ProfiledOracle by construction
+func (fi *FlatIndex) DistanceFromProfiled(s int32, targets []int32, dst []int64, p *QueryProfile) []int64 {
+	return fi.o.(ProfiledOracle).DistanceFromProfiled(s, targets, dst, p)
+}
+
+// KNNProfiled is KNN with hub-scan profiling (see SearchProfiler). The
+// wrapped oracle may be a *DynamicIndex, which cannot search — that
+// case falls back to the Searcher assertion's contract.
+func (fi *FlatIndex) KNNProfiled(s int32, k int, p *QueryProfile) ([]Neighbor, error) {
+	if sp, ok := fi.o.(SearchProfiler); ok {
+		return sp.KNNProfiled(s, k, p)
+	}
+	sr, ok := fi.o.(Searcher)
+	if !ok {
+		return nil, ErrNoSearch
+	}
+	return sr.KNN(s, k)
+}
